@@ -1,0 +1,84 @@
+// E6 — Theorems 14 / 15 versus the Chiesa-style positive baselines
+// (Table I, bounded-failures rows):
+//
+//   negative: on K_n a linear budget defeats any pattern (paper: 6n-33; our
+//             templates realize the same slope with a slightly different
+//             constant); on K_{a,b}: 3a+4b-21;
+//   positive: the baseline destination-based schemes survive every failure
+//             set of size <= n-2 (resp. <= min(a,b)-2).
+
+#include <cstdio>
+
+#include "attacks/pattern_corpus.hpp"
+#include "attacks/simulation_attack.hpp"
+#include "graph/builders.hpp"
+#include "resilience/chiesa_baseline.hpp"
+#include "routing/verifier.hpp"
+
+int main() {
+  using namespace pofl;
+
+  std::printf("=== Theorem 14: defeat budget on K_n (paper formula 6n-33) ===\n");
+  std::printf("%4s %18s %12s %10s\n", "n", "measured-budget", "paper-6n-33", "linear?");
+  for (int n : {8, 9, 10, 12, 14, 16, 20}) {
+    const Graph g = make_complete(n);
+    const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+    const auto result = attack_complete_large(g, *pattern, n - 2, n - 1);
+    const int measured = result ? result->defeat.failures.count() : -1;
+    std::printf("%4d %18d %12d %10s\n", n, measured, 6 * n - 33,
+                (measured > 0 && measured <= 6 * n - 21) ? "yes" : "CHECK");
+  }
+
+  std::printf("\n=== Theorem 15: defeat budget on K_{a,b} (paper 3a+4b-21) ===\n");
+  std::printf("%8s %18s %12s\n", "a=b", "measured-budget", "paper");
+  for (int a : {4, 5, 6, 8}) {
+    const Graph g = make_complete_bipartite(a, a);
+    const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+    const auto result = attack_bipartite_large(g, *pattern, 0, 2 * a - 1, a, a);
+    const int measured = result ? result->defeat.failures.count() : -1;
+    std::printf("%8d %18d %12d\n", a, measured, 3 * a + 4 * a - 21);
+  }
+
+  std::printf("\n=== Positive baseline: K_n sweep survives f <= n-2 "
+              "(Table I / [48 B.2]) ===\n");
+  std::printf("%4s %10s %22s\n", "n", "budget", "verified");
+  for (int n : {5, 6, 7}) {
+    const Graph g = make_complete(n);
+    const auto baseline = make_chiesa_complete_pattern();
+    VerifyOptions opts;
+    opts.max_exhaustive_edges = g.num_edges();  // exhaustive up to K7
+    const auto violation = find_bounded_failure_violation(g, *baseline, n - 2, opts);
+    std::printf("%4d %10d %22s\n", n, n - 2,
+                violation.has_value() ? "VIOLATION" : "all failure sets pass");
+  }
+  {
+    // Larger n: sampled.
+    const int n = 12;
+    const Graph g = make_complete(n);
+    const auto baseline = make_chiesa_complete_pattern();
+    VerifyOptions opts;
+    opts.max_exhaustive_edges = 0;
+    opts.samples = 20000;
+    const auto violation = find_bounded_failure_violation(g, *baseline, n - 2, opts);
+    std::printf("%4d %10d %22s (20k sampled sets)\n", n, n - 2,
+                violation.has_value() ? "VIOLATION" : "no violation found");
+  }
+
+  std::printf("\n=== Positive baseline: K_{a,b} relay survives f <= min(a,b)-2 ===\n");
+  std::printf("%8s %10s %22s\n", "a,b", "budget", "verified");
+  for (int a : {4, 5}) {
+    const Graph g = make_complete_bipartite(a, a);
+    const auto baseline = make_chiesa_bipartite_pattern(a, a);
+    VerifyOptions opts;
+    if (g.num_edges() <= 16) {
+      opts.max_exhaustive_edges = g.num_edges();
+    } else {
+      opts.max_exhaustive_edges = 0;
+      opts.samples = 20000;
+    }
+    const auto violation = find_bounded_failure_violation(g, *baseline, a - 2, opts);
+    std::printf("%4d,%-3d %10d %22s\n", a, a, a - 2,
+                violation.has_value() ? "VIOLATION" : "pass");
+  }
+  return 0;
+}

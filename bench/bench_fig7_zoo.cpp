@@ -1,0 +1,104 @@
+// E2 + E10 — Figure 7 and the §VIII in-text statistics: classification of
+// the (synthetic) Topology Zoo per routing model and planarity class.
+//
+// Paper reference values (real zoo, 260 networks):
+//   touring:      ~1/3 possible, rest impossible
+//   destination:  42.5% impossible, 1.1% unknown, 23.4% sometimes
+//   source-dest:   2.7% impossible, 31.8% unknown, 32.6% sometimes
+//   55.8% planar-but-not-outerplanar; 31.3% planar AND dest-impossible
+//   (newly classified vs. prior work); "sometimes" networks average 21.3%
+//   of destinations perfectly reachable.
+//
+// Pass a directory of .graphml files to run on the real dataset instead.
+
+#include <cstdio>
+#include <map>
+
+#include "classify/classifier.hpp"
+#include "classify/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pofl;
+
+  std::vector<NamedGraph> zoo;
+  if (argc > 1) zoo = load_zoo_directory(argv[1]);
+  const bool synthetic = zoo.empty();
+  if (synthetic) zoo = make_synthetic_zoo();
+  std::printf("=== Figure 7: perfect-resilience classification of %zu %s networks ===\n\n",
+              zoo.size(), synthetic ? "synthetic zoo" : "GraphML");
+
+  struct Counts {
+    std::map<Verdict, int> by_verdict;
+  };
+  // per planarity class (0 outer, 1 planar-only, 2 nonplanar) and model
+  Counts touring[3], dest[3], sd[3];
+  int class_totals[3] = {0, 0, 0};
+  int planar_not_outer = 0;
+  int planar_dest_impossible = 0;
+  double sometimes_fraction_sum = 0;
+  int sometimes_count = 0;
+
+  for (const auto& net : zoo) {
+    const Classification c = classify_topology(net.graph);
+    const int cls = c.outerplanar ? 0 : (c.planar ? 1 : 2);
+    ++class_totals[cls];
+    ++touring[cls].by_verdict[c.touring];
+    ++dest[cls].by_verdict[c.destination];
+    ++sd[cls].by_verdict[c.source_destination];
+    if (!c.outerplanar && c.planar) {
+      ++planar_not_outer;
+      if (c.destination == Verdict::kImpossible) ++planar_dest_impossible;
+    }
+    if (c.destination == Verdict::kSometimes) {
+      sometimes_fraction_sum += static_cast<double>(c.cor5_destinations) /
+                                net.graph.num_vertices();
+      ++sometimes_count;
+    }
+  }
+
+  const char* class_names[3] = {"Outerplanar", "Planar", "Non-planar"};
+  const auto print_block = [&](const char* model, Counts (&counts)[3]) {
+    std::printf("[%s]\n", model);
+    std::printf("%-13s %9s %9s %9s %10s\n", "class", "possible", "sometimes", "unknown",
+                "impossible");
+    for (int cls = 0; cls < 3; ++cls) {
+      std::printf("%-13s %8.1f%% %8.1f%% %8.1f%% %9.1f%%\n", class_names[cls],
+                  100.0 * counts[cls].by_verdict[Verdict::kPossible] /
+                      std::max(1, class_totals[cls]),
+                  100.0 * counts[cls].by_verdict[Verdict::kSometimes] /
+                      std::max(1, class_totals[cls]),
+                  100.0 * counts[cls].by_verdict[Verdict::kUnknown] /
+                      std::max(1, class_totals[cls]),
+                  100.0 * counts[cls].by_verdict[Verdict::kImpossible] /
+                      std::max(1, class_totals[cls]));
+    }
+    int possible = 0, sometimes = 0, unknown = 0, impossible = 0;
+    for (int cls = 0; cls < 3; ++cls) {
+      possible += counts[cls].by_verdict[Verdict::kPossible];
+      sometimes += counts[cls].by_verdict[Verdict::kSometimes];
+      unknown += counts[cls].by_verdict[Verdict::kUnknown];
+      impossible += counts[cls].by_verdict[Verdict::kImpossible];
+    }
+    const double total = static_cast<double>(zoo.size());
+    std::printf("%-13s %8.1f%% %8.1f%% %8.1f%% %9.1f%%\n\n", "ALL",
+                100 * possible / total, 100 * sometimes / total, 100 * unknown / total,
+                100 * impossible / total);
+  };
+  print_block("Touring", touring);
+  print_block("Destination Only", dest);
+  print_block("Source-Destination", sd);
+
+  const double total = static_cast<double>(zoo.size());
+  std::printf("=== In-text statistics (paper values in parentheses) ===\n");
+  std::printf("planar but not outerplanar:      %5.1f%%  (55.8%%)\n",
+              100 * planar_not_outer / total);
+  std::printf("planar AND dest-impossible:      %5.1f%%  (31.3%% — the K5^-1/K3,3^-1\n"
+              "                                           classifications new to this paper)\n",
+              100 * planar_dest_impossible / total);
+  if (sometimes_count > 0) {
+    std::printf("avg reachable destinations among\n"
+                "'sometimes' networks:            %5.1f%%  (21.3%%)\n",
+                100 * sometimes_fraction_sum / sometimes_count);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation — ideal vs. perfect resilience (paper §I-B1). The paper contrasts
+// its perfect-resilience landscape with Chiesa et al.'s ideal resilience
+// (k-connected graphs, k-1 failures). This bench measures, on complete
+// graphs, the bounded-failure tolerance actually achieved by:
+//
+//   * arborescence circular switching (the canonical ideal-resilience
+//     strategy; whether it always reaches k-1 is the open question the
+//     paper cites),
+//   * the cyclic sweep baseline (provably n-2 on K_n),
+//   * a plain shortest-path-with-rotation pattern (no guarantee).
+//
+// Perfect resilience on these graphs is impossible (K7 up, §IV) — the last
+// column shows the budget at which each scheme breaks, far below "any F".
+
+#include <cstdio>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/builders.hpp"
+#include "resilience/arborescence_routing.hpp"
+#include "resilience/chiesa_baseline.hpp"
+#include "routing/verifier.hpp"
+
+namespace {
+
+using namespace pofl;
+
+/// Largest f such that no violation with |F| <= f exists (exhaustive for
+/// m <= 21, sampled beyond).
+int measured_tolerance(const Graph& g, const ForwardingPattern& p, int probe_to) {
+  int best = 0;
+  for (int f = 1; f <= probe_to; ++f) {
+    VerifyOptions opts;
+    if (g.num_edges() <= 21) {
+      opts.max_exhaustive_edges = g.num_edges();
+    } else {
+      opts.max_exhaustive_edges = 0;
+      opts.samples = 8000;
+    }
+    opts.max_failures = f;
+    if (find_resilience_violation(g, p, opts).has_value()) break;
+    best = f;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pofl;
+  std::printf("=== Ideal resilience ablation on K_n (k-connectivity = n-1) ===\n");
+  std::printf("%4s %6s | %14s %14s %14s\n", "n", "k-1", "arborescence", "cyclic-sweep",
+              "shortest-path");
+  for (int n : {4, 5, 6, 7}) {
+    const Graph g = make_complete(n);
+    const auto arb = ArborescenceRoutingPattern::build(g, n - 1, 3);
+    const auto sweep = make_chiesa_complete_pattern();
+    const auto sp = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+    const int probe = n;  // beyond k-1 by one
+    std::printf("%4d %6d | %14d %14d %14d\n", n, n - 2,
+                arb ? measured_tolerance(g, *arb, probe) : -1,
+                measured_tolerance(g, *sweep, probe), measured_tolerance(g, *sp, probe));
+  }
+  std::printf("\n(k-1 = n-2 is the ideal-resilience target. The cyclic sweep provably\n"
+              " reaches it; deliver-first rotors happen to do well on small complete\n"
+              " graphs; the circular arborescence strategy measurably falls short of\n"
+              " k-1 — consistent with ideal resilience for general strategies being\n"
+              " the open question the paper cites.)\n");
+
+  std::printf("\n=== Same ablation on K_{4,4} (4-connected, target 3) ===\n");
+  {
+    const Graph g = make_complete_bipartite(4, 4);
+    const auto arb = ArborescenceRoutingPattern::build(g, 4, 9);
+    const auto relay = make_chiesa_bipartite_pattern(4, 4);
+    const auto sp = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+    std::printf("arborescence:   %d\n", arb ? measured_tolerance(g, *arb, 4) : -1);
+    std::printf("bipartite-relay:%d\n", measured_tolerance(g, *relay, 4));
+    std::printf("shortest-path:  %d\n", measured_tolerance(g, *sp, 4));
+  }
+  return 0;
+}

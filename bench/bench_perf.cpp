@@ -1,0 +1,102 @@
+// P1 — engineering microbenchmarks (google-benchmark): the primitives the
+// reproduction leans on. Not a paper artifact; tracks the cost of planarity
+// testing, minor search, packet simulation and exhaustive verification.
+
+#include <benchmark/benchmark.h>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/minors.hpp"
+#include "graph/planarity.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "routing/simulator.hpp"
+#include "routing/verifier.hpp"
+
+namespace {
+
+using namespace pofl;
+
+void BM_PlanarityRandomPlanar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_random_planar(n, 2 * n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_planar(g));
+  }
+}
+BENCHMARK(BM_PlanarityRandomPlanar)->Arg(50)->Arg(200)->Arg(754);
+
+void BM_OuterplanarityCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_random_outerplanar(n, 3 * n / 2, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_outerplanar(g));
+  }
+}
+BENCHMARK(BM_OuterplanarityCheck)->Arg(50)->Arg(200);
+
+void BM_ExactMinorK4(benchmark::State& state) {
+  const Graph g = make_random_connected(10, 16, 5);
+  const Graph k4 = make_complete(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_minor_exact(g, k4));
+  }
+}
+BENCHMARK(BM_ExactMinorK4);
+
+void BM_HeuristicMinorK5m1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_random_planar(n, 2 * n, 11);
+  const Graph k5m1 = make_complete_minus(5, 1);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_minor_heuristic(g, k5m1, seed++, 4));
+  }
+}
+BENCHMARK(BM_HeuristicMinorK5m1)->Arg(50)->Arg(200);
+
+void BM_EdgeConnectivity(benchmark::State& state) {
+  const Graph g = make_complete(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_connectivity(g, 0, 1, g.empty_edge_set()));
+  }
+}
+BENCHMARK(BM_EdgeConnectivity)->Arg(7)->Arg(13)->Arg(20);
+
+void BM_RoutePacketK5(benchmark::State& state) {
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  const IdSet failures = failures_between(k5, {{0, 4}, {0, 1}, {1, 4}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_packet(k5, *pattern, failures, 0, Header{0, 4}));
+  }
+}
+BENCHMARK(BM_RoutePacketK5);
+
+void BM_ExhaustiveVerifyK5(benchmark::State& state) {
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_resilience_violation(k5, *pattern));
+  }
+}
+BENCHMARK(BM_ExhaustiveVerifyK5);
+
+void BM_CorpusSimulationThroughput(benchmark::State& state) {
+  const Graph g = make_complete(8);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kSourceDestination);
+  const IdSet failures = failures_between(g, {{0, 7}, {1, 7}, {2, 7}});
+  int64_t hops = 0;
+  for (auto _ : state) {
+    const auto r = route_packet(g, *pattern, failures, 0, Header{0, 7});
+    hops += r.hops;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["hops"] = benchmark::Counter(static_cast<double>(hops),
+                                              benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CorpusSimulationThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

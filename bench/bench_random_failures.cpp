@@ -1,0 +1,76 @@
+// Extension — random link failures (the paper's §IX future-work scenario).
+// Conditional delivery probability (given s-t stay connected) under i.i.d.
+// link failures with probability p, for the pattern families on K7 (where
+// perfect resilience is impossible) and for the perfectly resilient
+// Algorithm 1 on K5 (rate must be exactly 1.0 at every p).
+//
+// Shape: adversarial impossibility is a worst-case statement — under random
+// failures even imperfect patterns deliver almost always at realistic p,
+// which quantifies how much of the "price of locality" is adversarial.
+
+#include <cstdio>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "resilience/arborescence_routing.hpp"
+#include "routing/random_failures.hpp"
+
+int main() {
+  using namespace pofl;
+  constexpr int kTrials = 20000;
+
+  std::printf("=== Conditional delivery rate under i.i.d. link failures ===\n\n");
+  std::printf("--- K5, Algorithm 1 (perfectly resilient: expect 1.000 everywhere) ---\n");
+  std::printf("%6s %12s %12s %10s\n", "p", "rate", "mean|F|", "mean hops");
+  {
+    const Graph k5 = make_complete(5);
+    const auto alg1 = make_algorithm1_k5();
+    for (double p : {0.05, 0.15, 0.3, 0.5, 0.7}) {
+      const auto s = estimate_delivery_rate(k5, *alg1, 0, 4, p, kTrials, 7);
+      std::printf("%6.2f %12.4f %12.2f %10.2f\n", p, s.delivery_rate, s.mean_failures,
+                  s.mean_hops);
+    }
+  }
+
+  std::printf("\n--- K7 (perfect resilience impossible; random failures are kinder) ---\n");
+  {
+    const Graph k7 = make_complete(7);
+    const auto arb = ArborescenceRoutingPattern::build(k7, 6, 5);
+    std::printf("%6s", "p");
+    std::vector<std::unique_ptr<ForwardingPattern>> patterns;
+    patterns.push_back(make_id_cyclic_pattern(RoutingModel::kSourceDestination));
+    patterns.push_back(make_shortest_path_pattern(RoutingModel::kSourceDestination, k7));
+    patterns.push_back(make_random_stateless_pattern(RoutingModel::kSourceDestination, 3));
+    for (const auto& p : patterns) std::printf(" %22s", p->name().c_str());
+    if (arb) std::printf(" %22s", arb->name().c_str());
+    std::printf("\n");
+    for (double p : {0.05, 0.15, 0.3, 0.5, 0.7}) {
+      std::printf("%6.2f", p);
+      for (const auto& pat : patterns) {
+        const auto s = estimate_delivery_rate(k7, *pat, 0, 6, p, kTrials, 11);
+        std::printf(" %22.4f", s.delivery_rate);
+      }
+      if (arb) {
+        const auto s = estimate_delivery_rate(k7, *arb, 0, 6, p, kTrials, 11);
+        std::printf(" %22.4f", s.delivery_rate);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n--- Zoo-style topology (ring + hub, n=20): destination-based families ---\n");
+  {
+    const Graph g = make_outerplanar_plus_hubs(20, 1, 13);
+    std::printf("(n=%d m=%d)\n", g.num_vertices(), g.num_edges());
+    std::printf("%6s %18s %18s\n", "p", "id-cyclic", "shortest-path");
+    const auto idc = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+    const auto sp = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+    for (double p : {0.02, 0.05, 0.1, 0.2}) {
+      const auto a = estimate_delivery_rate(g, *idc, 0, g.num_vertices() - 1, p, kTrials, 17);
+      const auto b = estimate_delivery_rate(g, *sp, 0, g.num_vertices() - 1, p, kTrials, 17);
+      std::printf("%6.2f %18.4f %18.4f\n", p, a.delivery_rate, b.delivery_rate);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation — the two model boundaries the paper draws (§I-B):
+//
+//  1. Stretch: robust routes are not shortest routes. Mean/max stretch of
+//     the paper's perfectly resilient patterns as failures accumulate.
+//  2. Header rewriting: the approaches the model excludes. A DFS scheme
+//     with a rewritable header is perfectly resilient on *every* graph —
+//     including K7, where no static pattern can be — at a measured cost in
+//     header bits and walk length. That cost is the price of generality the
+//     paper's static model refuses to pay.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "resilience/k5m2_dest.hpp"
+#include "routing/stateful.hpp"
+#include "routing/stretch.hpp"
+
+int main() {
+  using namespace pofl;
+
+  std::printf("=== Stretch of perfectly resilient patterns ===\n");
+  std::printf("%-24s %4s %9s %12s %12s %10s\n", "pattern/graph", "|F|", "samples",
+              "mean-stretch", "max-stretch", "not-deliv");
+  {
+    const Graph k5 = make_complete(5);
+    const auto alg1 = make_algorithm1_k5();
+    for (int f : {0, 2, 4, 6}) {
+      const auto s = measure_stretch(k5, *alg1, 0, 4, f, 4000, 3);
+      std::printf("%-24s %4d %9d %12.3f %12.3f %10d\n", "algorithm1/K5", f, s.samples,
+                  s.mean_stretch, s.max_stretch, s.failed_deliveries);
+    }
+    const Graph k5m2 = make_complete_minus(5, 2);
+    const auto dest = make_k5m2_dest_pattern(k5m2);
+    for (int f : {0, 2, 4}) {
+      const auto s = measure_stretch(k5m2, *dest, 0, 4, f, 4000, 5);
+      std::printf("%-24s %4d %9d %12.3f %12.3f %10d\n", "k5m2-dest/K5^-2", f, s.samples,
+                  s.mean_stretch, s.max_stretch, s.failed_deliveries);
+    }
+  }
+
+  std::printf("\n=== Header rewriting: perfect resilience everywhere, at a price ===\n");
+  std::printf("%-10s %4s | %12s | %14s %11s %10s\n", "graph", "|F|", "static-best",
+              "dfs-delivered", "dfs-hops", "hdr-bits");
+  const auto dfs = make_dfs_rewriting_pattern();
+  for (const auto& [name, g] :
+       {std::pair<const char*, Graph>{"K7", make_complete(7)},
+        std::pair<const char*, Graph>{"K4,4", make_complete_bipartite(4, 4)}}) {
+    const auto static_pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+    const VertexId s = 0, t = g.num_vertices() - 1;
+    for (int f : {4, 8, 12}) {
+      // Static: delivery fraction over random |F|-failure draws.
+      const auto st = measure_stretch(g, *static_pattern, s, t, f, 4000, 9);
+      const double static_rate =
+          st.samples + st.failed_deliveries > 0
+              ? static_cast<double>(st.samples) / (st.samples + st.failed_deliveries)
+              : 0.0;
+      // DFS rewriting: same draws.
+      int delivered = 0, total = 0;
+      long long hops = 0, bits = 0;
+      std::mt19937_64 rng(11);
+      std::vector<EdgeId> edges(static_cast<size_t>(g.num_edges()));
+      for (size_t i = 0; i < edges.size(); ++i) edges[i] = static_cast<EdgeId>(i);
+      for (int trial = 0; trial < 4000; ++trial) {
+        std::shuffle(edges.begin(), edges.end(), rng);
+        IdSet failures = g.empty_edge_set();
+        for (int i = 0; i < f; ++i) failures.insert(edges[static_cast<size_t>(i)]);
+        if (!connected(g, s, t, failures)) continue;
+        ++total;
+        const auto r = route_stateful_packet(g, *dfs, failures, s, Header{s, t});
+        if (r.outcome == RoutingOutcome::kDelivered) {
+          ++delivered;
+          hops += r.hops;
+          bits += r.max_header_bits;
+        }
+      }
+      std::printf("%-10s %4d | %11.4f%% | %13.4f%% %11.2f %10.2f\n", name, f,
+                  100 * static_rate, total > 0 ? 100.0 * delivered / total : 0.0,
+                  delivered > 0 ? static_cast<double>(hops) / delivered : 0.0,
+                  delivered > 0 ? static_cast<double>(bits) / delivered : 0.0);
+    }
+  }
+  std::printf("\n(static patterns keep 0 header bits but cannot be perfect on these\n"
+              " graphs; DFS rewriting delivers 100%% with tens of header bits —\n"
+              " exactly the trade the paper's model rules out.)\n");
+  return 0;
+}

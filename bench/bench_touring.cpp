@@ -1,0 +1,93 @@
+// E9 — the touring characterization (Corollary 6) and k-resilient touring
+// (Theorem 17):
+//
+//   * touring possible iff outerplanar: over a corpus of random graphs the
+//     right-hand rule must survive exactly on the outerplanar ones, and the
+//     adversary must defeat every corpus pattern on the rest;
+//   * Hamiltonian switching on K_n / K_{n,n}: measured maximum tolerated
+//     failure count vs. the paper's k-1 promise.
+
+#include <cstdio>
+#include <random>
+
+#include "attacks/pattern_corpus.hpp"
+#include "attacks/touring_attack.hpp"
+#include "graph/builders.hpp"
+#include "graph/planarity.hpp"
+#include "resilience/ham_touring.hpp"
+#include "resilience/outerplanar_touring.hpp"
+#include "routing/verifier.hpp"
+
+int main() {
+  using namespace pofl;
+
+  std::printf("=== Corollary 6: touring possible iff outerplanar ===\n");
+  std::printf("%-24s %6s %12s %28s\n", "graph", "outer?", "right-hand", "corpus-defeat");
+  std::mt19937_64 rng(2022);
+  int agree = 0, total = 0;
+  for (int trial = 0; trial < 14; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 5);
+    const int max_m = n * (n - 1) / 2;
+    const Graph g = trial % 2 == 0
+                        ? make_random_outerplanar(n, n + static_cast<int>(rng() % n), rng())
+                        : make_random_connected(
+                              n, std::min(max_m, n + static_cast<int>(rng() % n)), rng());
+    if (g.num_edges() > 16) continue;
+    const bool outer = is_outerplanar(g);
+    const auto rh = make_outerplanar_touring(g);
+    bool rh_ok = false;
+    if (rh != nullptr) {
+      VerifyOptions opts;
+      opts.max_exhaustive_edges = g.num_edges();
+      rh_ok = !find_touring_violation(g, *rh, opts).has_value();
+    }
+    int defeated = 0, corpus_size = 0;
+    if (!outer) {
+      for (const auto& p : make_pattern_corpus(RoutingModel::kTouring, g, 2, trial)) {
+        ++corpus_size;
+        if (attack_touring(g, *p).has_value()) ++defeated;
+      }
+    }
+    const bool consistent = outer ? rh_ok : (defeated == corpus_size);
+    agree += consistent ? 1 : 0;
+    ++total;
+    char corpus_buf[32] = "-";
+    if (!outer) std::snprintf(corpus_buf, sizeof(corpus_buf), "%d/%d defeated", defeated,
+                              corpus_size);
+    char name[32];
+    std::snprintf(name, sizeof(name), "random n=%d m=%d", g.num_vertices(), g.num_edges());
+    std::printf("%-24s %6s %12s %28s\n", name, outer ? "yes" : "no",
+                rh != nullptr ? (rh_ok ? "tours" : "FAILS") : "n/a", corpus_buf);
+  }
+  std::printf("characterization consistent on %d/%d sampled graphs\n\n", agree, total);
+
+  std::printf("=== Theorem 17: Hamiltonian-switch touring, promise |F| <= k-1 ===\n");
+  std::printf("%-10s %3s %9s %16s\n", "graph", "k", "promise", "max-tolerated");
+  const auto max_tolerated = [](const Graph& g, const ForwardingPattern& p, int probe_to) {
+    for (int f = 1; f <= probe_to; ++f) {
+      VerifyOptions opts;
+      opts.max_exhaustive_edges = g.num_edges() <= 21 ? g.num_edges() : 0;
+      opts.samples = 4000;
+      opts.max_failures = f;
+      if (find_touring_violation(g, p, opts).has_value()) return f - 1;
+    }
+    return probe_to;
+  };
+  for (int n : {5, 7, 9}) {
+    const Graph g = make_complete(n);
+    const auto p = make_complete_ham_touring(g);
+    const int k = p->num_cycles();
+    std::printf("K%-9d %3d %9d %16d\n", n, k, k - 1, max_tolerated(g, *p, k + 1));
+  }
+  for (int a : {4, 6}) {
+    const Graph g = make_complete_bipartite(a, a);
+    const auto p = make_bipartite_ham_touring(g, a);
+    const int k = p->num_cycles();
+    char name[16];
+    std::snprintf(name, sizeof(name), "K%d,%d", a, a);
+    std::printf("%-10s %3d %9d %16d\n", name, k, k - 1, max_tolerated(g, *p, k + 1));
+  }
+  std::printf("(expected: max-tolerated >= promise; equality is typical since one\n"
+              " extra failure can sever the last intact cycle's use at a node)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// The price of locality (§III, Theorem 1): even with a promise of r
+// link-disjoint surviving s-t paths, static local failover cannot reach the
+// destination. The adaptive adversary probes the pattern, builds its 5-node
+// gadgets and produces a verified failure set: s and t stay 2-connected on
+// K13, yet the packet loops.
+//
+//   ./examples/price_of_locality
+
+#include <cstdio>
+
+#include "attacks/pattern_corpus.hpp"
+#include "attacks/rtolerance_attack.hpp"
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+
+int main() {
+  using namespace pofl;
+
+  const int r = 2;
+  const Graph g = make_complete(3 + 5 * r);  // K13
+  const VertexId s = 0, t = g.num_vertices() - 1;
+  std::printf("K%d (m=%d), s=%d t=%d, tolerance promise r=%d\n\n", g.num_vertices(),
+              g.num_edges(), s, t, r);
+
+  const auto corpus = make_pattern_corpus(RoutingModel::kSourceDestination, g, 2, 3);
+  for (const auto& pattern : corpus) {
+    const auto result = attack_r_tolerance(g, *pattern, s, t, r);
+    if (!result.has_value()) {
+      std::printf("%-28s survived the adversary (unexpected!)\n", pattern->name().c_str());
+      continue;
+    }
+    const auto& defeat = result->defeat;
+    const int lambda = edge_connectivity(g, s, t, defeat.failures);
+    std::printf("%-28s defeated: |F|=%2d, surviving s-t connectivity=%d (promise %d kept), "
+                "outcome=%s, traps=%d, restarts=%d\n",
+                pattern->name().c_str(), defeat.failures.count(), lambda, r,
+                to_string(defeat.routing.outcome), result->traps, result->restarts_used);
+    const auto paths = disjoint_paths(g, s, t, defeat.failures);
+    std::printf("  unused surviving disjoint paths:\n");
+    for (const auto& p : paths) {
+      std::printf("   ");
+      for (VertexId v : p) std::printf(" %d", v);
+      std::printf("\n");
+    }
+  }
+  std::printf("\nThe topology keeps %d disjoint s-t paths alive, yet every candidate\n"
+              "pattern loops: locality, not connectivity, is the bottleneck.\n", r);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: configure Algorithm 1 (the paper's perfectly resilient
+// source-destination pattern for K5), hit it with failures, and watch it
+// deliver; then let the exhaustive verifier certify perfect resilience.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "routing/simulator.hpp"
+#include "routing/verifier.hpp"
+
+int main() {
+  using namespace pofl;
+
+  // The complete graph on five nodes; source 0, destination 4.
+  const Graph k5 = make_complete(5);
+  const VertexId s = 0, t = 4;
+  const auto pattern = make_algorithm1_k5();
+
+  std::printf("Graph: %s\n", k5.to_string().c_str());
+  std::printf("Pattern: %s (model: %s)\n\n", pattern->name().c_str(),
+              to_string(pattern->model()));
+
+  // Knock out the direct link and two more; the pattern must route around.
+  const IdSet failures = failures_between(k5, {{0, 4}, {0, 1}, {1, 4}});
+  std::printf("Failing links (0,4), (0,1), (1,4)...\n");
+  const RoutingResult result = route_packet(k5, *pattern, failures, s, Header{s, t});
+  std::printf("Outcome: %s in %d hops; walk:", to_string(result.outcome), result.hops);
+  for (VertexId v : result.walk) std::printf(" %d", v);
+  std::printf("\n\n");
+
+  // Certify: enumerate all 2^10 failure sets for every (source, destination).
+  std::printf("Exhaustively verifying perfect resilience on K5 "
+              "(1024 failure sets x 20 pairs)...\n");
+  const auto violation = find_resilience_violation(k5, *pattern);
+  if (violation.has_value()) {
+    std::printf("VIOLATION found (this would falsify Theorem 8!)\n");
+    return 1;
+  }
+  std::printf("Verified: Algorithm 1 is perfectly resilient on K5 (Theorem 8).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+// Exhaustive adversary: the minimum-cardinality failure set defeating a given
+// pattern, found by enumerating failure sets in increasing size (Gosper's
+// hack). This is the ground truth behind Corollaries 3 and 4: on K7 at most
+// 15 failures defeat any pattern, on K4,4 at most 11 — the bench measures
+// the actual minimum budget over the pattern corpus.
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+struct Defeat {
+  IdSet failures;
+  VertexId source = kNoVertex;
+  VertexId destination = kNoVertex;
+  RoutingResult routing;
+};
+
+/// Smallest failure set F such that s,t stay connected in G\F but the packet
+/// is not delivered. Exhaustive and exact for graphs with <= 30 edges;
+/// `max_budget` bounds |F|. nullopt = no defeat within budget (for a
+/// perfectly resilient pattern: no defeat at all).
+[[nodiscard]] std::optional<Defeat> find_minimum_defeat(const Graph& g,
+                                                        const ForwardingPattern& pattern,
+                                                        VertexId source, VertexId destination,
+                                                        int max_budget);
+
+/// Smallest defeating failure set over all (s,t) pairs.
+[[nodiscard]] std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
+                                                                 const ForwardingPattern& pattern,
+                                                                 int max_budget);
+
+/// Touring version: smallest F such that some start's surviving component is
+/// not toured.
+[[nodiscard]] std::optional<Defeat> find_minimum_touring_defeat(const Graph& g,
+                                                                const ForwardingPattern& pattern,
+                                                                int max_budget);
+
+}  // namespace pofl

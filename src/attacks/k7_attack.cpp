@@ -1,0 +1,182 @@
+#include "attacks/k7_attack.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+namespace {
+
+/// Failure set = every edge incident to `involved` except the `alive` links.
+/// Nodes outside `involved` keep their mutual links — that is what keeps the
+/// budgets of Corollaries 3 and 4 small.
+std::optional<IdSet> failures_around(const Graph& g, const std::vector<VertexId>& involved,
+                                     const std::vector<std::pair<VertexId, VertexId>>& alive) {
+  IdSet alive_set = g.empty_edge_set();
+  for (const auto& [u, v] : alive) {
+    const auto e = g.edge_between(u, v);
+    if (!e.has_value()) return std::nullopt;  // template needs a missing link
+    alive_set.insert(*e);
+  }
+  IdSet f = g.empty_edge_set();
+  std::set<VertexId> in(involved.begin(), involved.end());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (alive_set.contains(e)) continue;
+    if (in.count(g.edge(e).u) != 0 || in.count(g.edge(e).v) != 0) f.insert(e);
+  }
+  return f;
+}
+
+/// Tries one candidate: the defeat must be real (s,t connected, packet not
+/// delivered) — templates are never trusted blindly.
+std::optional<Defeat> try_candidate(const Graph& g, const ForwardingPattern& pattern, VertexId s,
+                                    VertexId t, const std::optional<IdSet>& failures) {
+  if (!failures.has_value()) return std::nullopt;
+  if (!connected(g, s, t, *failures)) return std::nullopt;
+  const RoutingResult result = route_packet(g, pattern, *failures, s, Header{s, t});
+  if (result.outcome == RoutingOutcome::kDelivered) return std::nullopt;
+  return Defeat{*failures, s, t, result};
+}
+
+}  // namespace
+
+std::optional<ConstructiveAttackResult> attack_k7(const Graph& g,
+                                                  const ForwardingPattern& pattern, VertexId s,
+                                                  VertexId t) {
+  std::vector<VertexId> others;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v != s && v != t) others.push_back(v);
+  }
+  return attack_k7_embedded(g, pattern, s, t, others);
+}
+
+std::optional<ConstructiveAttackResult> attack_k7_embedded(const Graph& g,
+                                                           const ForwardingPattern& pattern,
+                                                           VertexId s, VertexId t,
+                                                           const std::vector<VertexId>& subset) {
+  std::vector<VertexId> others = subset;
+  if (others.size() != 5) return std::nullopt;
+
+  int tried = 0;
+  std::sort(others.begin(), others.end());
+  std::vector<VertexId> perm = others;
+  std::set<uint64_t> seen;
+  do {
+    const VertexId v1 = perm[0], v2 = perm[1], v3 = perm[2], v4 = perm[3], v5 = perm[4];
+    struct Candidate {
+      std::vector<VertexId> involved;
+      std::vector<std::pair<VertexId, VertexId>> alive;
+    };
+    std::vector<Candidate> candidates;
+    // Spine templates: expose nodes that refuse to relay or deliver.
+    candidates.push_back({{s, v1, v2}, {{s, v1}, {v1, v2}, {v2, t}}});
+    candidates.push_back({{s, v1, v2, v3}, {{s, v1}, {v1, v2}, {v2, v3}, {v3, t}}});
+    // Orbit templates (Corollary 8): v2 is the hub; if y is outside the
+    // orbit of v1 under pi_{v2}, the packet circles the hub forever while
+    // the path via y survives.
+    for (VertexId y : {v3, v4, v5}) {
+      candidates.push_back(
+          {{s, v1, v2, v3, v4, v5},
+           {{s, v1}, {v1, v2}, {v2, v3}, {v2, v4}, {v2, v5}, {y, t}}});
+    }
+    // Fig. 10: the full Lemma 5 construction. The surviving path runs
+    // s-v1-v2-v4-t; conforming cyclic patterns loop v2-v3-v5-v2.
+    candidates.push_back(
+        {{s, v1, v2, v3, v4, v5},
+         {{s, v1}, {v1, v2}, {v2, v3}, {v2, v4}, {v2, v5}, {v3, v5}, {v4, t}}});
+
+    for (const auto& c : candidates) {
+      const auto failures = failures_around(g, c.involved, c.alive);
+      if (!failures.has_value()) continue;
+      const uint64_t h = failures->hash();
+      if (!seen.insert(h).second) continue;  // template duplicated under relabeling
+      ++tried;
+      if (auto defeat = try_candidate(g, pattern, s, t, failures)) {
+        return ConstructiveAttackResult{std::move(*defeat), tried};
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return std::nullopt;
+}
+
+std::optional<ConstructiveAttackResult> attack_k44(const Graph& g,
+                                                   const ForwardingPattern& pattern, VertexId s,
+                                                   VertexId t) {
+  // Parts by make_complete_bipartite(4,4) numbering.
+  const auto part_of = [](VertexId v) { return v < 4 ? 0 : 1; };
+  if (part_of(s) == part_of(t)) return std::nullopt;  // proof setting: opposite parts
+  std::vector<VertexId> t_side, s_side;  // t's part minus t; s's part minus s
+  for (VertexId v = 0; v < 8; ++v) {
+    if (v == s || v == t) continue;
+    (part_of(v) == part_of(t) ? t_side : s_side).push_back(v);
+  }
+  return attack_k44_embedded(g, pattern, s, t, t_side, s_side);
+}
+
+std::optional<ConstructiveAttackResult> attack_k44_embedded(const Graph& g,
+                                                            const ForwardingPattern& pattern,
+                                                            VertexId s, VertexId t,
+                                                            const std::vector<VertexId>& t_subset,
+                                                            const std::vector<VertexId>& s_subset) {
+  std::vector<VertexId> t_side = t_subset;
+  std::vector<VertexId> s_side = s_subset;
+  if (t_side.size() != 3 || s_side.size() != 3) return std::nullopt;
+
+  int tried = 0;
+  std::set<uint64_t> seen;
+  std::sort(t_side.begin(), t_side.end());
+  std::sort(s_side.begin(), s_side.end());
+  std::vector<VertexId> tp = t_side;
+  do {
+    std::vector<VertexId> sp = s_side;
+    do {
+      // Proof roles: t's part = {a, b, d} (+ t = c), s's part = {v1, v2, v3}
+      // (+ s = v0).
+      const VertexId a = tp[0], b = tp[1], d = tp[2];
+      const VertexId v1 = sp[0], v2 = sp[1], v3 = sp[2];
+      struct Candidate {
+        std::vector<VertexId> involved;
+        std::vector<std::pair<VertexId, VertexId>> alive;
+      };
+      std::vector<Candidate> candidates;
+      const std::vector<VertexId> all{s, t, a, b, d, v1, v2, v3};
+      // F12: only s-t path v0-b-v1-a-v2-c.
+      candidates.push_back(
+          {all, {{s, b}, {b, v1}, {v1, a}, {a, v2}, {v2, t}, {v1, b}}});
+      // F13: only path v0-b-v1-a-v3-c.
+      candidates.push_back(
+          {all, {{s, b}, {b, v1}, {v1, a}, {a, v3}, {v3, t}, {v1, b}}});
+      // F33-style: a keeps v1,v2,v3; paths pass through a.
+      candidates.push_back(
+          {all,
+           {{s, b}, {b, v3}, {v3, a}, {a, v1}, {v1, t}, {a, v2}, {v2, t}}});
+      // F32-style: dead-end v2 hanging off a.
+      candidates.push_back(
+          {all, {{s, b}, {b, v3}, {v3, a}, {a, v1}, {v1, t}, {a, v2}}});
+      // Final walk: surviving links trace v0-b-v1-a-v2-d-v1 / a-v3-c; the
+      // conforming cyclic pattern is trapped in a-v2-d-v1-a.
+      candidates.push_back(
+          {all,
+           {{s, b}, {b, v1}, {v1, a}, {a, v2}, {v2, d}, {d, v1}, {a, v3}, {v3, t}}});
+      // Plain spines (length 3), catching refuse-to-relay behaviors.
+      candidates.push_back({{s, a, v1}, {{s, a}, {a, v1}, {v1, t}}});
+
+      for (const auto& c : candidates) {
+        const auto failures = failures_around(g, c.involved, c.alive);
+        if (!failures.has_value()) continue;
+        const uint64_t h = failures->hash();
+        if (!seen.insert(h).second) continue;
+        ++tried;
+        if (auto defeat = try_candidate(g, pattern, s, t, failures)) {
+          return ConstructiveAttackResult{std::move(*defeat), tried};
+        }
+      }
+    } while (std::next_permutation(sp.begin(), sp.end()));
+  } while (std::next_permutation(tp.begin(), tp.end()));
+  return std::nullopt;
+}
+
+}  // namespace pofl

@@ -1,0 +1,36 @@
+#include "attacks/simulation_attack.hpp"
+
+namespace pofl {
+
+std::optional<ConstructiveAttackResult> attack_complete_large(const Graph& g,
+                                                              const ForwardingPattern& pattern,
+                                                              VertexId s, VertexId t) {
+  if (g.num_vertices() < 7) return std::nullopt;
+  // Gadget = s, t plus the five lowest-id other nodes. failures_around
+  // inside the template machinery already cuts every link from involved
+  // gadget nodes to the rest of the graph, which is exactly the simulation
+  // argument's isolation step.
+  std::vector<VertexId> others;
+  for (VertexId v = 0; v < g.num_vertices() && others.size() < 5; ++v) {
+    if (v != s && v != t) others.push_back(v);
+  }
+  return attack_k7_embedded(g, pattern, s, t, others);
+}
+
+std::optional<ConstructiveAttackResult> attack_bipartite_large(const Graph& g,
+                                                               const ForwardingPattern& pattern,
+                                                               VertexId s, VertexId t, int a,
+                                                               int b) {
+  if (a < 4 || b < 4) return std::nullopt;
+  const auto part_of = [a](VertexId v) { return v < a ? 0 : 1; };
+  if (part_of(s) == part_of(t)) return std::nullopt;
+  std::vector<VertexId> t_side, s_side;
+  for (VertexId v = 0; v < a + b; ++v) {
+    if (v == s || v == t) continue;
+    if (part_of(v) == part_of(t) && t_side.size() < 3) t_side.push_back(v);
+    if (part_of(v) == part_of(s) && s_side.size() < 3) s_side.push_back(v);
+  }
+  return attack_k44_embedded(g, pattern, s, t, t_side, s_side);
+}
+
+}  // namespace pofl

@@ -1,0 +1,28 @@
+#pragma once
+
+// Theorems 14 and 15: the K7 / K4,4 impossibilities lift to complete and
+// complete bipartite graphs of any size via simulation — isolate a gadget
+// clique (all links from its non-destination nodes to the rest fail, the
+// destination keeps its links, so the packet never leaves the gadget) and
+// defeat the pattern inside it. The resulting budget is linear: the paper
+// states 6n-33 for K_n (n >= 8) and 3a+4b-21 for K_{a,b} (a,b >= 4); our
+// templates realize the same linear shape with a slightly different additive
+// constant, which the bench reports next to the paper's formula.
+
+#include <optional>
+
+#include "attacks/k7_attack.hpp"
+
+namespace pofl {
+
+/// Defeat on the complete graph K_n, n >= 8 (or n == 7, where it degrades
+/// to the plain K7 attack).
+[[nodiscard]] std::optional<ConstructiveAttackResult> attack_complete_large(
+    const Graph& g, const ForwardingPattern& pattern, VertexId s, VertexId t);
+
+/// Defeat on the complete bipartite graph K_{a,b}, a,b >= 4, parts
+/// [0,a) / [a,a+b), with s and t in different parts.
+[[nodiscard]] std::optional<ConstructiveAttackResult> attack_bipartite_large(
+    const Graph& g, const ForwardingPattern& pattern, VertexId s, VertexId t, int a, int b);
+
+}  // namespace pofl

@@ -1,0 +1,67 @@
+#pragma once
+
+// §VIII classification pipeline. For each topology and each routing model
+// the verdict is one of:
+//
+//   Possible   — a perfectly resilient pattern exists (outerplanar, or the
+//                graph is a minor of a known-positive base graph);
+//   Impossible — a forbidden minor was found (touring: not outerplanar);
+//   Sometimes  — a pattern exists for a nonempty strict subset of
+//                destinations (those t with G \ t outerplanar, Corollary 5);
+//   Unknown    — neither a forbidden minor nor a positive construction.
+//
+// Forbidden minors per model (the paper's Theorems 10/11 and 6/7):
+//   destination-based:   K5^-1, K3,3^-1
+//   source-destination:  K7^-1, K4,4^-1
+//   touring:             K4, K2,3 (exact — touring iff outerplanar, Cor. 6)
+//
+// Like the paper (which used the minorminer heuristic), minor search on
+// large hosts is heuristic: a found model is a sound impossibility
+// certificate, a miss leaves the verdict Unknown. Non-planarity shortcuts
+// the destination-based case exactly (a non-planar graph has a K5 or K3,3
+// minor and a fortiori the -1 variants).
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+enum class Verdict { kPossible, kSometimes, kUnknown, kImpossible };
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kPossible:
+      return "possible";
+    case Verdict::kSometimes:
+      return "sometimes";
+    case Verdict::kUnknown:
+      return "unknown";
+    case Verdict::kImpossible:
+      return "impossible";
+  }
+  return "?";
+}
+
+struct Classification {
+  bool connected = false;
+  bool planar = false;
+  bool outerplanar = false;
+  Verdict touring = Verdict::kUnknown;
+  Verdict destination = Verdict::kUnknown;
+  Verdict source_destination = Verdict::kUnknown;
+  /// Destinations t with G \ t outerplanar (Corollary 5), the basis of the
+  /// "sometimes" verdicts and of the paper's 21.3%-of-destinations figure.
+  int cor5_destinations = 0;
+};
+
+struct ClassifyOptions {
+  uint64_t seed = 1;
+  /// Restarts for the heuristic minor search (large hosts only).
+  int minor_restarts = 24;
+};
+
+[[nodiscard]] Classification classify_topology(const Graph& g, const ClassifyOptions& opts = {});
+
+}  // namespace pofl

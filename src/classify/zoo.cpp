@@ -1,0 +1,167 @@
+#include "classify/zoo.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+
+#include "graph/builders.hpp"
+#include "graph/planarity.hpp"
+
+namespace pofl {
+
+namespace {
+
+/// Sizes biased toward small networks, like the real zoo: most topologies
+/// have a few dozen nodes, a handful have hundreds.
+int sample_size(std::mt19937_64& rng, int lo, int hi) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double u = unit(rng);
+  return lo + static_cast<int>((hi - lo) * u * u);
+}
+
+}  // namespace
+
+std::vector<NamedGraph> make_synthetic_zoo(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Bucket quotas tuned to the paper's reported composition: ~1/3
+  // outerplanar, 55.8% planar-but-not-outerplanar, the rest non-planar.
+  constexpr int kOuterQuota = 86;
+  constexpr int kPlanarOnlyQuota = 145;
+  constexpr int kNonPlanarQuota = 29;
+
+  std::vector<NamedGraph> outer, planar_only, nonplanar;
+  int counter = 0;
+
+  const auto classify_push = [&](Graph g, const std::string& kind) {
+    const std::string name =
+        "synth-" + kind + "-" + std::to_string(g.num_vertices()) + "-" + std::to_string(counter++);
+    if (is_outerplanar(g)) {
+      if (static_cast<int>(outer.size()) < kOuterQuota) outer.push_back({name, std::move(g)});
+    } else if (is_planar(g)) {
+      if (static_cast<int>(planar_only.size()) < kPlanarOnlyQuota) {
+        planar_only.push_back({name, std::move(g)});
+      }
+    } else if (static_cast<int>(nonplanar.size()) < kNonPlanarQuota) {
+      nonplanar.push_back({name, std::move(g)});
+    }
+  };
+
+  const auto done = [&] {
+    return static_cast<int>(outer.size()) >= kOuterQuota &&
+           static_cast<int>(planar_only.size()) >= kPlanarOnlyQuota &&
+           static_cast<int>(nonplanar.size()) >= kNonPlanarQuota;
+  };
+
+  // A few hand-placed outliers matching the zoo's extremes (n up to 754,
+  // m up to 895).
+  classify_push(make_random_tree(754, rng()), "tree");
+  classify_push(make_random_outerplanar(600, 760, rng()), "outerplanar");
+  classify_push(make_random_planar(500, 840, rng()), "planar");
+  classify_push(make_path(5), "path");
+  classify_push(make_cycle(4), "ring");
+
+  int round = 0;
+  while (!done() && round < 4000) {
+    switch (round++ % 12) {
+      case 0:
+        classify_push(make_random_tree(sample_size(rng, 5, 90), rng()), "tree");
+        break;
+      case 1:
+        classify_push(make_star(sample_size(rng, 4, 40)), "star");
+        break;
+      case 2:
+        classify_push(make_cycle(sample_size(rng, 4, 60)), "ring");
+        break;
+      case 3: {
+        const int n = sample_size(rng, 6, 110);
+        classify_push(make_random_outerplanar(n, n + static_cast<int>(rng() % n), rng()),
+                      "outerplanar");
+        break;
+      }
+      case 4: {
+        // Hub-over-ring shapes: the dominant source of "sometimes" verdicts.
+        const int n = sample_size(rng, 10, 80);
+        classify_push(make_outerplanar_plus_hubs(n, 1, rng()), "hubring");
+        break;
+      }
+      case 5: {
+        if (round % 24 == 5) {
+          const int w = 3 + static_cast<int>(rng() % 4);
+          const int h = 4 + static_cast<int>(rng() % 7);
+          classify_push(make_grid(w, h), "grid");
+        } else {
+          const int n = sample_size(rng, 12, 90);
+          classify_push(make_outerplanar_plus_hubs(n, 1, rng()), "hubring");
+        }
+        break;
+      }
+      case 6:
+      case 7: {
+        const int n = sample_size(rng, 10, 180);
+        const int m = n + static_cast<int>(rng() % n) + n / 5;
+        classify_push(make_random_planar(n, std::min(m, 890), rng()), "planar");
+        break;
+      }
+      case 8: {
+        if (round % 2 == 0) {
+          const int n = sample_size(rng, 8, 90);
+          classify_push(
+              make_ring_with_chords(n, 2 + static_cast<int>(rng() % (n / 3 + 1)), rng()),
+              "ringchords");
+        } else {
+          const int n = sample_size(rng, 14, 70);
+          classify_push(make_outerplanar_plus_hubs(n, 2, rng()), "hubring2");
+        }
+        break;
+      }
+      case 9: {
+        const int n = sample_size(rng, 12, 70);
+        classify_push(make_waxman(n, 0.6, 0.25, rng()), "waxman");
+        break;
+      }
+      case 10: {
+        const int n = sample_size(rng, 8, 40);
+        const int max_m = n * (n - 1) / 2;
+        const int m = std::min(max_m, 2 * n + static_cast<int>(rng() % n));
+        classify_push(make_random_connected(n, m, rng()), "mesh");
+        break;
+      }
+      case 11: {
+        const int n = sample_size(rng, 18, 140);
+        const int m = n + static_cast<int>(rng() % (n / 2 + 1));
+        classify_push(make_random_planar(n, m, rng()), "sparse-planar");
+        break;
+      }
+    }
+  }
+
+  std::vector<NamedGraph> zoo;
+  zoo.reserve(260);
+  for (auto* bucket : {&outer, &planar_only, &nonplanar}) {
+    for (auto& g : *bucket) zoo.push_back(std::move(g));
+  }
+  // Deterministic interleaving by name for a stable, mixed ordering.
+  std::sort(zoo.begin(), zoo.end(),
+            [](const NamedGraph& a, const NamedGraph& b) { return a.name < b.name; });
+  return zoo;
+}
+
+std::vector<NamedGraph> load_zoo_directory(const std::string& path) {
+  std::vector<NamedGraph> zoo;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(path, ec)) return zoo;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    if (entry.path().extension() == ".graphml") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    if (auto g = load_graphml(file)) {
+      if (g->name.empty()) g->name = std::filesystem::path(file).stem().string();
+      zoo.push_back(std::move(*g));
+    }
+  }
+  return zoo;
+}
+
+}  // namespace pofl

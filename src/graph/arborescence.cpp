@@ -1,0 +1,105 @@
+#include "graph/arborescence.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace pofl {
+
+bool validate_arborescences(const Graph& g, const std::vector<Arborescence>& trees) {
+  // Directed arc usage: arc id = 2*edge + dir, dir 0 = from Edge::u.
+  std::vector<char> used(static_cast<size_t>(2 * g.num_edges()), 0);
+  for (const auto& tree : trees) {
+    if (tree.root == kNoVertex) return false;
+    if (static_cast<int>(tree.parent_edge.size()) != g.num_vertices()) return false;
+    int reached = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (v == tree.root) {
+        if (tree.parent_edge[static_cast<size_t>(v)] != kNoEdge) return false;
+        continue;
+      }
+      const EdgeId e = tree.parent_edge[static_cast<size_t>(v)];
+      if (e == kNoEdge) return false;  // not spanning
+      const VertexId p = tree.parent[static_cast<size_t>(v)];
+      if (g.other_endpoint(e, v) != p) return false;
+      const int dir = g.edge(e).u == v ? 0 : 1;  // arc v -> p
+      const size_t arc = static_cast<size_t>(2 * e + dir);
+      if (used[arc]) return false;  // arc shared between trees
+      used[arc] = 1;
+      ++reached;
+    }
+    // Acyclicity toward the root: walk each vertex upward.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      VertexId cur = v;
+      int steps = 0;
+      while (cur != tree.root) {
+        cur = tree.parent[static_cast<size_t>(cur)];
+        if (++steps > g.num_vertices()) return false;  // cycle
+      }
+    }
+    (void)reached;
+  }
+  return true;
+}
+
+std::optional<std::vector<Arborescence>> build_arborescences(const Graph& g, VertexId root,
+                                                             int k, uint64_t seed,
+                                                             int restarts) {
+  const int n = g.num_vertices();
+  std::mt19937_64 rng(seed);
+
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    std::vector<Arborescence> trees(static_cast<size_t>(k));
+    for (auto& t : trees) {
+      t.root = root;
+      t.parent_edge.assign(static_cast<size_t>(n), kNoEdge);
+      t.parent.assign(static_cast<size_t>(n), kNoVertex);
+    }
+    // in_tree[i][v]
+    std::vector<std::vector<char>> in_tree(static_cast<size_t>(k),
+                                           std::vector<char>(static_cast<size_t>(n), 0));
+    for (int i = 0; i < k; ++i) in_tree[static_cast<size_t>(i)][static_cast<size_t>(root)] = 1;
+    std::vector<char> arc_used(static_cast<size_t>(2 * g.num_edges()), 0);
+
+    // Round-robin growth: each step, the tree with the fewest members tries
+    // to attach one new vertex via an unused arc into the tree.
+    bool ok = true;
+    int total_needed = k * (n - 1);
+    int attached = 0;
+    int stall = 0;
+    int turn = static_cast<int>(rng() % static_cast<uint64_t>(k));
+    while (attached < total_needed && stall < 2 * k) {
+      const int i = turn % k;
+      ++turn;
+      // Candidate arcs (v -> p): v outside tree i, p inside, arc unused.
+      std::vector<std::pair<VertexId, EdgeId>> candidates;
+      for (VertexId v = 0; v < n; ++v) {
+        if (in_tree[static_cast<size_t>(i)][static_cast<size_t>(v)]) continue;
+        for (EdgeId e : g.incident_edges(v)) {
+          const VertexId p = g.other_endpoint(e, v);
+          if (!in_tree[static_cast<size_t>(i)][static_cast<size_t>(p)]) continue;
+          const int dir = g.edge(e).u == v ? 0 : 1;
+          if (arc_used[static_cast<size_t>(2 * e + dir)]) continue;
+          candidates.emplace_back(v, e);
+        }
+      }
+      if (candidates.empty()) {
+        ++stall;
+        continue;
+      }
+      stall = 0;
+      const auto [v, e] = candidates[rng() % candidates.size()];
+      const VertexId p = g.other_endpoint(e, v);
+      const int dir = g.edge(e).u == v ? 0 : 1;
+      arc_used[static_cast<size_t>(2 * e + dir)] = 1;
+      in_tree[static_cast<size_t>(i)][static_cast<size_t>(v)] = 1;
+      trees[static_cast<size_t>(i)].parent_edge[static_cast<size_t>(v)] = e;
+      trees[static_cast<size_t>(i)].parent[static_cast<size_t>(v)] = p;
+      ++attached;
+    }
+    ok = attached == total_needed;
+    if (ok && validate_arborescences(g, trees)) return trees;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pofl

@@ -1,0 +1,44 @@
+#pragma once
+
+// Arc-disjoint spanning arborescences — the substrate behind *ideal*
+// resilience (Chiesa et al. [40-42], paper §I-B1). A k-connected graph
+// decomposes into k arborescences rooted at the destination such that no two
+// share a link in the same direction (Edmonds); packets ride one
+// arborescence toward the root and switch on failure.
+//
+// The constructor here is the round-robin greedy of the Bonsai line of work
+// [44]: grow all k in-trees toward t simultaneously, one arc at a time, with
+// backtracking when a tree gets stuck. It is exact on complete graphs and
+// succeeds on the k-connected random graphs used by the benches; the result
+// is always validated structurally.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// One spanning in-tree toward `root`: parent_arc[v] = the edge on which v
+/// forwards toward its parent (kNoEdge for the root).
+struct Arborescence {
+  VertexId root = kNoVertex;
+  std::vector<EdgeId> parent_edge;
+  std::vector<VertexId> parent;
+};
+
+/// True iff each arborescence spans all of g toward root and no two use the
+/// same edge in the same direction.
+[[nodiscard]] bool validate_arborescences(const Graph& g,
+                                          const std::vector<Arborescence>& trees);
+
+/// Tries to build `k` arc-disjoint spanning arborescences rooted at `root`.
+/// Deterministic given the seed; returns nullopt when the greedy (with
+/// restarts) fails — callers may retry with another seed or accept fewer.
+[[nodiscard]] std::optional<std::vector<Arborescence>> build_arborescences(const Graph& g,
+                                                                           VertexId root, int k,
+                                                                           uint64_t seed = 1,
+                                                                           int restarts = 32);
+
+}  // namespace pofl

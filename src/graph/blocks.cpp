@@ -1,0 +1,65 @@
+#include "graph/blocks.hpp"
+
+#include <algorithm>
+
+namespace pofl {
+
+std::vector<std::vector<EdgeId>> biconnected_components(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> tin(static_cast<size_t>(n), -1), low(static_cast<size_t>(n), -1);
+  std::vector<std::vector<EdgeId>> blocks;
+  std::vector<EdgeId> edge_stack;
+  int timer = 0;
+
+  struct Frame {
+    VertexId v;
+    EdgeId parent_edge;
+    size_t idx;
+  };
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (tin[static_cast<size_t>(root)] != -1) continue;
+    std::vector<Frame> stack{{root, kNoEdge, 0}};
+    tin[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto inc = g.incident_edges(f.v);
+      if (f.idx < inc.size()) {
+        const EdgeId e = inc[f.idx++];
+        if (e == f.parent_edge) continue;
+        const VertexId w = g.other_endpoint(e, f.v);
+        if (tin[static_cast<size_t>(w)] == -1) {
+          edge_stack.push_back(e);
+          tin[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] = timer++;
+          stack.push_back({w, e, 0});
+        } else if (tin[static_cast<size_t>(w)] < tin[static_cast<size_t>(f.v)]) {
+          edge_stack.push_back(e);
+          low[static_cast<size_t>(f.v)] =
+              std::min(low[static_cast<size_t>(f.v)], tin[static_cast<size_t>(w)]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (stack.empty()) continue;
+        Frame& p = stack.back();
+        low[static_cast<size_t>(p.v)] =
+            std::min(low[static_cast<size_t>(p.v)], low[static_cast<size_t>(done.v)]);
+        if (low[static_cast<size_t>(done.v)] >= tin[static_cast<size_t>(p.v)]) {
+          // p.v is a cut vertex (or the root): pop one block.
+          std::vector<EdgeId> block;
+          while (!edge_stack.empty()) {
+            const EdgeId top = edge_stack.back();
+            edge_stack.pop_back();
+            block.push_back(top);
+            if (top == done.parent_edge) break;
+          }
+          std::sort(block.begin(), block.end());
+          blocks.push_back(std::move(block));
+        }
+      }
+    }
+  }
+  return blocks;
+}
+
+}  // namespace pofl

@@ -1,0 +1,17 @@
+#pragma once
+
+// Biconnected components (blocks). Needed by the outerplanar embedder: an
+// outerplanar graph is a tree of blocks, each of which is either a single
+// edge or has a unique Hamiltonian outer cycle.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// Edge ids grouped by biconnected component. Every edge appears in exactly
+/// one block; isolated vertices appear in none.
+[[nodiscard]] std::vector<std::vector<EdgeId>> biconnected_components(const Graph& g);
+
+}  // namespace pofl

@@ -1,0 +1,412 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <set>
+
+namespace pofl {
+
+Graph make_complete(int n) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_complete_bipartite(int a, int b) {
+  Graph g(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = a; v < a + b; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_complete_minus(int n, int removed_links) {
+  assert(removed_links <= n * (n - 1) / 2);
+  Graph g(n);
+  // Enumerate candidate edges so that the last `removed_links` ones (in this
+  // order) touch the highest vertex: build all edges, then skip the last few
+  // of the reversed lexicographic list.
+  std::vector<std::pair<VertexId, VertexId>> all;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) all.emplace_back(u, v);
+  }
+  // Sort so edges incident to vertex n-1 (then n-2, ...) come last; remove
+  // from the back. Within the same max endpoint, remove higher min endpoint
+  // first, so K5^-2 removes (3,4) and (2,4): two links at vertex 4.
+  std::sort(all.begin(), all.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second < y.second;
+    return x.first < y.first;
+  });
+  const int keep = static_cast<int>(all.size()) - removed_links;
+  for (int i = 0; i < keep; ++i) g.add_edge(all[static_cast<size_t>(i)].first,
+                                            all[static_cast<size_t>(i)].second);
+  return g;
+}
+
+Graph make_complete_bipartite_minus(int a, int b, int removed_links) {
+  assert(removed_links <= a * b);
+  Graph g(a + b);
+  std::vector<std::pair<VertexId, VertexId>> all;
+  for (VertexId v = a; v < a + b; ++v) {
+    for (VertexId u = 0; u < a; ++u) all.emplace_back(u, v);
+  }
+  const int keep = static_cast<int>(all.size()) - removed_links;
+  for (int i = 0; i < keep; ++i) g.add_edge(all[static_cast<size_t>(i)].first,
+                                            all[static_cast<size_t>(i)].second);
+  return g;
+}
+
+Graph make_path(int n) {
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph make_cycle(int n) {
+  assert(n >= 3);
+  Graph g = make_path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph make_star(int leaves) {
+  Graph g(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph make_wheel(int rim) {
+  assert(rim >= 3);
+  Graph g(rim + 1);
+  for (VertexId v = 0; v < rim; ++v) {
+    g.add_edge(v, (v + 1) % rim);
+    g.add_edge(v, rim);
+  }
+  return g;
+}
+
+Graph make_grid(int width, int height) {
+  Graph g(width * height);
+  const auto id = [width](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) g.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+Graph make_ladder(int n) { return make_grid(n, 2); }
+
+Graph make_random_tree(int n, uint64_t seed) {
+  assert(n >= 1);
+  if (n == 1) return Graph(1);
+  if (n == 2) {
+    Graph g(2);
+    g.add_edge(0, 1);
+    return g;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  std::vector<int> pruefer(static_cast<size_t>(n - 2));
+  for (auto& x : pruefer) x = pick(rng);
+
+  std::vector<int> deg(static_cast<size_t>(n), 1);
+  for (int x : pruefer) ++deg[static_cast<size_t>(x)];
+  Graph g(n);
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (deg[static_cast<size_t>(v)] == 1) leaves.insert(v);
+  }
+  for (int x : pruefer) {
+    const int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    g.add_edge(leaf, x);
+    if (--deg[static_cast<size_t>(x)] == 1) leaves.insert(x);
+  }
+  const int a = *leaves.begin();
+  const int b = *std::next(leaves.begin());
+  g.add_edge(a, b);
+  return g;
+}
+
+Graph make_random_connected(int n, int m, uint64_t seed) {
+  assert(m >= n - 1);
+  assert(static_cast<long long>(m) <= static_cast<long long>(n) * (n - 1) / 2);
+  std::mt19937_64 rng(seed);
+  Graph g = make_random_tree(n, rng());
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  while (g.num_edges() < m) {
+    const VertexId u = pick(rng);
+    const VertexId v = pick(rng);
+    if (u != v && !g.has_edge(u, v)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_random_maximal_outerplanar(int n, uint64_t seed) {
+  assert(n >= 3);
+  std::mt19937_64 rng(seed);
+  Graph g = make_cycle(n);
+  // Triangulate the polygon 0..n-1 by recursively splitting arcs: the classic
+  // random triangulation via a stack of (i, j) polygon chords with i..j an
+  // untriangulated fan region along the cycle order.
+  std::vector<std::pair<int, int>> stack{{0, n - 1}};
+  while (!stack.empty()) {
+    const auto [i, j] = stack.back();
+    stack.pop_back();
+    if (j - i < 2) continue;
+    std::uniform_int_distribution<int> pick(i + 1, j - 1);
+    const int k = pick(rng);
+    // add_edge dedupes, so cycle edges / parent chords are safe to re-add.
+    g.add_edge(i, k);
+    g.add_edge(k, j);
+    g.add_edge(i, j);
+    stack.emplace_back(i, k);
+    stack.emplace_back(k, j);
+  }
+  return g;
+}
+
+Graph make_random_outerplanar(int n, int target_edges, uint64_t seed) {
+  assert(n >= 3);
+  std::mt19937_64 rng(seed);
+  Graph full = make_random_maximal_outerplanar(n, rng());
+  target_edges = std::clamp(target_edges, n - 1, full.num_edges());
+
+  // Delete random edges down to the target while keeping the graph connected.
+  std::vector<EdgeId> order(static_cast<size_t>(full.num_edges()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<EdgeId>(i);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  IdSet removed = full.empty_edge_set();
+  int remaining = full.num_edges();
+  for (EdgeId e : order) {
+    if (remaining <= target_edges) break;
+    removed.insert(e);
+    // Connectivity check on the fly: BFS over alive edges.
+    std::vector<char> seen(static_cast<size_t>(n), 0);
+    std::vector<VertexId> queue{0};
+    seen[0] = 1;
+    int reached = 1;
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      for (EdgeId ie : full.incident_edges(v)) {
+        if (removed.contains(ie)) continue;
+        const VertexId w = full.other_endpoint(ie, v);
+        if (!seen[static_cast<size_t>(w)]) {
+          seen[static_cast<size_t>(w)] = 1;
+          ++reached;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (reached != n) {
+      removed.erase(e);  // would disconnect; keep the edge
+    } else {
+      --remaining;
+    }
+  }
+  return full.without_edges(removed);
+}
+
+Graph make_random_planar(int n, int target_edges, uint64_t seed) {
+  assert(n >= 3);
+  std::mt19937_64 rng(seed);
+  // Apollonian-style stacked triangulation: start from a triangle, repeatedly
+  // pick a triangular face and stick a new vertex inside it. Planar by
+  // construction, 3-connected-ish and dense (m = 3n - 6 for the full stack).
+  Graph g(n);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  std::vector<std::array<VertexId, 3>> faces{{0, 1, 2}};
+  for (VertexId v = 3; v < n; ++v) {
+    std::uniform_int_distribution<size_t> pick(0, faces.size() - 1);
+    const size_t fi = pick(rng);
+    const auto f = faces[fi];
+    g.add_edge(v, f[0]);
+    g.add_edge(v, f[1]);
+    g.add_edge(v, f[2]);
+    faces[fi] = {f[0], f[1], v};
+    faces.push_back({f[0], f[2], v});
+    faces.push_back({f[1], f[2], v});
+  }
+  target_edges = std::clamp(target_edges, n - 1, g.num_edges());
+
+  std::vector<EdgeId> order(static_cast<size_t>(g.num_edges()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<EdgeId>(i);
+  std::shuffle(order.begin(), order.end(), rng);
+  IdSet removed = g.empty_edge_set();
+  int remaining = g.num_edges();
+  for (EdgeId e : order) {
+    if (remaining <= target_edges) break;
+    removed.insert(e);
+    std::vector<char> seen(static_cast<size_t>(n), 0);
+    std::vector<VertexId> queue{0};
+    seen[0] = 1;
+    int reached = 1;
+    while (!queue.empty()) {
+      const VertexId v = queue.back();
+      queue.pop_back();
+      for (EdgeId ie : g.incident_edges(v)) {
+        if (removed.contains(ie)) continue;
+        const VertexId w = g.other_endpoint(ie, v);
+        if (!seen[static_cast<size_t>(w)]) {
+          seen[static_cast<size_t>(w)] = 1;
+          ++reached;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (reached != n) {
+      removed.erase(e);
+    } else {
+      --remaining;
+    }
+  }
+  return g.without_edges(removed);
+}
+
+Graph make_waxman(int n, double alpha, double beta, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 1.0);
+  std::vector<std::pair<double, double>> pos(static_cast<size_t>(n));
+  for (auto& p : pos) p = {coord(rng), coord(rng)};
+
+  Graph g(n);
+  const double l_max = std::sqrt(2.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double dx = pos[static_cast<size_t>(u)].first - pos[static_cast<size_t>(v)].first;
+      const double dy = pos[static_cast<size_t>(u)].second - pos[static_cast<size_t>(v)].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double p = alpha * std::exp(-d / (beta * l_max));
+      if (unit(rng) < p) g.add_edge(u, v);
+    }
+  }
+  // Patch connectivity: link each unreached component to the closest seen
+  // vertex (geographically), as real topologies are connected.
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  int num_comps = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (comp[static_cast<size_t>(v)] != -1) continue;
+    std::vector<VertexId> queue{v};
+    comp[static_cast<size_t>(v)] = num_comps;
+    while (!queue.empty()) {
+      const VertexId x = queue.back();
+      queue.pop_back();
+      for (VertexId w : g.neighbors(x)) {
+        if (comp[static_cast<size_t>(w)] == -1) {
+          comp[static_cast<size_t>(w)] = num_comps;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++num_comps;
+  }
+  for (int c = 1; c < num_comps; ++c) {
+    double best = 1e18;
+    VertexId bu = 0, bv = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (comp[static_cast<size_t>(u)] != c) continue;
+      for (VertexId v = 0; v < n; ++v) {
+        if (comp[static_cast<size_t>(v)] >= c || comp[static_cast<size_t>(v)] < 0) continue;
+        const double dx = pos[static_cast<size_t>(u)].first - pos[static_cast<size_t>(v)].first;
+        const double dy = pos[static_cast<size_t>(u)].second - pos[static_cast<size_t>(v)].second;
+        const double d = dx * dx + dy * dy;
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    g.add_edge(bu, bv);
+    for (VertexId u = 0; u < n; ++u) {
+      if (comp[static_cast<size_t>(u)] == c) comp[static_cast<size_t>(u)] = 0;
+    }
+  }
+  return g;
+}
+
+Graph make_ring_with_chords(int n, int chords, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Graph g = make_cycle(n);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  int added = 0;
+  int attempts = 0;
+  while (added < chords && attempts < 50 * (chords + 1)) {
+    ++attempts;
+    const VertexId u = pick(rng);
+    const VertexId v = pick(rng);
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph make_outerplanar_plus_hubs(int n, int hubs, uint64_t seed) {
+  assert(n >= hubs + 3);
+  std::mt19937_64 rng(seed);
+  const int base_n = n - hubs;
+  // Alternate between ring-like and tree-like backbones; the sparse variants
+  // keep the graph free of K5^-1 / K3,3^-1 minors (destination "sometimes"),
+  // the denser ones tend to contain them (destination "impossible").
+  const bool sparse = (rng() % 2) == 0;
+  const Graph base =
+      sparse ? make_random_outerplanar(base_n, base_n - 1 + static_cast<int>(rng() % 3), rng())
+             : make_random_outerplanar(base_n, base_n - 1 + static_cast<int>(rng() % base_n),
+                                       rng());
+  Graph g(n);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) g.add_edge(base.edge(e).u, base.edge(e).v);
+  std::uniform_int_distribution<int> pick(0, base_n - 1);
+  for (int h = 0; h < hubs; ++h) {
+    const VertexId hub = base_n + h;
+    const int spokes =
+        3 + static_cast<int>(rng() % (sparse ? 2 : std::min(base_n - 2, 5)));
+    int added = 0;
+    while (added < spokes) {
+      const VertexId v = pick(rng);
+      if (!g.has_edge(hub, v)) {
+        g.add_edge(hub, v);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+IdSet all_vertices(const Graph& g) {
+  IdSet out(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) out.insert(v);
+  return out;
+}
+
+IdSet edge_set_of(const Graph& g, const std::vector<EdgeId>& edges) {
+  IdSet out(g.num_edges());
+  for (EdgeId e : edges) out.insert(e);
+  return out;
+}
+
+IdSet failures_between(const Graph& g,
+                       const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  IdSet out(g.num_edges());
+  for (const auto& [u, v] : pairs) {
+    const auto e = g.edge_between(u, v);
+    assert(e.has_value() && "failures_between: edge does not exist");
+    out.insert(*e);
+  }
+  return out;
+}
+
+}  // namespace pofl

@@ -1,0 +1,87 @@
+#pragma once
+
+// Graph constructors used across tests, benchmarks, the adversarial
+// constructions and the synthetic Topology Zoo. All stochastic builders take
+// an explicit seed and are fully deterministic.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// Complete graph K_n.
+[[nodiscard]] Graph make_complete(int n);
+
+/// Complete bipartite graph K_{a,b}; part A = vertices [0,a), part B = [a,a+b).
+[[nodiscard]] Graph make_complete_bipartite(int a, int b);
+
+/// K_n minus the given number of links. The removed links are chosen
+/// deterministically: first the edge between the two highest-id vertices,
+/// then continuing in decreasing edge-id order. `make_complete_minus(5, 2)`
+/// removes two links incident to vertex 4, matching the paper's K5^-2 worst
+/// case (Fig. 5) when vertex 4 plays the destination.
+[[nodiscard]] Graph make_complete_minus(int n, int removed_links);
+
+/// K_{a,b} minus `removed_links` links incident to the last vertex of part B.
+[[nodiscard]] Graph make_complete_bipartite_minus(int a, int b, int removed_links);
+
+[[nodiscard]] Graph make_path(int n);
+[[nodiscard]] Graph make_cycle(int n);
+[[nodiscard]] Graph make_star(int leaves);
+
+/// Wheel W_n: a cycle of n vertices plus a hub adjacent to all of them.
+[[nodiscard]] Graph make_wheel(int rim);
+
+/// w x h grid graph.
+[[nodiscard]] Graph make_grid(int width, int height);
+
+/// Ladder: two parallel paths of length n with rungs (= 2 x n grid).
+[[nodiscard]] Graph make_ladder(int n);
+
+/// Uniform random spanning tree over n vertices (random Prüfer sequence).
+[[nodiscard]] Graph make_random_tree(int n, uint64_t seed);
+
+/// Connected random graph with n vertices and m >= n-1 edges: a random tree
+/// plus uniformly chosen extra edges.
+[[nodiscard]] Graph make_random_connected(int n, int m, uint64_t seed);
+
+/// Maximal outerplanar graph: a fan triangulation of an n-gon with random
+/// diagonal choices. Always 2-connected, always outerplanar, m = 2n-3.
+[[nodiscard]] Graph make_random_maximal_outerplanar(int n, uint64_t seed);
+
+/// Connected outerplanar graph: maximal outerplanar minus random diagonals
+/// (and possibly some cycle edges), keeping connectivity.
+[[nodiscard]] Graph make_random_outerplanar(int n, int target_edges, uint64_t seed);
+
+/// Random planar graph: a Delaunay-flavored triangulation substitute built by
+/// stacking triangles (Apollonian-style), then deleting random edges while
+/// keeping the graph connected. Always planar.
+[[nodiscard]] Graph make_random_planar(int n, int target_edges, uint64_t seed);
+
+/// Waxman-style geographic random graph on the unit square, patched up to be
+/// connected; the classic model behind many Topology-Zoo-like networks.
+[[nodiscard]] Graph make_waxman(int n, double alpha, double beta, uint64_t seed);
+
+/// A ring with `chords` random chords — the typical shape of regional ISPs.
+[[nodiscard]] Graph make_ring_with_chords(int n, int chords, uint64_t seed);
+
+/// An outerplanar backbone of n-`hubs` nodes plus `hubs` hub nodes, each
+/// connected to a random handful of backbone nodes — the hub-and-ring shape
+/// of many real ISP topologies. With one hub the graph is usually not
+/// outerplanar while G minus the hub is, which is exactly the paper's
+/// "sometimes" class (Corollary 5 destinations).
+[[nodiscard]] Graph make_outerplanar_plus_hubs(int n, int hubs, uint64_t seed);
+
+/// Vertex set {0..n-1} of graph g as an IdSet (convenience for induced ops).
+[[nodiscard]] IdSet all_vertices(const Graph& g);
+
+/// Edge ids as a failure IdSet, convenience for tests.
+[[nodiscard]] IdSet edge_set_of(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// Failure set from explicit endpoint pairs; asserts each edge exists.
+[[nodiscard]] IdSet failures_between(const Graph& g,
+                                     const std::vector<std::pair<VertexId, VertexId>>& pairs);
+
+}  // namespace pofl

@@ -1,0 +1,170 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace pofl {
+
+Graph::Graph(int num_vertices) : incident_(static_cast<size_t>(num_vertices)) {
+  assert(num_vertices >= 0);
+}
+
+VertexId Graph::add_vertex() {
+  incident_.emplace_back();
+  return static_cast<VertexId>(incident_.size()) - 1;
+}
+
+uint64_t Graph::key(VertexId u, VertexId v) {
+  const auto lo = static_cast<uint64_t>(std::min(u, v));
+  const auto hi = static_cast<uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v) {
+  assert(u >= 0 && u < num_vertices());
+  assert(v >= 0 && v < num_vertices());
+  assert(u != v && "self loops are not part of the model");
+  if (auto existing = edge_between(u, v)) return *existing;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  incident_[static_cast<size_t>(u)].push_back(id);
+  incident_[static_cast<size_t>(v)].push_back(id);
+  edge_index_.emplace(key(u, v), id);
+  return id;
+}
+
+std::optional<EdgeId> Graph::edge_between(VertexId u, VertexId v) const {
+  if (u == v) return std::nullopt;
+  const auto it = edge_index_.find(key(u, v));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+VertexId Graph::other_endpoint(EdgeId e, VertexId at) const {
+  const Edge& ed = edges_[static_cast<size_t>(e)];
+  assert(ed.u == at || ed.v == at);
+  return ed.u == at ? ed.v : ed.u;
+}
+
+std::vector<VertexId> Graph::neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  out.reserve(incident_[static_cast<size_t>(v)].size());
+  for (EdgeId e : incident_[static_cast<size_t>(v)]) out.push_back(other_endpoint(e, v));
+  return out;
+}
+
+std::vector<VertexId> Graph::alive_neighbors(VertexId v, const IdSet& failed) const {
+  std::vector<VertexId> out;
+  for (EdgeId e : incident_[static_cast<size_t>(v)]) {
+    if (!failed.contains(e)) out.push_back(other_endpoint(e, v));
+  }
+  return out;
+}
+
+std::vector<EdgeId> Graph::alive_incident_edges(VertexId v, const IdSet& failed) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : incident_[static_cast<size_t>(v)]) {
+    if (!failed.contains(e)) out.push_back(e);
+  }
+  return out;
+}
+
+IdSet Graph::incident_edge_set(VertexId v) const {
+  IdSet out(num_edges());
+  for (EdgeId e : incident_[static_cast<size_t>(v)]) out.insert(e);
+  return out;
+}
+
+Graph Graph::without_edges(const IdSet& edges, GraphMapping* mapping) const {
+  Graph out(num_vertices());
+  GraphMapping map;
+  map.vertex_to_old.resize(static_cast<size_t>(num_vertices()));
+  map.vertex_to_new.resize(static_cast<size_t>(num_vertices()));
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    map.vertex_to_old[static_cast<size_t>(v)] = v;
+    map.vertex_to_new[static_cast<size_t>(v)] = v;
+  }
+  map.edge_to_new.assign(static_cast<size_t>(num_edges()), kNoEdge);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (edges.contains(e)) continue;
+    const EdgeId ne = out.add_edge(edge(e).u, edge(e).v);
+    map.edge_to_new[static_cast<size_t>(e)] = ne;
+    map.edge_to_old.push_back(e);
+  }
+  if (mapping != nullptr) *mapping = std::move(map);
+  return out;
+}
+
+Graph Graph::without_vertex(VertexId v, GraphMapping* mapping) const {
+  IdSet keep = empty_vertex_set();
+  for (VertexId w = 0; w < num_vertices(); ++w) {
+    if (w != v) keep.insert(w);
+  }
+  return induced_subgraph(keep, mapping);
+}
+
+Graph Graph::induced_subgraph(const IdSet& keep, GraphMapping* mapping) const {
+  GraphMapping map;
+  map.vertex_to_new.assign(static_cast<size_t>(num_vertices()), kNoVertex);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (keep.contains(v)) {
+      map.vertex_to_new[static_cast<size_t>(v)] =
+          static_cast<VertexId>(map.vertex_to_old.size());
+      map.vertex_to_old.push_back(v);
+    }
+  }
+  Graph out(static_cast<int>(map.vertex_to_old.size()));
+  map.edge_to_new.assign(static_cast<size_t>(num_edges()), kNoEdge);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const VertexId nu = map.vertex_to_new[static_cast<size_t>(edge(e).u)];
+    const VertexId nv = map.vertex_to_new[static_cast<size_t>(edge(e).v)];
+    if (nu == kNoVertex || nv == kNoVertex) continue;
+    const EdgeId ne = out.add_edge(nu, nv);
+    map.edge_to_new[static_cast<size_t>(e)] = ne;
+    map.edge_to_old.push_back(e);
+  }
+  if (mapping != nullptr) *mapping = std::move(map);
+  return out;
+}
+
+Graph Graph::contracted(EdgeId e, GraphMapping* mapping) const {
+  const VertexId rep = std::min(edge(e).u, edge(e).v);
+  const VertexId gone = std::max(edge(e).u, edge(e).v);
+
+  GraphMapping map;
+  map.vertex_to_new.assign(static_cast<size_t>(num_vertices()), kNoVertex);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (v == gone) continue;
+    map.vertex_to_new[static_cast<size_t>(v)] = static_cast<VertexId>(map.vertex_to_old.size());
+    map.vertex_to_old.push_back(v);
+  }
+  map.vertex_to_new[static_cast<size_t>(gone)] = map.vertex_to_new[static_cast<size_t>(rep)];
+
+  Graph out(static_cast<int>(map.vertex_to_old.size()));
+  map.edge_to_new.assign(static_cast<size_t>(num_edges()), kNoEdge);
+  for (EdgeId old_e = 0; old_e < num_edges(); ++old_e) {
+    const VertexId nu = map.vertex_to_new[static_cast<size_t>(edge(old_e).u)];
+    const VertexId nv = map.vertex_to_new[static_cast<size_t>(edge(old_e).v)];
+    if (nu == nv) continue;  // the contracted edge itself, or a resulting loop
+    if (auto existing = out.edge_between(nu, nv)) {
+      // Parallel edge collapses onto the first one.
+      map.edge_to_new[static_cast<size_t>(old_e)] = *existing;
+      continue;
+    }
+    const EdgeId ne = out.add_edge(nu, nv);
+    map.edge_to_new[static_cast<size_t>(old_e)] = ne;
+    map.edge_to_old.push_back(old_e);
+  }
+  if (mapping != nullptr) *mapping = std::move(map);
+  return out;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices() << " m=" << num_edges() << ":";
+  for (const Edge& e : edges_) os << ' ' << e.u << '-' << e.v;
+  return os.str();
+}
+
+}  // namespace pofl

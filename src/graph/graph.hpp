@@ -1,0 +1,121 @@
+#pragma once
+
+// Core undirected-graph substrate for the whole library.
+//
+// Vertices are dense ids 0..n-1, edges dense ids 0..m-1. Self loops and
+// parallel edges are rejected: the routing model of the paper (and the
+// Topology Zoo data) is about simple graphs. The structure is append-only;
+// derived graphs (subgraphs, minors) are produced as fresh Graph values
+// together with id mappings, which keeps every graph immutable once built and
+// makes the adversarial constructions easy to reason about.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/id_set.hpp"
+
+namespace pofl {
+
+using VertexId = int;
+using EdgeId = int;
+
+inline constexpr VertexId kNoVertex = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+struct Edge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+};
+
+/// Mapping that relates a derived graph's ids back to the original graph.
+struct GraphMapping {
+  /// new vertex id -> old vertex id (for contractions: representative).
+  std::vector<VertexId> vertex_to_old;
+  /// old vertex id -> new vertex id, kNoVertex if removed.
+  std::vector<VertexId> vertex_to_new;
+  /// new edge id -> old edge id.
+  std::vector<EdgeId> edge_to_old;
+  /// old edge id -> new edge id, kNoEdge if removed (or merged away).
+  std::vector<EdgeId> edge_to_new;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices);
+
+  /// Appends an isolated vertex and returns its id.
+  VertexId add_vertex();
+
+  /// Adds edge {u, v}. Returns the new edge id. Rejects (asserts) self loops;
+  /// returns the existing id for duplicate edges so builders can be sloppy.
+  EdgeId add_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] int num_vertices() const { return static_cast<int>(incident_.size()); }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return edge_between(u, v).has_value();
+  }
+  [[nodiscard]] std::optional<EdgeId> edge_between(VertexId u, VertexId v) const;
+
+  /// The endpoint of e that is not `at`. Precondition: `at` is an endpoint.
+  [[nodiscard]] VertexId other_endpoint(EdgeId e, VertexId at) const;
+
+  /// Edge ids incident to v, in insertion order (this order is the canonical
+  /// "port order" of the routing layer).
+  [[nodiscard]] std::span<const EdgeId> incident_edges(VertexId v) const {
+    return incident_[static_cast<size_t>(v)];
+  }
+
+  [[nodiscard]] int degree(VertexId v) const {
+    return static_cast<int>(incident_[static_cast<size_t>(v)].size());
+  }
+
+  /// Neighbor vertex ids of v, in port order.
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId v) const;
+
+  /// Neighbors of v reachable over non-failed links.
+  [[nodiscard]] std::vector<VertexId> alive_neighbors(VertexId v, const IdSet& failed) const;
+
+  /// Incident edge ids of v that are not in `failed`.
+  [[nodiscard]] std::vector<EdgeId> alive_incident_edges(VertexId v, const IdSet& failed) const;
+
+  [[nodiscard]] IdSet empty_edge_set() const { return IdSet(num_edges()); }
+  [[nodiscard]] IdSet empty_vertex_set() const { return IdSet(num_vertices()); }
+
+  /// Edge set of all edges incident to v.
+  [[nodiscard]] IdSet incident_edge_set(VertexId v) const;
+
+  // ---- Derived graphs ----------------------------------------------------
+
+  /// Copy of the graph with the given edges removed (vertices kept).
+  [[nodiscard]] Graph without_edges(const IdSet& edges, GraphMapping* mapping = nullptr) const;
+
+  /// Copy with a single vertex (and its incident edges) removed.
+  [[nodiscard]] Graph without_vertex(VertexId v, GraphMapping* mapping = nullptr) const;
+
+  /// Subgraph induced by `keep` (a vertex IdSet).
+  [[nodiscard]] Graph induced_subgraph(const IdSet& keep, GraphMapping* mapping = nullptr) const;
+
+  /// Contraction of edge e: endpoints merge into one vertex (the smaller old
+  /// id becomes the representative); parallel edges collapse, loops vanish.
+  [[nodiscard]] Graph contracted(EdgeId e, GraphMapping* mapping = nullptr) const;
+
+  /// Human-readable dump, e.g. "n=5 m=4: 0-1 0-2 1-2 3-4".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static uint64_t key(VertexId u, VertexId v);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::unordered_map<uint64_t, EdgeId> edge_index_;
+};
+
+}  // namespace pofl

@@ -1,0 +1,96 @@
+#include "graph/graphml.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pofl {
+
+namespace {
+
+/// Extracts the value of `attr` inside a tag body like
+/// `node id="3" label="x"`. Handles single or double quotes.
+std::optional<std::string> attribute_value(const std::string& tag, const std::string& attr) {
+  const std::string needle = attr + "=";
+  size_t pos = 0;
+  while ((pos = tag.find(needle, pos)) != std::string::npos) {
+    // Must be a word boundary (start or whitespace before).
+    if (pos != 0 && !isspace(static_cast<unsigned char>(tag[pos - 1]))) {
+      pos += needle.size();
+      continue;
+    }
+    const size_t q = pos + needle.size();
+    if (q >= tag.size() || (tag[q] != '"' && tag[q] != '\'')) return std::nullopt;
+    const char quote = tag[q];
+    const size_t end = tag.find(quote, q + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return tag.substr(q + 1, end - q - 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<NamedGraph> parse_graphml(const std::string& text) {
+  NamedGraph out;
+  std::map<std::string, VertexId> id_map;
+  std::vector<std::pair<std::string, std::string>> edge_specs;
+
+  size_t pos = 0;
+  while ((pos = text.find('<', pos)) != std::string::npos) {
+    const size_t end = text.find('>', pos);
+    if (end == std::string::npos) return std::nullopt;
+    std::string tag = text.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    if (tag.rfind("node", 0) == 0) {
+      const auto id = attribute_value(tag, "id");
+      if (!id.has_value()) return std::nullopt;
+      if (id_map.find(*id) == id_map.end()) {
+        id_map.emplace(*id, static_cast<VertexId>(id_map.size()));
+      }
+    } else if (tag.rfind("edge", 0) == 0) {
+      const auto src = attribute_value(tag, "source");
+      const auto dst = attribute_value(tag, "target");
+      if (!src.has_value() || !dst.has_value()) return std::nullopt;
+      edge_specs.emplace_back(*src, *dst);
+    } else if (tag.rfind("graph", 0) == 0 && tag.rfind("graphml", 0) != 0) {
+      if (const auto id = attribute_value(tag, "id")) out.name = *id;
+    }
+  }
+
+  Graph g(static_cast<int>(id_map.size()));
+  for (const auto& [src, dst] : edge_specs) {
+    const auto si = id_map.find(src);
+    const auto di = id_map.find(dst);
+    if (si == id_map.end() || di == id_map.end()) return std::nullopt;
+    if (si->second == di->second) continue;  // drop self loops
+    g.add_edge(si->second, di->second);      // add_edge dedupes parallels
+  }
+  out.graph = std::move(g);
+  return out;
+}
+
+std::optional<NamedGraph> load_graphml(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_graphml(buffer.str());
+}
+
+std::string to_graphml(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n"
+     << "  <graph id=\"" << name << "\" edgedefault=\"undirected\">\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "    <node id=\"n" << v << "\"/>\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "    <edge source=\"n" << g.edge(e).u << "\" target=\"n" << g.edge(e).v << "\"/>\n";
+  }
+  os << "  </graph>\n</graphml>\n";
+  return os.str();
+}
+
+}  // namespace pofl

@@ -1,0 +1,32 @@
+#pragma once
+
+// Minimal GraphML I/O. The paper's §VIII case study runs on the Internet
+// Topology Zoo, which ships as GraphML; this loader lets the classification
+// pipeline consume the real dataset when it is available, while the synthetic
+// zoo (classify/zoo.hpp) stands in for offline runs. Only the structural
+// subset of GraphML is handled: <node id=...> and <edge source=... target=...>;
+// parallel edges and self loops in the data are dropped (the routing model is
+// about simple graphs).
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// Parses GraphML text. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<NamedGraph> parse_graphml(const std::string& text);
+
+/// Loads a .graphml file from disk.
+[[nodiscard]] std::optional<NamedGraph> load_graphml(const std::string& path);
+
+/// Serializes a graph to GraphML text (round-trips through parse_graphml).
+[[nodiscard]] std::string to_graphml(const Graph& g, const std::string& name);
+
+}  // namespace pofl

@@ -1,0 +1,140 @@
+#include "graph/hamiltonian.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace pofl {
+
+namespace {
+
+/// Walecki zigzag Hamiltonian path on the circle Z_{2m}, rotated by i:
+/// i, i+1, i-1, i+2, i-2, ... ending at i+m (all mod 2m).
+std::vector<VertexId> zigzag_path(int two_m, int i) {
+  std::vector<VertexId> path;
+  path.reserve(static_cast<size_t>(two_m));
+  path.push_back(i % two_m);
+  for (int j = 1; j < two_m; ++j) {
+    const int offset = (j % 2 == 1) ? (j + 1) / 2 : two_m - j / 2;
+    path.push_back((i + offset) % two_m);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::vector<HamiltonianCycle> walecki_cycles(int n) {
+  assert(n >= 3);
+  std::vector<HamiltonianCycle> cycles;
+  if (n % 2 == 1) {
+    // K_{2m+1}: hub = n-1, circle Z_{2m}; m rotated zigzag paths closed
+    // through the hub decompose the edge set completely.
+    const int two_m = n - 1;
+    const int m = two_m / 2;
+    for (int i = 0; i < m; ++i) {
+      HamiltonianCycle cycle = zigzag_path(two_m, i);
+      cycle.push_back(n - 1);  // hub closes the path into a cycle
+      cycles.push_back(std::move(cycle));
+    }
+    return cycles;
+  }
+  // Even n = 2m: decompose K_{n-1} (odd) into (n-2)/2 cycles, then splice the
+  // extra vertex n-1 into each cycle across a distinct edge, choosing the
+  // replaced edges so that all their endpoints are pairwise distinct (keeps
+  // the new spokes link-disjoint). Small backtracking over edge choices.
+  auto base = walecki_cycles(n - 1);
+  const int k = static_cast<int>(base.size());
+  std::vector<int> chosen(static_cast<size_t>(k), -1);  // edge index within each cycle
+  std::vector<char> endpoint_used(static_cast<size_t>(n - 1), 0);
+
+  // DFS over cycles; candidate edges are positions (j, j+1) in the cycle.
+  int ci = 0;
+  std::vector<int> next_try(static_cast<size_t>(k), 0);
+  while (ci < k) {
+    bool advanced = false;
+    const auto& cyc = base[static_cast<size_t>(ci)];
+    const int len = static_cast<int>(cyc.size());
+    for (int j = next_try[static_cast<size_t>(ci)]; j < len; ++j) {
+      const VertexId a = cyc[static_cast<size_t>(j)];
+      const VertexId b = cyc[static_cast<size_t>((j + 1) % len)];
+      if (endpoint_used[static_cast<size_t>(a)] || endpoint_used[static_cast<size_t>(b)]) {
+        continue;
+      }
+      chosen[static_cast<size_t>(ci)] = j;
+      endpoint_used[static_cast<size_t>(a)] = 1;
+      endpoint_used[static_cast<size_t>(b)] = 1;
+      next_try[static_cast<size_t>(ci)] = j + 1;
+      ++ci;
+      if (ci < k) next_try[static_cast<size_t>(ci)] = 0;
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      // Backtrack.
+      next_try[static_cast<size_t>(ci)] = 0;
+      --ci;
+      assert(ci >= 0 && "Walecki even-n splice failed; construction bug");
+      const auto& prev = base[static_cast<size_t>(ci)];
+      const int j = chosen[static_cast<size_t>(ci)];
+      const int len_prev = static_cast<int>(prev.size());
+      endpoint_used[static_cast<size_t>(prev[static_cast<size_t>(j)])] = 0;
+      endpoint_used[static_cast<size_t>(prev[static_cast<size_t>((j + 1) % len_prev)])] = 0;
+    }
+  }
+  for (int c = 0; c < k; ++c) {
+    const auto& cyc = base[static_cast<size_t>(c)];
+    const int j = chosen[static_cast<size_t>(c)];
+    HamiltonianCycle extended;
+    extended.reserve(cyc.size() + 1);
+    for (int p = 0; p < static_cast<int>(cyc.size()); ++p) {
+      extended.push_back(cyc[static_cast<size_t>(p)]);
+      if (p == j) extended.push_back(n - 1);  // splice across edge (j, j+1)
+    }
+    cycles.push_back(std::move(extended));
+  }
+  return cycles;
+}
+
+std::vector<HamiltonianCycle> bipartite_hamiltonian_cycles(int n) {
+  assert(n >= 2 && n % 2 == 0);
+  // C_j: a_0, b_{2j}, a_1, b_{2j+1}, ..., a_{n-1}, b_{2j+n-1} (indices mod n).
+  // Edge (a_i, b_k) lies in exactly one cycle: forward when k-i is even,
+  // backward when odd — a complete link-disjoint decomposition.
+  std::vector<HamiltonianCycle> cycles;
+  for (int j = 0; j < n / 2; ++j) {
+    HamiltonianCycle cycle;
+    cycle.reserve(static_cast<size_t>(2 * n));
+    for (int i = 0; i < n; ++i) {
+      cycle.push_back(i);                          // a_i
+      cycle.push_back(n + (2 * j + i) % n);        // b_{2j+i}
+    }
+    cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+bool is_hamiltonian_cycle(const Graph& g, const HamiltonianCycle& cycle) {
+  if (static_cast<int>(cycle.size()) != g.num_vertices()) return false;
+  if (cycle.size() < 3) return false;
+  std::set<VertexId> unique(cycle.begin(), cycle.end());
+  if (unique.size() != cycle.size()) return false;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (!g.has_edge(cycle[i], cycle[(i + 1) % cycle.size()])) return false;
+  }
+  return true;
+}
+
+bool cycles_link_disjoint(const Graph& g, const std::vector<HamiltonianCycle>& cycles) {
+  IdSet used = g.empty_edge_set();
+  for (const auto& cycle : cycles) {
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const auto e = g.edge_between(cycle[i], cycle[(i + 1) % cycle.size()]);
+      if (!e.has_value()) return false;
+      if (used.contains(*e)) return false;
+      used.insert(*e);
+    }
+  }
+  return true;
+}
+
+}  // namespace pofl

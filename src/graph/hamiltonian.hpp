@@ -1,0 +1,35 @@
+#pragma once
+
+// Disjoint Hamiltonian cycle decompositions. Theorem 17 of the paper builds a
+// (k-1)-failure-tolerant touring pattern on 2k-connected complete / complete
+// bipartite graphs from k link-disjoint Hamiltonian cycles; the classic
+// constructions are Walecki's (complete graphs) and Laskar-Auerbach's
+// (complete bipartite graphs).
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// A Hamiltonian cycle given as the cyclic vertex sequence (size n).
+using HamiltonianCycle = std::vector<VertexId>;
+
+/// Walecki decomposition: floor((n-1)/2) pairwise link-disjoint Hamiltonian
+/// cycles of K_n (n >= 3). For odd n this decomposes all of E(K_n).
+[[nodiscard]] std::vector<HamiltonianCycle> walecki_cycles(int n);
+
+/// Laskar-Auerbach style decomposition of K_{n,n} (n even) into n/2 pairwise
+/// link-disjoint Hamiltonian cycles. Vertices follow make_complete_bipartite
+/// numbering: part A = [0,n), part B = [n,2n).
+[[nodiscard]] std::vector<HamiltonianCycle> bipartite_hamiltonian_cycles(int n);
+
+/// True iff `cycle` is a Hamiltonian cycle of g.
+[[nodiscard]] bool is_hamiltonian_cycle(const Graph& g, const HamiltonianCycle& cycle);
+
+/// True iff the cycles are pairwise link-disjoint in g.
+[[nodiscard]] bool cycles_link_disjoint(const Graph& g,
+                                        const std::vector<HamiltonianCycle>& cycles);
+
+}  // namespace pofl

@@ -1,0 +1,123 @@
+#pragma once
+
+// Dense bitset over small integer ids (vertex ids, edge ids). Used pervasively
+// for failure sets and visited sets; tuned for the sizes this library deals
+// with (graphs up to ~1000 edges) rather than for generality.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pofl {
+
+class IdSet {
+ public:
+  IdSet() = default;
+  explicit IdSet(int universe_size)
+      : universe_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+  [[nodiscard]] int universe_size() const { return universe_; }
+
+  [[nodiscard]] bool contains(int id) const {
+    assert(id >= 0 && id < universe_);
+    return (words_[static_cast<size_t>(id) >> 6] >> (id & 63)) & 1u;
+  }
+
+  void insert(int id) {
+    assert(id >= 0 && id < universe_);
+    words_[static_cast<size_t>(id) >> 6] |= (uint64_t{1} << (id & 63));
+  }
+
+  void erase(int id) {
+    assert(id >= 0 && id < universe_);
+    words_[static_cast<size_t>(id) >> 6] &= ~(uint64_t{1} << (id & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] int count() const {
+    int total = 0;
+    for (auto w : words_) total += __builtin_popcountll(w);
+    return total;
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// All ids present, in increasing order.
+  [[nodiscard]] std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(count()));
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        out.push_back(static_cast<int>(wi * 64) + bit);
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Set union / intersection / difference, in place. Universes must match.
+  IdSet& operator|=(const IdSet& other) {
+    assert(universe_ == other.universe_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  IdSet& operator&=(const IdSet& other) {
+    assert(universe_ == other.universe_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  IdSet& operator-=(const IdSet& other) {
+    assert(universe_ == other.universe_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  [[nodiscard]] bool intersects(const IdSet& other) const {
+    assert(universe_ == other.universe_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool is_subset_of(const IdSet& other) const {
+    assert(universe_ == other.universe_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const IdSet& a, const IdSet& b) {
+    return a.universe_ == b.universe_ && a.words_ == b.words_;
+  }
+
+  /// Stable hash, for use in unordered containers of visited states.
+  [[nodiscard]] uint64_t hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (auto w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+ private:
+  int universe_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+[[nodiscard]] inline IdSet operator|(IdSet a, const IdSet& b) { return a |= b; }
+[[nodiscard]] inline IdSet operator&(IdSet a, const IdSet& b) { return a &= b; }
+[[nodiscard]] inline IdSet operator-(IdSet a, const IdSet& b) { return a -= b; }
+
+}  // namespace pofl

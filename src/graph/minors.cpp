@@ -1,0 +1,443 @@
+#include "graph/minors.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <queue>
+#include <random>
+#include <set>
+
+#include "graph/connectivity.hpp"
+
+namespace pofl {
+
+bool validate_minor_model(const Graph& host, const Graph& pattern, const MinorModel& model) {
+  if (static_cast<int>(model.branch_sets.size()) != pattern.num_vertices()) return false;
+  std::vector<int> owner(static_cast<size_t>(host.num_vertices()), -1);
+  for (size_t i = 0; i < model.branch_sets.size(); ++i) {
+    const auto& set = model.branch_sets[i];
+    if (set.empty()) return false;
+    for (VertexId v : set) {
+      if (v < 0 || v >= host.num_vertices()) return false;
+      if (owner[static_cast<size_t>(v)] != -1) return false;  // overlap
+      owner[static_cast<size_t>(v)] = static_cast<int>(i);
+    }
+  }
+  // Connectivity of each branch set.
+  for (const auto& set : model.branch_sets) {
+    std::set<VertexId> members(set.begin(), set.end());
+    std::deque<VertexId> queue{set[0]};
+    std::set<VertexId> seen{set[0]};
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId w : host.neighbors(v)) {
+        if (members.count(w) != 0 && seen.count(w) == 0) {
+          seen.insert(w);
+          queue.push_back(w);
+        }
+      }
+    }
+    if (seen.size() != members.size()) return false;
+  }
+  // Every pattern edge covered by a host edge between the branch sets.
+  for (EdgeId pe = 0; pe < pattern.num_edges(); ++pe) {
+    const int i = pattern.edge(pe).u;
+    const int j = pattern.edge(pe).v;
+    bool covered = false;
+    for (VertexId v : model.branch_sets[static_cast<size_t>(i)]) {
+      for (VertexId w : host.neighbors(v)) {
+        if (owner[static_cast<size_t>(w)] == j) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) break;
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// ---- Exact branch and bound (small hosts) ---------------------------------
+
+class ExactMinorSearch {
+ public:
+  ExactMinorSearch(const Graph& host, const Graph& pattern) : host_(host), pattern_(pattern) {
+    // Pattern vertex order: each non-first vertex adjacent to an earlier one
+    // (patterns here are connected), highest degree first among candidates.
+    std::vector<char> placed(static_cast<size_t>(pattern.num_vertices()), 0);
+    std::vector<VertexId> by_degree;
+    for (VertexId v = 0; v < pattern.num_vertices(); ++v) by_degree.push_back(v);
+    std::sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+      return pattern.degree(a) > pattern.degree(b);
+    });
+    order_.push_back(by_degree[0]);
+    placed[static_cast<size_t>(by_degree[0])] = 1;
+    while (static_cast<int>(order_.size()) < pattern.num_vertices()) {
+      VertexId next = kNoVertex;
+      for (VertexId v : by_degree) {
+        if (placed[static_cast<size_t>(v)]) continue;
+        if (next == kNoVertex) next = v;  // fallback for disconnected patterns
+        bool touches = false;
+        for (VertexId w : pattern.neighbors(v)) {
+          if (placed[static_cast<size_t>(w)]) {
+            touches = true;
+            break;
+          }
+        }
+        if (touches) {
+          next = v;
+          break;
+        }
+      }
+      order_.push_back(next);
+      placed[static_cast<size_t>(next)] = 1;
+    }
+    branch_mask_.assign(static_cast<size_t>(pattern.num_vertices()), 0);
+  }
+
+  std::optional<MinorModel> run() {
+    if (host_.num_vertices() < pattern_.num_vertices()) return std::nullopt;
+    if (host_.num_edges() < pattern_.num_edges()) return std::nullopt;
+    if (search(0, 0)) {
+      MinorModel model;
+      model.branch_sets.resize(static_cast<size_t>(pattern_.num_vertices()));
+      for (VertexId pv = 0; pv < pattern_.num_vertices(); ++pv) {
+        const uint32_t mask = branch_mask_[static_cast<size_t>(pv)];
+        for (int h = 0; h < host_.num_vertices(); ++h) {
+          if ((mask >> h) & 1u) model.branch_sets[static_cast<size_t>(pv)].push_back(h);
+        }
+      }
+      return model;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  [[nodiscard]] uint32_t neighbors_mask(VertexId v) const {
+    uint32_t m = 0;
+    for (VertexId w : host_.neighbors(v)) m |= (uint32_t{1} << w);
+    return m;
+  }
+
+  /// Enumerates connected subsets of `allowed` (as bitmasks) and calls
+  /// `accept`; stops early when accept returns true. Subsets are produced in
+  /// nondecreasing size via iterative deepening up to max_size.
+  template <typename Accept>
+  bool enumerate_connected_subsets(uint32_t allowed, int max_size, const Accept& accept) {
+    for (int size = 1; size <= max_size; ++size) {
+      for (int seed = 0; seed < host_.num_vertices(); ++seed) {
+        if (!((allowed >> seed) & 1u)) continue;
+        // Canonicalize: seed is the smallest vertex of the subset.
+        const uint32_t restricted = allowed & ~((uint32_t{1} << seed) - 1);
+        if (grow(uint32_t{1} << seed, neighbors_mask(seed) & restricted, restricted, size,
+                 accept)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  template <typename Accept>
+  bool grow(uint32_t current, uint32_t frontier, uint32_t allowed, int target_size,
+            const Accept& accept) {
+    if (__builtin_popcount(current) == target_size) return accept(current);
+    uint32_t candidates = frontier & ~current;
+    while (candidates != 0) {
+      const int v = __builtin_ctz(candidates);
+      candidates &= candidates - 1;
+      // To avoid duplicates: once we decide not to take v at this level, it
+      // stays excluded below (standard connected-subset enumeration).
+      allowed &= ~(uint32_t{1} << v);
+      const uint32_t next = current | (uint32_t{1} << v);
+      if (grow(next, (frontier | neighbors_mask(v)) & allowed & ~next, allowed | next,
+               target_size, accept)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool search(size_t order_index, uint32_t used) {
+    if (order_index == order_.size()) return true;
+    const VertexId pv = order_[order_index];
+    const int remaining = static_cast<int>(order_.size() - order_index);
+    const int free_count = host_.num_vertices() - __builtin_popcount(used);
+    if (free_count < remaining) return false;
+
+    // Earlier pattern neighbors whose branch sets we must touch.
+    std::vector<uint32_t> need_adjacency;
+    for (VertexId pw : pattern_.neighbors(pv)) {
+      for (size_t k = 0; k < order_index; ++k) {
+        if (order_[k] == pw) {
+          uint32_t adj = 0;
+          const uint32_t bm = branch_mask_[static_cast<size_t>(pw)];
+          for (int h = 0; h < host_.num_vertices(); ++h) {
+            if ((bm >> h) & 1u) adj |= neighbors_mask(h);
+          }
+          need_adjacency.push_back(adj & ~used);
+          break;
+        }
+      }
+    }
+    // Quick infeasibility: some required adjacency region empty.
+    for (uint32_t adj : need_adjacency) {
+      if (adj == 0) return false;
+    }
+
+    const uint32_t allowed = ~used & ((host_.num_vertices() >= 32)
+                                          ? ~uint32_t{0}
+                                          : ((uint32_t{1} << host_.num_vertices()) - 1));
+    const int max_size = free_count - (remaining - 1);
+    return enumerate_connected_subsets(allowed, max_size, [&](uint32_t subset) {
+      for (uint32_t adj : need_adjacency) {
+        if ((subset & adj) == 0) return false;
+      }
+      branch_mask_[static_cast<size_t>(pv)] = subset;
+      if (search(order_index + 1, used | subset)) return true;
+      branch_mask_[static_cast<size_t>(pv)] = 0;
+      return false;
+    });
+  }
+
+  const Graph& host_;
+  const Graph& pattern_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> branch_mask_;
+};
+
+// ---- Randomized greedy heuristic (large hosts) ----------------------------
+
+class HeuristicMinorSearch {
+ public:
+  HeuristicMinorSearch(const Graph& host, const Graph& pattern, uint64_t seed)
+      : host_(host), pattern_(pattern), rng_(seed) {}
+
+  std::optional<MinorModel> run(int rounds) {
+    const int n = host_.num_vertices();
+    const int k = pattern_.num_vertices();
+    if (n < k || host_.num_edges() < pattern_.num_edges()) return std::nullopt;
+
+    usage_.assign(static_cast<size_t>(n), 0);
+    chains_.assign(static_cast<size_t>(k), {});
+
+    std::vector<VertexId> order(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) order[static_cast<size_t>(i)] = i;
+    std::shuffle(order.begin(), order.end(), rng_);
+
+    for (VertexId pv : order) place(pv);
+    for (int round = 0; round < rounds; ++round) {
+      if (max_usage() <= 1) break;
+      // Rip up and re-route every pattern vertex in random order.
+      std::shuffle(order.begin(), order.end(), rng_);
+      for (VertexId pv : order) {
+        unplace(pv);
+        place(pv);
+      }
+    }
+    if (max_usage() > 1) return std::nullopt;
+
+    MinorModel model;
+    model.branch_sets.resize(static_cast<size_t>(k));
+    for (int pv = 0; pv < k; ++pv) {
+      model.branch_sets[static_cast<size_t>(pv)] = chains_[static_cast<size_t>(pv)];
+    }
+    if (!validate_minor_model(host_, pattern_, model)) return std::nullopt;
+    return model;
+  }
+
+ private:
+  [[nodiscard]] int max_usage() const {
+    int m = 0;
+    for (int u : usage_) m = std::max(m, u);
+    return m;
+  }
+
+  [[nodiscard]] double vertex_cost(VertexId v) const {
+    // Exponential penalty on overused vertices, as in minorminer.
+    return std::pow(8.0, std::min(usage_[static_cast<size_t>(v)], 6));
+  }
+
+  void unplace(VertexId pv) {
+    for (VertexId v : chains_[static_cast<size_t>(pv)]) --usage_[static_cast<size_t>(v)];
+    chains_[static_cast<size_t>(pv)].clear();
+  }
+
+  /// Weighted SSSP from every vertex of `sources` (distance to the set).
+  std::pair<std::vector<double>, std::vector<VertexId>> dijkstra_from_set(
+      const std::vector<VertexId>& sources) {
+    const int n = host_.num_vertices();
+    std::vector<double> dist(static_cast<size_t>(n), 1e100);
+    std::vector<VertexId> parent(static_cast<size_t>(n), kNoVertex);
+    using Item = std::pair<double, VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (VertexId s : sources) {
+      dist[static_cast<size_t>(s)] = 0.0;
+      pq.emplace(0.0, s);
+    }
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<size_t>(v)]) continue;
+      for (VertexId w : host_.neighbors(v)) {
+        const double nd = d + vertex_cost(w);
+        if (nd < dist[static_cast<size_t>(w)]) {
+          dist[static_cast<size_t>(w)] = nd;
+          parent[static_cast<size_t>(w)] = v;
+          pq.emplace(nd, w);
+        }
+      }
+    }
+    return {std::move(dist), std::move(parent)};
+  }
+
+  void place(VertexId pv) {
+    const int n = host_.num_vertices();
+    // Distances to each already-placed pattern neighbor's chain.
+    std::vector<std::pair<std::vector<double>, std::vector<VertexId>>> fields;
+    std::vector<VertexId> placed_neighbors;
+    for (VertexId pw : pattern_.neighbors(pv)) {
+      if (!chains_[static_cast<size_t>(pw)].empty()) {
+        fields.push_back(dijkstra_from_set(chains_[static_cast<size_t>(pw)]));
+        placed_neighbors.push_back(pw);
+      }
+    }
+    // Root choice minimizing total cost.
+    VertexId best_root = kNoVertex;
+    double best_cost = 1e200;
+    std::uniform_real_distribution<double> jitter(0.0, 1e-6);
+    for (VertexId h = 0; h < n; ++h) {
+      double cost = vertex_cost(h) + jitter(rng_);
+      bool reachable = true;
+      for (const auto& [dist, parent] : fields) {
+        if (dist[static_cast<size_t>(h)] >= 1e100) {
+          reachable = false;
+          break;
+        }
+        cost += dist[static_cast<size_t>(h)];
+      }
+      if (reachable && cost < best_cost) {
+        best_cost = cost;
+        best_root = h;
+      }
+    }
+    if (best_root == kNoVertex) best_root = std::uniform_int_distribution<VertexId>(0, n - 1)(rng_);
+
+    std::set<VertexId> chain{best_root};
+    // Walk each field's parent pointers from the root back to the source set;
+    // intermediate vertices join pv's chain (the final vertex belongs to the
+    // neighbor chain and is excluded).
+    for (size_t fi = 0; fi < fields.size(); ++fi) {
+      const auto& parent = fields[fi].second;
+      const VertexId pw = placed_neighbors[fi];
+      std::set<VertexId> target(chains_[static_cast<size_t>(pw)].begin(),
+                                chains_[static_cast<size_t>(pw)].end());
+      VertexId cur = best_root;
+      while (target.count(cur) == 0) {
+        chain.insert(cur);
+        const VertexId nxt = parent[static_cast<size_t>(cur)];
+        if (nxt == kNoVertex) break;  // unreachable; leave partial
+        cur = nxt;
+      }
+    }
+    auto& out = chains_[static_cast<size_t>(pv)];
+    out.assign(chain.begin(), chain.end());
+    for (VertexId v : out) ++usage_[static_cast<size_t>(v)];
+  }
+
+  const Graph& host_;
+  const Graph& pattern_;
+  std::mt19937_64 rng_;
+  std::vector<int> usage_;
+  std::vector<std::vector<VertexId>> chains_;
+};
+
+}  // namespace
+
+std::optional<MinorModel> find_minor_exact(const Graph& host, const Graph& pattern) {
+  assert(host.num_vertices() <= 30 && "exact minor search is for small hosts");
+  ExactMinorSearch search(host, pattern);
+  auto model = search.run();
+  if (model.has_value()) {
+    assert(validate_minor_model(host, pattern, *model));
+  }
+  return model;
+}
+
+std::optional<MinorModel> find_minor_heuristic(const Graph& host, const Graph& pattern,
+                                               uint64_t seed, int restarts) {
+  std::mt19937_64 seeder(seed);
+  for (int r = 0; r < restarts; ++r) {
+    HeuristicMinorSearch search(host, pattern, seeder());
+    if (auto model = search.run(/*rounds=*/24)) return model;
+  }
+  return std::nullopt;
+}
+
+std::optional<MinorModel> find_minor(const Graph& host, const Graph& pattern, uint64_t seed,
+                                     int restarts) {
+  // Cheap necessary conditions.
+  if (host.num_vertices() < pattern.num_vertices()) return std::nullopt;
+  if (host.num_edges() < pattern.num_edges()) return std::nullopt;
+  if (host.num_vertices() <= 14) return find_minor_exact(host, pattern);
+  return find_minor_heuristic(host, pattern, seed, restarts);
+}
+
+bool has_minor(const Graph& host, const Graph& pattern, uint64_t seed, int restarts) {
+  return find_minor(host, pattern, seed, restarts).has_value();
+}
+
+bool has_k4_minor(const Graph& g) {
+  // Series-parallel reduction. Parallel edges collapse (irrelevant for K4).
+  std::vector<std::set<VertexId>> adj(static_cast<size_t>(g.num_vertices()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    adj[static_cast<size_t>(g.edge(e).u)].insert(g.edge(e).v);
+    adj[static_cast<size_t>(g.edge(e).v)].insert(g.edge(e).u);
+  }
+  std::deque<VertexId> queue;
+  std::vector<char> alive(static_cast<size_t>(g.num_vertices()), 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (adj[static_cast<size_t>(v)].size() <= 2) queue.push_back(v);
+  }
+  int alive_count = g.num_vertices();
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (!alive[static_cast<size_t>(v)]) continue;
+    auto& av = adj[static_cast<size_t>(v)];
+    if (av.size() > 2) continue;  // degree grew back? cannot happen; guard
+    if (av.size() <= 1) {
+      if (av.size() == 1) {
+        const VertexId w = *av.begin();
+        adj[static_cast<size_t>(w)].erase(v);
+        if (adj[static_cast<size_t>(w)].size() <= 2) queue.push_back(w);
+      }
+      av.clear();
+      alive[static_cast<size_t>(v)] = 0;
+      --alive_count;
+      continue;
+    }
+    // Degree 2: suppress.
+    const VertexId a = *av.begin();
+    const VertexId b = *std::next(av.begin());
+    adj[static_cast<size_t>(a)].erase(v);
+    adj[static_cast<size_t>(b)].erase(v);
+    adj[static_cast<size_t>(a)].insert(b);
+    adj[static_cast<size_t>(b)].insert(a);
+    av.clear();
+    alive[static_cast<size_t>(v)] = 0;
+    --alive_count;
+    if (adj[static_cast<size_t>(a)].size() <= 2) queue.push_back(a);
+    if (adj[static_cast<size_t>(b)].size() <= 2) queue.push_back(b);
+  }
+  // Whatever survives has min degree >= 3, which forces a K4 minor.
+  return alive_count > 0;
+}
+
+}  // namespace pofl

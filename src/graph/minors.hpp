@@ -1,0 +1,57 @@
+#pragma once
+
+// Minor containment. The paper's classification (§IV, §V, §VIII) hinges on
+// detecting the forbidden minors K5^-1 / K3,3^-1 (destination-based routing),
+// K7^-1 / K4,4^-1 (source-destination routing) and K4 / K2,3 (touring /
+// outerplanarity). Exact minor testing is feasible for small hosts via
+// branch and bound over branch-set assignments; for Topology-Zoo-sized hosts
+// we use a minorminer-style randomized embedder (a found model is a *sound*
+// certificate — it is validated structurally — while a miss leaves the
+// instance unclassified, exactly as in the paper's methodology).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// A minor model: branch_sets[i] = connected, pairwise-disjoint host vertices
+/// representing pattern vertex i; every pattern edge must have at least one
+/// host edge between the two branch sets.
+struct MinorModel {
+  std::vector<std::vector<VertexId>> branch_sets;
+};
+
+/// Structural validation of a model (connectedness, disjointness, coverage
+/// of every pattern edge). Used to make heuristic results sound.
+[[nodiscard]] bool validate_minor_model(const Graph& host, const Graph& pattern,
+                                        const MinorModel& model);
+
+/// Exact search. Intended for hosts up to ~20 vertices; cost grows quickly.
+[[nodiscard]] std::optional<MinorModel> find_minor_exact(const Graph& host, const Graph& pattern);
+
+/// Randomized greedy embedder with restarts (minorminer-flavored): grows
+/// branch sets along shortest paths, with rip-up-and-reroute repair rounds.
+[[nodiscard]] std::optional<MinorModel> find_minor_heuristic(const Graph& host,
+                                                             const Graph& pattern, uint64_t seed,
+                                                             int restarts);
+
+/// Dispatcher: cheap necessary conditions, then exact for small hosts,
+/// heuristic otherwise. `nullopt` means "no model found", which for large
+/// hosts is *not* a proof of absence.
+[[nodiscard]] std::optional<MinorModel> find_minor(const Graph& host, const Graph& pattern,
+                                                   uint64_t seed = 1, int restarts = 32);
+
+/// True iff the host verifiably contains the pattern as a minor. For hosts
+/// small enough for exact search this is a complete decision procedure.
+[[nodiscard]] bool has_minor(const Graph& host, const Graph& pattern, uint64_t seed = 1,
+                             int restarts = 32);
+
+/// Exact polynomial-time test for K4-minor-freeness (series-parallel
+/// reduction): repeatedly remove degree-<=1 vertices and suppress degree-2
+/// vertices; a K4 minor exists iff some block fails to reduce away.
+[[nodiscard]] bool has_k4_minor(const Graph& g);
+
+}  // namespace pofl

@@ -1,0 +1,184 @@
+#include "graph/outerplanar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "graph/blocks.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/planarity.hpp"
+
+namespace pofl {
+
+namespace {
+
+/// Hamiltonian cycle of a 2-connected outerplanar graph given as an
+/// adjacency-set map over arbitrary vertex ids. Returns empty on failure
+/// (graph not 2-connected outerplanar).
+std::vector<VertexId> shrink_hamiltonian(std::set<VertexId> vertices,
+                                         std::map<VertexId, std::set<VertexId>> adj) {
+  struct Removal {
+    VertexId v, a, b;
+  };
+  std::vector<Removal> removals;
+
+  while (vertices.size() > 3) {
+    VertexId deg2 = kNoVertex;
+    for (VertexId v : vertices) {
+      if (adj[v].size() == 2) {
+        deg2 = v;
+        break;
+      }
+    }
+    if (deg2 == kNoVertex) return {};  // not outerplanar
+    auto it = adj[deg2].begin();
+    const VertexId a = *it;
+    const VertexId b = *std::next(it);
+    removals.push_back({deg2, a, b});
+    vertices.erase(deg2);
+    adj[a].erase(deg2);
+    adj[b].erase(deg2);
+    adj.erase(deg2);
+    adj[a].insert(b);  // virtual edge keeps the shrunk graph 2-connected
+    adj[b].insert(a);
+  }
+
+  std::vector<VertexId> cycle(vertices.begin(), vertices.end());
+  if (cycle.size() == 2) return {};  // callers handle single edges themselves
+  if (cycle.size() == 3) {
+    // Must be a (possibly virtual) triangle.
+    for (size_t i = 0; i < 3; ++i) {
+      const VertexId u = cycle[i];
+      const VertexId v = cycle[(i + 1) % 3];
+      if (adj[u].find(v) == adj[u].end()) return {};
+    }
+  }
+
+  // Reinsert in reverse order: v goes between a and b, which must be cyclic
+  // neighbors in the current cycle (uniqueness of the outer boundary).
+  for (auto rit = removals.rbegin(); rit != removals.rend(); ++rit) {
+    const auto [v, a, b] = *rit;
+    bool inserted = false;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const VertexId x = cycle[i];
+      const VertexId y = cycle[(i + 1) % cycle.size()];
+      if ((x == a && y == b) || (x == b && y == a)) {
+        cycle.insert(cycle.begin() + static_cast<long>(i) + 1, v);
+        inserted = true;
+        break;
+      }
+    }
+    if (!inserted) return {};  // not outerplanar after all
+  }
+  return cycle;
+}
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> outer_hamiltonian_cycle(const Graph& g) {
+  if (g.num_vertices() < 3) return std::nullopt;
+  std::set<VertexId> vertices;
+  std::map<VertexId, std::set<VertexId>> adj;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    vertices.insert(v);
+    for (VertexId w : g.neighbors(v)) adj[v].insert(w);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (adj[v].size() < 2) return std::nullopt;  // not 2-connected
+  }
+  auto cycle = shrink_hamiltonian(std::move(vertices), std::move(adj));
+  if (cycle.empty()) return std::nullopt;
+  return cycle;
+}
+
+std::optional<OuterplanarEmbedding> outerplanar_embedding(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n == 0) return std::nullopt;
+  if (!is_outerplanar(g)) return std::nullopt;
+
+  // Per-block circular orders.
+  const auto blocks = biconnected_components(g);
+  std::vector<std::vector<VertexId>> block_cycle(blocks.size());
+  std::vector<std::vector<int>> blocks_at(static_cast<size_t>(n));
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    std::set<VertexId> vertices;
+    std::map<VertexId, std::set<VertexId>> adj;
+    for (EdgeId e : blocks[bi]) {
+      const Edge& ed = g.edge(e);
+      vertices.insert(ed.u);
+      vertices.insert(ed.v);
+      adj[ed.u].insert(ed.v);
+      adj[ed.v].insert(ed.u);
+    }
+    if (blocks[bi].size() == 1) {
+      const Edge& ed = g.edge(blocks[bi][0]);
+      block_cycle[bi] = {ed.u, ed.v};
+    } else {
+      block_cycle[bi] = shrink_hamiltonian(std::move(vertices), std::move(adj));
+      if (block_cycle[bi].empty()) return std::nullopt;
+    }
+    for (VertexId v : block_cycle[bi]) blocks_at[static_cast<size_t>(v)].push_back(static_cast<int>(bi));
+  }
+
+  // Splice the block tree into one circular order via iterative DFS.
+  OuterplanarEmbedding emb;
+  emb.circular_order.reserve(static_cast<size_t>(n));
+  std::vector<char> block_done(blocks.size(), 0);
+  std::vector<char> vertex_done(static_cast<size_t>(n), 0);
+
+  // Recursive emission (depth bounded by block-tree depth <= n).
+  struct Emitter {
+    const std::vector<std::vector<VertexId>>& block_cycle;
+    const std::vector<std::vector<int>>& blocks_at;
+    std::vector<char>& block_done;
+    std::vector<char>& vertex_done;
+    std::vector<VertexId>& out;
+
+    void emit(VertexId v) {  // NOLINT(misc-no-recursion)
+      if (vertex_done[static_cast<size_t>(v)]) return;
+      vertex_done[static_cast<size_t>(v)] = 1;
+      out.push_back(v);
+      for (int bi : blocks_at[static_cast<size_t>(v)]) {
+        if (block_done[static_cast<size_t>(bi)]) continue;
+        block_done[static_cast<size_t>(bi)] = 1;
+        const auto& cyc = block_cycle[static_cast<size_t>(bi)];
+        // Walk the block cycle starting just after v.
+        const auto pos = std::find(cyc.begin(), cyc.end(), v);
+        assert(pos != cyc.end());
+        const size_t start = static_cast<size_t>(pos - cyc.begin());
+        for (size_t k = 1; k < cyc.size(); ++k) {
+          emit(cyc[(start + k) % cyc.size()]);
+        }
+      }
+    }
+  };
+  Emitter emitter{block_cycle, blocks_at, block_done, vertex_done, emb.circular_order};
+  // Components occupy contiguous arcs of the circle; the relative cyclic
+  // order within a contiguous arc is what the rotation system depends on, so
+  // disconnected graphs embed component by component.
+  for (VertexId v = 0; v < n; ++v) emitter.emit(v);
+  assert(static_cast<int>(emb.circular_order.size()) == n);
+
+  emb.position.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    emb.position[static_cast<size_t>(emb.circular_order[static_cast<size_t>(i)])] = i;
+  }
+
+  emb.rotation.assign(static_cast<size_t>(n), {});
+  for (VertexId v = 0; v < n; ++v) {
+    auto& rot = emb.rotation[static_cast<size_t>(v)];
+    for (EdgeId e : g.incident_edges(v)) rot.push_back(e);
+    const int pv = emb.position[static_cast<size_t>(v)];
+    std::sort(rot.begin(), rot.end(), [&](EdgeId a, EdgeId b) {
+      const int pa = emb.position[static_cast<size_t>(g.other_endpoint(a, v))];
+      const int pb = emb.position[static_cast<size_t>(g.other_endpoint(b, v))];
+      const int da = (pa - pv + n) % n;
+      const int db = (pb - pv + n) % n;
+      return da < db;
+    });
+  }
+  return emb;
+}
+
+}  // namespace pofl

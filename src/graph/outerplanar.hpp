@@ -1,0 +1,39 @@
+#pragma once
+
+// Outerplanar embeddings. A connected outerplanar graph can be drawn with all
+// vertices on a circle and edges as non-crossing chords; this module computes
+// such a circular order plus the induced rotation system. The right-hand-rule
+// touring pattern (paper §VII, Corollary 6) is built on top of it.
+//
+// Construction: decompose into blocks; every 2-connected outerplanar block
+// has a *unique* Hamiltonian cycle (its outer boundary), recovered by
+// repeatedly shrinking degree-2 vertices; the block tree is then spliced into
+// one circular order (each child block's walk is inserted right after its
+// cut vertex), which keeps chords non-crossing.
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+struct OuterplanarEmbedding {
+  /// Vertices in circular (counterclockwise) order on the outer circle.
+  std::vector<VertexId> circular_order;
+  /// position[v] = index of v in circular_order.
+  std::vector<int> position;
+  /// rotation[v] = incident edges of v sorted counterclockwise, i.e. by
+  /// increasing (position[other] - position[v]) mod n.
+  std::vector<std::vector<EdgeId>> rotation;
+};
+
+/// Embedding of an outerplanar graph (disconnected graphs embed component by
+/// component on contiguous arcs); nullopt if g is not outerplanar.
+[[nodiscard]] std::optional<OuterplanarEmbedding> outerplanar_embedding(const Graph& g);
+
+/// Hamiltonian outer cycle of a 2-connected outerplanar graph (as a vertex
+/// sequence); nullopt if the graph is not 2-connected outerplanar.
+[[nodiscard]] std::optional<std::vector<VertexId>> outer_hamiltonian_cycle(const Graph& g);
+
+}  // namespace pofl

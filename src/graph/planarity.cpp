@@ -1,0 +1,333 @@
+#include "graph/planarity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace pofl {
+
+namespace {
+
+// The implementation follows the exposition of Brandes ("The left-right
+// planarity test") and mirrors the structure of well-known reference
+// implementations. Oriented edges are encoded as 2*edge_id + dir where dir 0
+// runs from Edge::u to Edge::v.
+
+constexpr int kNone = -1;
+
+class LRPlanarity {
+ public:
+  explicit LRPlanarity(const Graph& g) : g_(g) {}
+
+  bool run() {
+    const int n = g_.num_vertices();
+    const int m = g_.num_edges();
+    if (n <= 4) return true;
+    if (m > 3 * n - 6) return false;
+
+    height_.assign(static_cast<size_t>(n), kNone);
+    parent_edge_.assign(static_cast<size_t>(n), kNone);
+    const size_t arcs = static_cast<size_t>(2 * m);
+    oriented_.assign(static_cast<size_t>(m), false);
+    lowpt_.assign(arcs, 0);
+    lowpt2_.assign(arcs, 0);
+    nesting_depth_.assign(arcs, 0);
+    ref_.assign(arcs, kNone);
+    side_.assign(arcs, 1);
+    lowpt_edge_.assign(arcs, kNone);
+    stack_bottom_.assign(arcs, 0);
+
+    // Phase 1: DFS orientation (iterative).
+    for (VertexId root = 0; root < n; ++root) {
+      if (height_[static_cast<size_t>(root)] != kNone) continue;
+      height_[static_cast<size_t>(root)] = 0;
+      orientation_dfs(root);
+    }
+
+    // Adjacency sorted by nesting depth.
+    ordered_out_.assign(static_cast<size_t>(n), {});
+    for (VertexId v = 0; v < n; ++v) {
+      auto& out = ordered_out_[static_cast<size_t>(v)];
+      for (EdgeId e : g_.incident_edges(v)) {
+        const int oe = oriented_arc(e);
+        if (oe != kNone && tail(oe) == v) out.push_back(oe);
+      }
+      std::sort(out.begin(), out.end(), [this](int a, int b) {
+        return nesting_depth_[static_cast<size_t>(a)] < nesting_depth_[static_cast<size_t>(b)];
+      });
+    }
+
+    // Phase 2: testing DFS.
+    for (VertexId root = 0; root < n; ++root) {
+      if (parent_edge_[static_cast<size_t>(root)] == kNone &&
+          height_[static_cast<size_t>(root)] == 0) {
+        s_.clear();  // components are independent
+        if (!testing_dfs(root)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] VertexId tail(int oe) const {
+    const Edge& e = g_.edge(oe >> 1);
+    return (oe & 1) == 0 ? e.u : e.v;
+  }
+  [[nodiscard]] VertexId head(int oe) const {
+    const Edge& e = g_.edge(oe >> 1);
+    return (oe & 1) == 0 ? e.v : e.u;
+  }
+
+  /// The oriented arc chosen for undirected edge e during phase 1 (kNone if
+  /// the edge was never traversed, which cannot happen in connected comps).
+  [[nodiscard]] int oriented_arc(EdgeId e) const {
+    if (!oriented_[static_cast<size_t>(e)]) return kNone;
+    return arc_of_edge_[static_cast<size_t>(e)];
+  }
+
+  void orientation_dfs(VertexId start) {
+    arc_of_edge_.resize(static_cast<size_t>(g_.num_edges()), kNone);
+
+    struct Frame {
+      VertexId v;
+      size_t idx;
+    };
+    std::vector<Frame> stack{{start, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const VertexId v = f.v;
+      const auto inc = g_.incident_edges(v);
+      if (f.idx >= inc.size()) {
+        // Post-process: propagate lowpt into parent when unwinding.
+        stack.pop_back();
+        const int pe = parent_edge_[static_cast<size_t>(v)];
+        if (pe != kNone && !stack.empty()) {
+          const VertexId u = tail(pe);
+          const size_t spe = static_cast<size_t>(pe);
+          nesting_depth_[spe] = 2 * lowpt_[spe];
+          if (lowpt2_[spe] < height_[static_cast<size_t>(u)]) nesting_depth_[spe] += 1;
+          update_parent_lowpt(parent_edge_[static_cast<size_t>(u)], pe);
+        }
+        continue;
+      }
+      const EdgeId e = inc[f.idx++];
+      if (oriented_[static_cast<size_t>(e)]) continue;
+      oriented_[static_cast<size_t>(e)] = true;
+      const VertexId w = g_.other_endpoint(e, v);
+      const int oe = 2 * e + (g_.edge(e).u == v ? 0 : 1);
+      arc_of_edge_[static_cast<size_t>(e)] = oe;
+      const size_t soe = static_cast<size_t>(oe);
+      lowpt_[soe] = height_[static_cast<size_t>(v)];
+      lowpt2_[soe] = height_[static_cast<size_t>(v)];
+      if (height_[static_cast<size_t>(w)] == kNone) {
+        // Tree edge.
+        parent_edge_[static_cast<size_t>(w)] = oe;
+        height_[static_cast<size_t>(w)] = height_[static_cast<size_t>(v)] + 1;
+        stack.push_back({w, 0});
+      } else {
+        // Back edge.
+        lowpt_[soe] = height_[static_cast<size_t>(w)];
+        nesting_depth_[soe] = 2 * lowpt_[soe];
+        if (lowpt2_[soe] < height_[static_cast<size_t>(v)]) nesting_depth_[soe] += 1;
+        update_parent_lowpt(parent_edge_[static_cast<size_t>(v)], oe);
+      }
+    }
+  }
+
+  void update_parent_lowpt(int parent, int oe) {
+    if (parent == kNone) return;
+    const size_t pe = static_cast<size_t>(parent);
+    const size_t se = static_cast<size_t>(oe);
+    if (lowpt_[se] < lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt_[pe], lowpt2_[se]);
+      lowpt_[pe] = lowpt_[se];
+    } else if (lowpt_[se] > lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt_[se]);
+    } else {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt2_[se]);
+    }
+  }
+
+  struct Interval {
+    int high = kNone;
+    int low = kNone;
+    [[nodiscard]] bool empty() const { return high == kNone && low == kNone; }
+  };
+  struct ConflictPair {
+    Interval left, right;
+  };
+
+  [[nodiscard]] bool conflicting(const Interval& i, int b) const {
+    return !i.empty() && lowpt_[static_cast<size_t>(i.high)] > lowpt_[static_cast<size_t>(b)];
+  }
+
+  [[nodiscard]] int pair_lowest(const ConflictPair& p) const {
+    if (p.left.empty()) return lowpt_[static_cast<size_t>(p.right.low)];
+    if (p.right.empty()) return lowpt_[static_cast<size_t>(p.left.low)];
+    return std::min(lowpt_[static_cast<size_t>(p.left.low)],
+                    lowpt_[static_cast<size_t>(p.right.low)]);
+  }
+
+  bool testing_dfs(VertexId root) {
+    // Iterative DFS mirroring the recursive formulation: each frame walks the
+    // ordered out-arcs of v; child frames are processed before the per-arc
+    // epilogue (integration of constraints), so the frame remembers which arc
+    // is pending integration.
+    struct Frame {
+      VertexId v;
+      size_t idx = 0;
+      int pending_arc = kNone;  // arc whose subtree/back-edge was just handled
+    };
+    std::vector<Frame> stack{{root, 0, kNone}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const VertexId v = f.v;
+      const int e = parent_edge_[static_cast<size_t>(v)];
+      auto& out = ordered_out_[static_cast<size_t>(v)];
+
+      if (f.pending_arc != kNone) {
+        const int ei = f.pending_arc;
+        f.pending_arc = kNone;
+        // Integrate new return edges.
+        if (lowpt_[static_cast<size_t>(ei)] < height_[static_cast<size_t>(v)]) {
+          if (ei == out.front()) {
+            lowpt_edge_[static_cast<size_t>(e)] = lowpt_edge_[static_cast<size_t>(ei)];
+          } else if (!add_constraints(ei, e)) {
+            return false;
+          }
+        }
+      }
+
+      if (f.idx < out.size()) {
+        const int ei = out[f.idx++];
+        stack_bottom_[static_cast<size_t>(ei)] = static_cast<int>(s_.size());
+        const VertexId w = head(ei);
+        f.pending_arc = ei;
+        if (ei == parent_edge_[static_cast<size_t>(w)]) {
+          stack.push_back({w, 0, kNone});  // tree edge: recurse
+        } else {
+          lowpt_edge_[static_cast<size_t>(ei)] = ei;  // back edge
+          s_.push_back(ConflictPair{Interval{}, Interval{ei, ei}});
+        }
+        continue;
+      }
+
+      // Epilogue of v: remove back edges returning to parent.
+      stack.pop_back();
+      if (e != kNone) {
+        const VertexId u = tail(e);
+        trim_back_edges(u);
+        if (lowpt_[static_cast<size_t>(e)] < height_[static_cast<size_t>(u)]) {
+          assert(!s_.empty());
+          const int hl = s_.back().left.high;
+          const int hr = s_.back().right.high;
+          if (hl != kNone &&
+              (hr == kNone ||
+               lowpt_[static_cast<size_t>(hl)] > lowpt_[static_cast<size_t>(hr)])) {
+            ref_[static_cast<size_t>(e)] = hl;
+          } else {
+            ref_[static_cast<size_t>(e)] = hr;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  bool add_constraints(int ei, int e) {
+    ConflictPair p;
+    // Merge return edges of ei into p.right.
+    do {
+      assert(!s_.empty());
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (!q.left.empty()) std::swap(q.left, q.right);
+      if (!q.left.empty()) return false;  // not planar
+      if (lowpt_[static_cast<size_t>(q.right.low)] > lowpt_[static_cast<size_t>(e)]) {
+        if (p.right.empty()) {
+          p.right.high = q.right.high;
+        } else {
+          ref_[static_cast<size_t>(p.right.low)] = q.right.high;
+        }
+        p.right.low = q.right.low;
+      } else {
+        ref_[static_cast<size_t>(q.right.low)] = lowpt_edge_[static_cast<size_t>(e)];
+      }
+    } while (static_cast<int>(s_.size()) > stack_bottom_[static_cast<size_t>(ei)]);
+
+    // Merge conflicting return edges of earlier siblings into p.left.
+    while (!s_.empty() &&
+           (conflicting(s_.back().left, ei) || conflicting(s_.back().right, ei))) {
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (conflicting(q.right, ei)) std::swap(q.left, q.right);
+      if (conflicting(q.right, ei)) return false;  // not planar
+      if (p.right.low != kNone) ref_[static_cast<size_t>(p.right.low)] = q.right.high;
+      if (q.right.low != kNone) p.right.low = q.right.low;
+      if (p.left.empty()) {
+        p.left.high = q.left.high;
+      } else {
+        ref_[static_cast<size_t>(p.left.low)] = q.left.high;
+      }
+      p.left.low = q.left.low;
+    }
+    if (!(p.left.empty() && p.right.empty())) s_.push_back(p);
+    return true;
+  }
+
+  void trim_back_edges(VertexId u) {
+    const int hu = height_[static_cast<size_t>(u)];
+    // Drop entire conflict pairs.
+    while (!s_.empty() && pair_lowest(s_.back()) == hu) {
+      const ConflictPair p = s_.back();
+      s_.pop_back();
+      if (p.left.low != kNone) side_[static_cast<size_t>(p.left.low)] = -1;
+    }
+    if (s_.empty()) return;
+    // Trim one more conflict pair.
+    ConflictPair p = s_.back();
+    s_.pop_back();
+    while (p.left.high != kNone && head(p.left.high) == u) {
+      p.left.high = ref_[static_cast<size_t>(p.left.high)];
+    }
+    if (p.left.high == kNone && p.left.low != kNone) {
+      ref_[static_cast<size_t>(p.left.low)] = p.right.low;
+      side_[static_cast<size_t>(p.left.low)] = -1;
+      p.left.low = kNone;
+    }
+    while (p.right.high != kNone && head(p.right.high) == u) {
+      p.right.high = ref_[static_cast<size_t>(p.right.high)];
+    }
+    if (p.right.high == kNone && p.right.low != kNone) {
+      ref_[static_cast<size_t>(p.right.low)] = p.left.low;
+      side_[static_cast<size_t>(p.right.low)] = -1;
+      p.right.low = kNone;
+    }
+    s_.push_back(p);
+  }
+
+  const Graph& g_;
+  std::vector<int> height_, parent_edge_;
+  std::vector<bool> oriented_;
+  std::vector<int> arc_of_edge_;
+  std::vector<int> lowpt_, lowpt2_, nesting_depth_, ref_, side_, lowpt_edge_, stack_bottom_;
+  std::vector<std::vector<int>> ordered_out_;
+  std::vector<ConflictPair> s_;
+};
+
+}  // namespace
+
+bool is_planar(const Graph& g) { return LRPlanarity(g).run(); }
+
+bool is_outerplanar(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n <= 3) return true;
+  if (g.num_edges() > 2 * n - 3) return false;
+  // Apex reduction: add a vertex adjacent to everything.
+  Graph apex(n + 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) apex.add_edge(g.edge(e).u, g.edge(e).v);
+  for (VertexId v = 0; v < n; ++v) apex.add_edge(v, n);
+  return is_planar(apex);
+}
+
+}  // namespace pofl

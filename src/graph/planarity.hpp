@@ -1,0 +1,21 @@
+#pragma once
+
+// Planarity testing via the Left-Right algorithm (de Fraysseix, Ossona de
+// Mendez, Rosenstiehl). Linear time up to sorting by nesting depth; exact.
+//
+// Outerplanarity reduces to planarity: G is outerplanar iff G plus one apex
+// vertex adjacent to every vertex is planar. Both predicates are the
+// workhorses of the paper's §VII (touring iff outerplanar) and §VIII
+// (Topology Zoo classification).
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// Exact planarity test.
+[[nodiscard]] bool is_planar(const Graph& g);
+
+/// Exact outerplanarity test (apex reduction onto is_planar).
+[[nodiscard]] bool is_outerplanar(const Graph& g);
+
+}  // namespace pofl

@@ -1,0 +1,83 @@
+#include "resilience/algorithm1_k5.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pofl {
+
+std::optional<EdgeId> Algorithm1K5Pattern::forward(const Graph& g, VertexId at, EdgeId inport,
+                                                   const IdSet& local_failures,
+                                                   const Header& header) const {
+  const VertexId s = header.source;
+  const VertexId t = header.destination;
+  assert(s != kNoVertex && t != kNoVertex && "Algorithm 1 matches source and destination");
+
+  // Line 1-2: a live link to the destination always wins.
+  if (const auto direct = g.edge_between(at, t)) {
+    if (!local_failures.contains(*direct)) return *direct;
+  }
+
+  // Alive neighbors of `at`, sorted by id. The link to t (if any) is failed
+  // at this point, so t never appears below.
+  std::vector<VertexId> alive;
+  std::vector<EdgeId> alive_edge;
+  for (EdgeId e : g.incident_edges(at)) {
+    if (local_failures.contains(e)) continue;
+    alive.push_back(g.other_endpoint(e, at));
+    alive_edge.push_back(e);
+  }
+  std::vector<size_t> order(alive.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return alive[a] < alive[b]; });
+  const auto edge_to = [&](VertexId target) -> std::optional<EdgeId> {
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (alive[i] == target) return alive_edge[i];
+    }
+    return std::nullopt;
+  };
+
+  if (alive.empty()) return std::nullopt;  // isolated: destination unreachable anyway
+
+  const VertexId from = inport == kNoEdge ? kNoVertex : g.other_endpoint(inport, at);
+
+  if (at == s) {
+    // Lines 3-12.
+    if (alive.size() == 1) return alive_edge[order[0]];
+    if (alive.size() == 2) {
+      // origin -> u; any in-port -> v (ignore which).
+      return inport == kNoEdge ? alive_edge[order[0]] : alive_edge[order[1]];
+    }
+    // Three alive neighbors u < v < w (four is impossible on 5 nodes once
+    // the t-link is gone; if it happens on malformed input, treat the extra
+    // ones as w-like by using the sorted top three semantics).
+    const VertexId u = alive[order[0]];
+    const VertexId v = alive[order[1]];
+    const VertexId w = alive[order[alive.size() - 1]];
+    if (inport == kNoEdge) return edge_to(u).value();
+    if (from == w) return edge_to(v).value();
+    return edge_to(w).value();
+  }
+
+  // Lines 13-17: at != s (and at != t: the destination never forwards).
+  if (from == s) {
+    // Lowest-id alive neighbor that is not s, else bounce back to s.
+    for (size_t k : order) {
+      if (alive[k] != s) return alive_edge[k];
+    }
+    return inport;  // only s remains
+  }
+  // From a non-s neighbor (or the packet originated here in a model misuse):
+  // the alive neighbor x with x != s and x != from, if any.
+  for (size_t k : order) {
+    if (alive[k] != s && alive[k] != from) return alive_edge[k];
+  }
+  if (const auto to_s = edge_to(s)) return *to_s;  // s still reachable
+  return inport != kNoEdge ? std::optional<EdgeId>(inport) : std::nullopt;  // bounce
+}
+
+std::unique_ptr<ForwardingPattern> make_algorithm1_k5() {
+  return std::make_unique<Algorithm1K5Pattern>();
+}
+
+}  // namespace pofl

@@ -1,0 +1,39 @@
+#pragma once
+
+// Algorithm 1 of the paper (Theorem 8): a perfectly resilient
+// source-destination forwarding pattern for K5 and all graphs on at most
+// five nodes (minors of K5).
+//
+// The rules, verbatim from the paper, with u < v < w the sorted alive
+// neighbors:
+//   1. a live link to t always wins;
+//   2. at the source: 1 alive neighbor -> take it; 2 alive (u,v): origin->u,
+//      anything else->v; 3 alive (u,v,w): origin->u, from w->v, else->w;
+//   3. elsewhere: from s -> lowest-ID alive neighbor other than s (or bounce
+//      to s); from a non-s neighbor -> the alive neighbor x not in
+//      {s, in-port} if one exists, else to s if alive, else bounce.
+//
+// On five vertices the "x not in {s, in-port}" candidate is unique (the only
+// other non-s, non-t neighbor), so the rule is fully deterministic.
+
+#include <memory>
+
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+class Algorithm1K5Pattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override {
+    return RoutingModel::kSourceDestination;
+  }
+  [[nodiscard]] std::string name() const override { return "algorithm1-k5"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+};
+
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_algorithm1_k5();
+
+}  // namespace pofl

@@ -1,0 +1,62 @@
+#include "resilience/arborescence_routing.hpp"
+
+#include <algorithm>
+
+namespace pofl {
+
+std::unique_ptr<ArborescenceRoutingPattern> ArborescenceRoutingPattern::create(
+    const Graph& g, std::vector<std::vector<Arborescence>> trees_per_destination) {
+  for (const auto& trees : trees_per_destination) {
+    if (!trees.empty() && !validate_arborescences(g, trees)) return nullptr;
+  }
+  return std::unique_ptr<ArborescenceRoutingPattern>(
+      new ArborescenceRoutingPattern(std::move(trees_per_destination)));
+}
+
+std::unique_ptr<ArborescenceRoutingPattern> ArborescenceRoutingPattern::build(const Graph& g,
+                                                                              int k,
+                                                                              uint64_t seed) {
+  std::vector<std::vector<Arborescence>> per_destination(
+      static_cast<size_t>(g.num_vertices()));
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    auto trees = build_arborescences(g, t, k, seed + static_cast<uint64_t>(t));
+    if (!trees.has_value()) return nullptr;
+    per_destination[static_cast<size_t>(t)] = std::move(*trees);
+  }
+  return create(g, std::move(per_destination));
+}
+
+std::optional<EdgeId> ArborescenceRoutingPattern::forward(const Graph& g, VertexId at,
+                                                          EdgeId inport,
+                                                          const IdSet& local_failures,
+                                                          const Header& header) const {
+  const VertexId t = header.destination;
+  if (t == kNoVertex || t >= static_cast<VertexId>(trees_.size())) return std::nullopt;
+  const auto& trees = trees_[static_cast<size_t>(t)];
+  if (trees.empty() || at == t) return std::nullopt;
+  const int k = static_cast<int>(trees.size());
+
+  // Which tree is the packet on? The in-arc (from -> at) belongs to at most
+  // one arborescence: `from`'s parent arc in that tree points at `at`.
+  int current = 0;
+  if (inport != kNoEdge) {
+    const VertexId from = g.other_endpoint(inport, at);
+    for (int i = 0; i < k; ++i) {
+      if (trees[static_cast<size_t>(i)].parent_edge[static_cast<size_t>(from)] == inport &&
+          trees[static_cast<size_t>(i)].parent[static_cast<size_t>(from)] == at) {
+        current = i;
+        break;
+      }
+    }
+  }
+  // Ride the current tree; on failure switch circularly to the next tree
+  // whose parent arc here is alive.
+  for (int step = 0; step < k; ++step) {
+    const int i = (current + step) % k;
+    const EdgeId up = trees[static_cast<size_t>(i)].parent_edge[static_cast<size_t>(at)];
+    if (up != kNoEdge && !local_failures.contains(up)) return up;
+  }
+  return std::nullopt;  // all parent arcs dead
+}
+
+}  // namespace pofl

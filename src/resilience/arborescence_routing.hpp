@@ -1,0 +1,53 @@
+#pragma once
+
+// Arborescence-switching destination-based routing — the *ideal resilience*
+// baseline of Chiesa et al. [40-42] that the paper positions perfect
+// resilience against (§I-B1). The packet rides arborescence T_1 toward the
+// root; when the next arc is dead it switches to the next arborescence whose
+// arc at this node is alive (circular order).
+//
+// Which arborescence the packet is currently on is inferred from the in-port
+// (each directed arc belongs to at most one tree), so the scheme is a valid
+// static pattern of the paper's model. Ideal resilience — surviving k-1
+// failures on k-connected graphs for every strategy — is an open question;
+// the bench measures what this canonical circular strategy achieves.
+
+#include <memory>
+#include <vector>
+
+#include "graph/arborescence.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+class ArborescenceRoutingPattern final : public ForwardingPattern {
+ public:
+  /// Per-destination arborescence sets; trees[t] may be empty for vertices
+  /// that never act as destinations.
+  [[nodiscard]] static std::unique_ptr<ArborescenceRoutingPattern> create(
+      const Graph& g, std::vector<std::vector<Arborescence>> trees_per_destination);
+
+  /// Builds k arborescences toward every destination (k = min degree by
+  /// default); nullptr if construction fails for some destination.
+  [[nodiscard]] static std::unique_ptr<ArborescenceRoutingPattern> build(const Graph& g, int k,
+                                                                         uint64_t seed = 1);
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "arborescence-switching"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+  [[nodiscard]] int num_trees(VertexId t) const {
+    return static_cast<int>(trees_[static_cast<size_t>(t)].size());
+  }
+
+ private:
+  explicit ArborescenceRoutingPattern(std::vector<std::vector<Arborescence>> trees)
+      : trees_(std::move(trees)) {}
+
+  std::vector<std::vector<Arborescence>> trees_;
+};
+
+}  // namespace pofl

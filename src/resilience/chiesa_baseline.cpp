@@ -1,0 +1,117 @@
+#include "resilience/chiesa_baseline.hpp"
+
+#include <cassert>
+
+namespace pofl {
+
+namespace {
+
+class ChiesaCompletePattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "chiesa-complete-sweep"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId /*inport*/,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    const VertexId t = header.destination;
+    if (const auto direct = g.edge_between(at, t)) {
+      if (!local_failures.contains(*direct)) return *direct;
+    }
+    // In-port independent sweep: the first alive successor in cyclic id
+    // order, never through t. Skipped chords are failed edges; a functional
+    // cycle of such hops would need more failures than the budget allows.
+    const int n = g.num_vertices();
+    for (int step = 1; step < n; ++step) {
+      const VertexId w = static_cast<VertexId>((at + step) % n);
+      if (w == t || w == at) continue;
+      const auto e = g.edge_between(at, w);
+      if (e.has_value() && !local_failures.contains(*e)) return *e;
+    }
+    return std::nullopt;
+  }
+};
+
+class ChiesaBipartitePattern final : public ForwardingPattern {
+ public:
+  ChiesaBipartitePattern(int a, int b) : a_(a), b_(b) {}
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "chiesa-bipartite-relay"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    const VertexId t = header.destination;
+    if (const auto direct = g.edge_between(at, t)) {
+      if (!local_failures.contains(*direct)) return *direct;
+    }
+    const bool t_in_a = t < a_;
+    const bool at_in_a = at < a_;
+    const VertexId from = inport == kNoEdge ? kNoVertex : g.other_endpoint(inport, at);
+
+    if (at_in_a != t_in_a) {
+      // `at` is on t's adjacent ("walker") side and its t-link is dead:
+      // sweep relays on the opposite side, cyclically after the in-port.
+      return next_on_side(g, at, from, !at_in_a, t, local_failures);
+    }
+    // `at` is a relay (same side as t): hand the packet to the walker after
+    // the one it came from; if that link is dead, bounce for a re-try.
+    if (from == kNoVertex) {
+      // Packet originates on t's side: enter the walker cycle anywhere.
+      return next_on_side(g, at, kNoVertex, !at_in_a, t, local_failures);
+    }
+    const VertexId target = cyclic_next_same_side(from, t);
+    if (const auto e = g.edge_between(at, target)) {
+      if (!local_failures.contains(*e)) return *e;
+    }
+    return inport;  // bounce back: the walker advances its relay sweep
+  }
+
+ private:
+  /// First alive neighbor of `at` on side A (side_a) / B, strictly after
+  /// `after` in cyclic id order (kNoVertex starts at the lowest id),
+  /// excluding t.
+  [[nodiscard]] std::optional<EdgeId> next_on_side(const Graph& g, VertexId at, VertexId after,
+                                                   bool side_a, VertexId t,
+                                                   const IdSet& local_failures) const {
+    const VertexId lo = side_a ? 0 : a_;
+    const VertexId hi = side_a ? a_ : a_ + b_;
+    const int span = hi - lo;
+    const VertexId anchor = after == kNoVertex ? hi - 1 : after;
+    for (int step = 1; step <= span; ++step) {
+      const VertexId w = lo + (anchor - lo + step) % span;
+      if (w == t) continue;
+      const auto e = g.edge_between(at, w);
+      if (e.has_value() && !local_failures.contains(*e)) return *e;
+    }
+    return std::nullopt;
+  }
+
+  /// Successor of v in the cyclic order of its own side, never t.
+  [[nodiscard]] VertexId cyclic_next_same_side(VertexId v, VertexId t) const {
+    const VertexId lo = v < a_ ? 0 : a_;
+    const int span = v < a_ ? a_ : b_;
+    VertexId w = v;
+    for (int step = 1; step <= span; ++step) {
+      w = lo + (v - lo + step) % span;
+      if (w != t) return w;
+    }
+    return v;
+  }
+
+  VertexId a_;
+  VertexId b_;
+};
+
+}  // namespace
+
+std::unique_ptr<ForwardingPattern> make_chiesa_complete_pattern() {
+  return std::make_unique<ChiesaCompletePattern>();
+}
+
+std::unique_ptr<ForwardingPattern> make_chiesa_bipartite_pattern(int a, int b) {
+  return std::make_unique<ChiesaBipartitePattern>(a, b);
+}
+
+}  // namespace pofl

@@ -1,0 +1,31 @@
+#pragma once
+
+// Destination-based bounded-failure baselines on complete and complete
+// bipartite graphs, in the spirit of Chiesa et al. [48 §B.2, §B.3] — the
+// positive rows of the paper's Table I:
+//
+//   K_n    tolerates f <= n-2 link failures      (K_n is (n-1)-connected)
+//   K_{a,b} tolerates f <= min(a,b)-2            (min(a,b)-connected)
+//
+// Complete graphs: sweep the non-destination vertices in cyclic id order,
+// skipping failed chords, delivering as soon as a live link to t is seen. A
+// routing loop would need |cycle| failed t-links plus all skipped chords —
+// more than n-2 failures in total, so the sweep always escapes to t.
+//
+// Bipartite: the packet walks the side opposite t in cyclic order; each hop
+// relays via the other side, sweeping relays in cyclic order (bounces are
+// re-tries). Blocking a full hop costs at least one failed t-link plus one
+// failure per dead relay, again exceeding the budget.
+
+#include <memory>
+
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_chiesa_complete_pattern();
+
+/// Parts follow make_complete_bipartite numbering: A = [0,a), B = [a,a+b).
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_chiesa_bipartite_pattern(int a, int b);
+
+}  // namespace pofl

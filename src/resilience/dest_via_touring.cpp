@@ -1,0 +1,79 @@
+#include "resilience/dest_via_touring.hpp"
+
+#include <cassert>
+
+#include "graph/planarity.hpp"
+
+namespace pofl {
+
+std::optional<DestViaTouringPattern> DestViaTouringPattern::create(const Graph& g, VertexId t) {
+  GraphMapping mapping;
+  Graph reduced = g.without_vertex(t, &mapping);
+  auto tour = OuterplanarTouringPattern::create(reduced);
+  if (!tour.has_value()) return std::nullopt;
+  return DestViaTouringPattern(t, std::move(reduced), std::move(mapping), std::move(*tour));
+}
+
+std::optional<EdgeId> DestViaTouringPattern::forward(const Graph& g, VertexId at, EdgeId inport,
+                                                     const IdSet& local_failures,
+                                                     const Header& header) const {
+  if (header.destination != t_) return std::nullopt;  // wrong sub-pattern
+  assert(at != t_ && "the destination never forwards");
+
+  // Highest priority: a live link to the destination.
+  if (const auto direct = g.edge_between(at, t_)) {
+    if (!local_failures.contains(*direct)) return *direct;
+  }
+
+  // Otherwise tour G \ {t}. Translate the local view into reduced_ ids; the
+  // only edges that vanish are those incident to t, and they are treated by
+  // the tour as if they never existed (which is exactly Corollary 5's model).
+  const VertexId at_r = mapping_.vertex_to_new[static_cast<size_t>(at)];
+  EdgeId inport_r = kNoEdge;
+  if (inport != kNoEdge) {
+    // A packet can only arrive from a non-t node (t never forwards), so the
+    // in-port always exists in the reduced graph.
+    inport_r = mapping_.edge_to_new[static_cast<size_t>(inport)];
+    assert(inport_r != kNoEdge);
+  }
+  IdSet failures_r = reduced_.empty_edge_set();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!local_failures.contains(e)) continue;
+    const EdgeId er = mapping_.edge_to_new[static_cast<size_t>(e)];
+    if (er != kNoEdge) failures_r.insert(er);
+  }
+  const auto out_r = tour_.forward(reduced_, at_r, inport_r, failures_r, Header{});
+  if (!out_r.has_value()) return std::nullopt;
+  return mapping_.edge_to_old[static_cast<size_t>(*out_r)];
+}
+
+std::optional<DestViaTouringAllPattern> DestViaTouringAllPattern::create(const Graph& g) {
+  std::vector<DestViaTouringPattern> subs;
+  subs.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    auto sub = DestViaTouringPattern::create(g, t);
+    if (!sub.has_value()) return std::nullopt;
+    subs.push_back(std::move(*sub));
+  }
+  return DestViaTouringAllPattern(std::move(subs));
+}
+
+std::optional<EdgeId> DestViaTouringAllPattern::forward(const Graph& g, VertexId at, EdgeId inport,
+                                                        const IdSet& local_failures,
+                                                        const Header& header) const {
+  if (header.destination == kNoVertex || header.destination >= g.num_vertices()) {
+    return std::nullopt;
+  }
+  return subs_[static_cast<size_t>(header.destination)].forward(g, at, inport, local_failures,
+                                                                header);
+}
+
+std::vector<VertexId> corollary5_destinations(const Graph& g) {
+  std::vector<VertexId> out;
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    if (is_outerplanar(g.without_vertex(t))) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace pofl

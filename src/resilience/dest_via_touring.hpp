@@ -1,0 +1,70 @@
+#pragma once
+
+// Corollary 5 of the paper ([2, Corollary 6.2]): if G \ {t} is outerplanar,
+// then G admits a perfectly resilient destination-based pattern pi^t — tour
+// G \ {t} with the right-hand rule and hop to t the moment a live link to t
+// is seen (delivery always has highest priority).
+//
+// This is the workhorse of the paper's positive results without source:
+// Theorem 12 (K5^-2, when at most one removed link touches t), Theorem 13
+// (K3,3^-2), and the "sometimes" classification of Topology Zoo networks
+// (§VIII: destinations t with G \ t outerplanar are perfectly reachable).
+
+#include <memory>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "resilience/outerplanar_touring.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+class DestViaTouringPattern final : public ForwardingPattern {
+ public:
+  /// Builds the pattern for one destination; fails iff G \ {t} is not
+  /// outerplanar. Packets routed with a different destination are dropped.
+  [[nodiscard]] static std::optional<DestViaTouringPattern> create(const Graph& g, VertexId t);
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "dest-via-outerplanar-tour"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+ private:
+  DestViaTouringPattern(VertexId t, Graph reduced, GraphMapping mapping,
+                        OuterplanarTouringPattern tour)
+      : t_(t), reduced_(std::move(reduced)), mapping_(std::move(mapping)),
+        tour_(std::move(tour)) {}
+
+  VertexId t_;
+  Graph reduced_;            // G \ {t}
+  GraphMapping mapping_;     // id translation between G and reduced_
+  OuterplanarTouringPattern tour_;
+};
+
+/// All-destination wrapper: dispatches on header.destination to per-t
+/// sub-patterns. Usable whenever G \ {t} is outerplanar for every t.
+class DestViaTouringAllPattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] static std::optional<DestViaTouringAllPattern> create(const Graph& g);
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "dest-via-outerplanar-tour-all"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+ private:
+  explicit DestViaTouringAllPattern(std::vector<DestViaTouringPattern> subs)
+      : subs_(std::move(subs)) {}
+  std::vector<DestViaTouringPattern> subs_;
+};
+
+/// The destinations of g that Corollary 5 covers (G \ t outerplanar). The
+/// §VIII classifier uses this to label networks "sometimes".
+[[nodiscard]] std::vector<VertexId> corollary5_destinations(const Graph& g);
+
+}  // namespace pofl

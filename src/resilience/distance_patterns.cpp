@@ -1,0 +1,91 @@
+#include "resilience/distance_patterns.hpp"
+
+#include <cassert>
+
+namespace pofl {
+
+namespace {
+
+/// First alive neighbor strictly after `after` in cyclic id order (wrapping);
+/// `after` = kNoVertex starts the sweep at the lowest id. Returns the edge.
+std::optional<EdgeId> next_alive_cyclic(const Graph& g, VertexId at, VertexId after,
+                                        const IdSet& local_failures, VertexId skip = kNoVertex) {
+  std::optional<EdgeId> best_after, best_overall;
+  VertexId best_after_id = kNoVertex, best_overall_id = kNoVertex;
+  for (EdgeId e : g.incident_edges(at)) {
+    if (local_failures.contains(e)) continue;
+    const VertexId w = g.other_endpoint(e, at);
+    if (w == skip) continue;
+    if (best_overall_id == kNoVertex || w < best_overall_id) {
+      best_overall_id = w;
+      best_overall = e;
+    }
+    if (after != kNoVertex && w > after && (best_after_id == kNoVertex || w < best_after_id)) {
+      best_after_id = w;
+      best_after = e;
+    }
+  }
+  if (best_after.has_value()) return best_after;
+  return best_overall;  // wrap (or sweep start)
+}
+
+class Distance2Pattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override {
+    return RoutingModel::kSourceDestination;
+  }
+  [[nodiscard]] std::string name() const override { return "distance2"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    const VertexId s = header.source;
+    const VertexId t = header.destination;
+    if (const auto direct = g.edge_between(at, t)) {
+      if (!local_failures.contains(*direct)) return *direct;
+    }
+    if (at == s) {
+      const VertexId from = inport == kNoEdge ? kNoVertex : g.other_endpoint(inport, at);
+      return next_alive_cyclic(g, at, from, local_failures);
+    }
+    // Non-source nodes bounce; if the packet started here by misuse, drop.
+    return inport == kNoEdge ? std::nullopt : std::optional<EdgeId>(inport);
+  }
+};
+
+class Distance3BipartitePattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override {
+    return RoutingModel::kSourceDestination;
+  }
+  [[nodiscard]] std::string name() const override { return "distance3-bipartite"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    const VertexId s = header.source;
+    const VertexId t = header.destination;
+    if (const auto direct = g.edge_between(at, t)) {
+      if (!local_failures.contains(*direct)) return *direct;
+    }
+    // The source and its configuration-time neighbors sweep cyclically.
+    if (at == s || g.has_edge(at, s)) {
+      const VertexId from = inport == kNoEdge ? kNoVertex : g.other_endpoint(inport, at);
+      return next_alive_cyclic(g, at, from, local_failures);
+    }
+    // Distance-2 nodes bounce the packet straight back.
+    return inport == kNoEdge ? std::nullopt : std::optional<EdgeId>(inport);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ForwardingPattern> make_distance2_pattern() {
+  return std::make_unique<Distance2Pattern>();
+}
+
+std::unique_ptr<ForwardingPattern> make_distance3_bipartite_pattern() {
+  return std::make_unique<Distance3BipartitePattern>();
+}
+
+}  // namespace pofl

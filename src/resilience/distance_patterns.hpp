@@ -1,0 +1,30 @@
+#pragma once
+
+// Distance-promise patterns.
+//
+// distance2: [2, Theorem 6.1] — a source-destination pattern that always
+// delivers when dist_{G\F}(s,t) <= 2. The source sweeps its alive neighbors
+// in cyclic id order; every other node delivers if it can, else bounces.
+// Theorem 3 of the paper leverages it for r-tolerance of K_{2r+1}: if s and
+// t stay r-connected, a common neighbor survives by pigeonhole.
+//
+// distance3_bipartite: Theorem 4 — in bipartite graphs the pattern extends
+// to distance 3: the source and the (configuration-time) neighbors of the
+// source route in cyclic permutations; distance-2 nodes bounce; a distance-3
+// node is only ever entered if it is the destination. Theorem 5 derives
+// r-tolerance of K_{2r-1,2r-1}.
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_distance2_pattern();
+
+/// `g` must be bipartite; the pattern needs the graph at configuration time
+/// to know the source's neighborhood.
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_distance3_bipartite_pattern();
+
+}  // namespace pofl

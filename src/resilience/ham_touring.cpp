@@ -1,0 +1,89 @@
+#include "resilience/ham_touring.hpp"
+
+#include <cassert>
+
+namespace pofl {
+
+std::unique_ptr<HamiltonianTouringPattern> HamiltonianTouringPattern::create(
+    const Graph& g, std::vector<HamiltonianCycle> cycles) {
+  if (cycles.empty()) return nullptr;
+  for (const auto& c : cycles) {
+    if (!is_hamiltonian_cycle(g, c)) return nullptr;
+  }
+  if (!cycles_link_disjoint(g, cycles)) return nullptr;
+
+  auto p = std::unique_ptr<HamiltonianTouringPattern>(new HamiltonianTouringPattern());
+  p->cycle_of_edge_.assign(static_cast<size_t>(g.num_edges()), -1);
+  for (size_t i = 0; i < cycles.size(); ++i) {
+    const auto& c = cycles[i];
+    std::vector<VertexId> succ(static_cast<size_t>(g.num_vertices()), kNoVertex);
+    for (size_t j = 0; j < c.size(); ++j) {
+      const VertexId u = c[j];
+      const VertexId v = c[(j + 1) % c.size()];
+      succ[static_cast<size_t>(u)] = v;
+      p->cycle_of_edge_[static_cast<size_t>(*g.edge_between(u, v))] = static_cast<int>(i);
+    }
+    p->successor_.push_back(std::move(succ));
+  }
+  return p;
+}
+
+std::optional<EdgeId> HamiltonianTouringPattern::forward(const Graph& g, VertexId at,
+                                                         EdgeId inport,
+                                                         const IdSet& local_failures,
+                                                         const Header& /*header*/) const {
+  const int k = num_cycles();
+
+  // The forward (orientation-successor) edge of cycle j at this node.
+  const auto forward_edge = [&](int j) -> EdgeId {
+    const VertexId nxt = successor_[static_cast<size_t>(j)][static_cast<size_t>(at)];
+    return *g.edge_between(at, nxt);
+  };
+
+  if (inport == kNoEdge) {
+    // Start on the first cycle whose forward link is alive.
+    for (int j = 0; j < k; ++j) {
+      const EdgeId e = forward_edge(j);
+      if (!local_failures.contains(e)) return e;
+    }
+    return std::nullopt;
+  }
+
+  const int i = cycle_of_edge_[static_cast<size_t>(inport)];
+  if (i < 0) return std::nullopt;  // not riding any cycle: model misuse
+
+  // Continue cycle i in the direction of travel: the other cycle-i edge.
+  const VertexId succ_i = successor_[static_cast<size_t>(i)][static_cast<size_t>(at)];
+  const EdgeId fwd_i = *g.edge_between(at, succ_i);
+  const EdgeId continue_edge = fwd_i != inport ? fwd_i : [&] {
+    // We entered along the forward edge, so continuing means the backward
+    // one: find the predecessor of `at` on cycle i.
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (successor_[static_cast<size_t>(i)][static_cast<size_t>(u)] == at) {
+        return *g.edge_between(u, at);
+      }
+    }
+    return kNoEdge;
+  }();
+  assert(continue_edge != kNoEdge);
+  if (!local_failures.contains(continue_edge)) return continue_edge;
+
+  // Switch: minimal j > i with an alive forward link here. Within the
+  // theorem's promise (|F| <= k-1) this always succeeds; beyond it we drop.
+  for (int j = i + 1; j < k; ++j) {
+    const EdgeId e = forward_edge(j);
+    if (!local_failures.contains(e)) return e;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<HamiltonianTouringPattern> make_complete_ham_touring(const Graph& g) {
+  return HamiltonianTouringPattern::create(g, walecki_cycles(g.num_vertices()));
+}
+
+std::unique_ptr<HamiltonianTouringPattern> make_bipartite_ham_touring(const Graph& g,
+                                                                      int part_size) {
+  return HamiltonianTouringPattern::create(g, bipartite_hamiltonian_cycles(part_size));
+}
+
+}  // namespace pofl

@@ -1,0 +1,51 @@
+#pragma once
+
+// Theorem 17: (k-1)-resilient touring on 2k-connected complete and complete
+// bipartite graphs via k link-disjoint Hamiltonian cycles (Walecki /
+// Laskar-Auerbach). The packet rides cycle H_i; when H_i's next link at the
+// current node is down it switches to the minimal j > i whose forward link
+// at this node is alive. With at most k-1 failures the switch index can
+// never run off the end (each skip is charged to a distinct failed link of a
+// distinct cycle), and the cycle finally settled on is failure-free, so the
+// walk tours every node forever.
+
+#include <memory>
+#include <vector>
+
+#include "graph/hamiltonian.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+class HamiltonianTouringPattern final : public ForwardingPattern {
+ public:
+  /// `cycles` must be pairwise link-disjoint Hamiltonian cycles of g
+  /// (checked); k = cycles.size() gives (k-1)-resilient touring.
+  [[nodiscard]] static std::unique_ptr<HamiltonianTouringPattern> create(
+      const Graph& g, std::vector<HamiltonianCycle> cycles);
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kTouring; }
+  [[nodiscard]] std::string name() const override { return "hamiltonian-switch-touring"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+  [[nodiscard]] int num_cycles() const { return static_cast<int>(successor_.size()); }
+
+ private:
+  HamiltonianTouringPattern() = default;
+
+  /// successor_[i][v] = next vertex after v along cycle i's orientation.
+  std::vector<std::vector<VertexId>> successor_;
+  /// cycle_of_edge_[e] = cycle index owning edge e, or -1.
+  std::vector<int> cycle_of_edge_;
+};
+
+/// Theorem 17 instantiations: K_n toured with floor((n-1)/2) cycles, K_{n,n}
+/// (n even) with n/2 cycles.
+[[nodiscard]] std::unique_ptr<HamiltonianTouringPattern> make_complete_ham_touring(const Graph& g);
+[[nodiscard]] std::unique_ptr<HamiltonianTouringPattern> make_bipartite_ham_touring(
+    const Graph& g, int part_size);
+
+}  // namespace pofl

@@ -1,0 +1,23 @@
+#pragma once
+
+// Theorem 9: a perfectly resilient source-destination pattern for K3,3 and
+// its minors, given in the paper's appendix as two explicit priority tables —
+// one for source and destination in different parts, one for the same part.
+// The tables are instantiated for every (s,t) pair by symmetry (relabeling),
+// with delivery-to-t prepended everywhere (the paper's highest-priority
+// rule).
+//
+// Vertex convention: part A = {0,1,2}, part B = {3,4,5}
+// (make_complete_bipartite(3,3) numbering).
+
+#include <memory>
+
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+/// Pattern for K3,3 (works on subgraphs of K3,3 too: absent links behave as
+/// permanently failed, which only removes candidates from priority lists).
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_k33_source_pattern();
+
+}  // namespace pofl

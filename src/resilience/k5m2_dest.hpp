@@ -1,0 +1,31 @@
+#pragma once
+
+// Theorems 12 and 13: perfectly resilient destination-based patterns for
+// K5^-2 (complete graph on five nodes minus two links) and K3,3^-2, matching
+// the paper's impossibility results for K5^-1 / K3,3^-1 exactly one link
+// apart.
+//
+// Per destination t the construction dispatches:
+//   * G \ t outerplanar            -> Corollary 5 tour (dest_via_touring);
+//   * K5^-2, both removed links at t (G \ t = K4, Fig. 5) -> the explicit
+//     Fig. 4 table that visits both neighbors of t from any start;
+//   * K3,3^-2, both removed links at t (t keeps one hub neighbor) -> relay:
+//     route to the hub with Corollary 5 on G \ t, then hop to t.
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+/// Destination-based pattern for a K5^-2 instance (or any 5-node graph all
+/// of whose per-destination cases are covered). nullptr if some destination
+/// is not coverable (e.g. the graph is K5 or K5^-1).
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_k5m2_dest_pattern(const Graph& g);
+
+/// Destination-based pattern for a K3,3^-2 instance (vertices 0-2 / 3-5).
+/// nullptr if some destination is not coverable.
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_k33m2_dest_pattern(const Graph& g);
+
+}  // namespace pofl

@@ -1,0 +1,58 @@
+#include "resilience/outerplanar_touring.hpp"
+
+#include <cassert>
+
+namespace pofl {
+
+std::optional<OuterplanarTouringPattern> OuterplanarTouringPattern::create(const Graph& g) {
+  auto embedding = outerplanar_embedding(g);
+  if (!embedding.has_value()) return std::nullopt;
+  return OuterplanarTouringPattern(std::move(*embedding));
+}
+
+std::optional<EdgeId> OuterplanarTouringPattern::forward(const Graph& g, VertexId at,
+                                                         EdgeId inport,
+                                                         const IdSet& local_failures,
+                                                         const Header& /*header*/) const {
+  const auto& rot = embedding_.rotation[static_cast<size_t>(at)];
+  if (rot.empty()) return std::nullopt;  // isolated vertex: nothing to tour
+  const int deg = static_cast<int>(rot.size());
+
+  int start_index = 0;
+  if (inport == kNoEdge) {
+    // Origin: depart along the first alive edge in rotation order — the
+    // outer-boundary arc toward the circular successor.
+    for (int i = 0; i < deg; ++i) {
+      if (!local_failures.contains(rot[static_cast<size_t>(i)])) {
+        return rot[static_cast<size_t>(i)];
+      }
+    }
+    return std::nullopt;  // all incident links failed: singleton component
+  }
+
+  // Arrival: continue with the rotation successor of the in-port, skipping
+  // failed edges; wrapping all the way back to the in-port bounces the
+  // packet, which is the correct boundary walk of the merged face.
+  int inport_index = -1;
+  for (int i = 0; i < deg; ++i) {
+    if (rot[static_cast<size_t>(i)] == inport) {
+      inport_index = i;
+      break;
+    }
+  }
+  assert(inport_index >= 0 && "in-port must be incident");
+  for (int step = 1; step <= deg; ++step) {
+    const EdgeId candidate = rot[static_cast<size_t>((inport_index + step) % deg)];
+    if (!local_failures.contains(candidate)) return candidate;
+  }
+  (void)start_index;
+  return std::nullopt;  // unreachable: the in-port itself is alive
+}
+
+std::unique_ptr<ForwardingPattern> make_outerplanar_touring(const Graph& g) {
+  auto pattern = OuterplanarTouringPattern::create(g);
+  if (!pattern.has_value()) return nullptr;
+  return std::make_unique<OuterplanarTouringPattern>(std::move(*pattern));
+}
+
+}  // namespace pofl

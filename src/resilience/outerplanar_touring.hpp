@@ -1,0 +1,46 @@
+#pragma once
+
+// Right-hand-rule touring on outerplanar graphs — the positive half of the
+// paper's complete touring characterization (Corollary 6, via [2, §6.2]).
+//
+// The pattern is built from an outerplanar embedding: all vertices lie on a
+// circle, edges are non-crossing chords. A packet arriving at v via edge e
+// departs on the next edge after e in v's rotation (counterclockwise order);
+// locally failed edges are skipped by continuing the rotation, which walks
+// the boundary of the merged face. Because every vertex lies on the outer
+// face and edge removals only ever grow the outer face, the walk started on
+// an outer-boundary arc tours the entire surviving component and returns.
+
+#include <memory>
+#include <optional>
+
+#include "graph/outerplanar.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+class OuterplanarTouringPattern final : public ForwardingPattern {
+ public:
+  /// Fails (nullopt) iff g is not outerplanar.
+  [[nodiscard]] static std::optional<OuterplanarTouringPattern> create(const Graph& g);
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kTouring; }
+  [[nodiscard]] std::string name() const override { return "outerplanar-right-hand"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+  [[nodiscard]] const OuterplanarEmbedding& embedding() const { return embedding_; }
+
+ private:
+  explicit OuterplanarTouringPattern(OuterplanarEmbedding embedding)
+      : embedding_(std::move(embedding)) {}
+
+  OuterplanarEmbedding embedding_;
+};
+
+/// Convenience: heap-allocated pattern for polymorphic use.
+[[nodiscard]] std::unique_ptr<ForwardingPattern> make_outerplanar_touring(const Graph& g);
+
+}  // namespace pofl

@@ -1,0 +1,40 @@
+#pragma once
+
+// Composition helpers for forwarding patterns.
+
+#include <memory>
+#include <vector>
+
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+/// Dispatches on header.destination to one sub-pattern per destination.
+/// Used by the K5^-2 / K3,3^-2 constructions, whose per-destination tables
+/// differ structurally (Corollary 5 tour vs. the Fig. 4 table vs. relaying).
+class PerDestinationPattern final : public ForwardingPattern {
+ public:
+  PerDestinationPattern(std::string name, std::vector<std::unique_ptr<ForwardingPattern>> subs)
+      : name_(std::move(name)), subs_(std::move(subs)) {}
+
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    if (header.destination == kNoVertex ||
+        header.destination >= static_cast<VertexId>(subs_.size()) ||
+        subs_[static_cast<size_t>(header.destination)] == nullptr) {
+      return std::nullopt;
+    }
+    return subs_[static_cast<size_t>(header.destination)]->forward(g, at, inport, local_failures,
+                                                                   header);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<ForwardingPattern>> subs_;
+};
+
+}  // namespace pofl

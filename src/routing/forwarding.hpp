@@ -1,0 +1,67 @@
+#pragma once
+
+// The paper's routing model (§II). Every node v carries a static forwarding
+// function
+//
+//   pi_v : (incident failed links, in-port, header) -> out-port
+//
+// configured ahead of time with full knowledge of the graph but none of the
+// failures. Headers are immutable; what they expose distinguishes the three
+// models: source-destination pi^{s,t}, destination-only pi^{t}, and touring
+// pi^{forall} (no header at all).
+//
+// Locality is enforced by the simulator: a pattern is only ever shown the
+// failures incident to the current node (F cap E(v)).
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+enum class RoutingModel {
+  kSourceDestination,  // rules may match source and destination
+  kDestinationOnly,    // rules may match the destination only
+  kTouring,            // rules see no header at all
+};
+
+[[nodiscard]] constexpr const char* to_string(RoutingModel m) {
+  switch (m) {
+    case RoutingModel::kSourceDestination:
+      return "source-destination";
+    case RoutingModel::kDestinationOnly:
+      return "destination-only";
+    case RoutingModel::kTouring:
+      return "touring";
+  }
+  return "?";
+}
+
+/// Immutable packet header. Fields a model must not depend on are set to
+/// kNoVertex by the simulator, so a pattern cannot cheat.
+struct Header {
+  VertexId source = kNoVertex;
+  VertexId destination = kNoVertex;
+};
+
+/// Static per-node forwarding function. Implementations must be
+/// deterministic and memoryless: the same (at, inport, local_failures,
+/// header) must always produce the same out-port.
+class ForwardingPattern {
+ public:
+  virtual ~ForwardingPattern() = default;
+
+  [[nodiscard]] virtual RoutingModel model() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The out-port for a packet arriving at `at` via `inport` (kNoEdge means
+  /// the packet originates here), given the locally visible failures.
+  /// nullopt drops the packet (always a resilience violation for a connected
+  /// destination). The chosen edge must be incident to `at` and alive.
+  [[nodiscard]] virtual std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                                      const IdSet& local_failures,
+                                                      const Header& header) const = 0;
+};
+
+}  // namespace pofl

@@ -1,0 +1,36 @@
+#pragma once
+
+// Minor adaptation of forwarding patterns ([2, §4], used throughout the
+// paper's transfer arguments: positive results propagate to minors).
+//
+//   * edge deletion: the missing link behaves as permanently failed — the
+//     adapted pattern adds it to the local failure view;
+//   * edge contraction: the merged node simulates both endpoints. A packet
+//     arriving on a port that belonged to u is processed by pi_u; if pi_u
+//     forwards onto the contracted link, the packet is handed to pi_v
+//     internally (and vice versa) until an external port is chosen. A
+//     u-v-u internal bounce corresponds to a forwarding loop in the original
+//     graph and surfaces as a drop.
+//
+// Corollary 7 of the paper (touring transfers to minors) and the minor
+// halves of Theorems 8/9/12/13 become executable statements: adapt the
+// verified pattern, re-verify on the minor.
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+/// Pattern on g.without_edges(deleted): treats deleted links as failed.
+/// The returned pattern runs on the *reduced* graph (mapping supplied by
+/// Graph::without_edges).
+[[nodiscard]] std::unique_ptr<ForwardingPattern> adapt_to_edge_deletion(
+    std::shared_ptr<const ForwardingPattern> inner, Graph original, const IdSet& deleted);
+
+/// Pattern on g.contracted(e): the merged node plays both endpoints.
+[[nodiscard]] std::unique_ptr<ForwardingPattern> adapt_to_contraction(
+    std::shared_ptr<const ForwardingPattern> inner, Graph original, EdgeId contracted_edge);
+
+}  // namespace pofl

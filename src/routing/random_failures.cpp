@@ -1,0 +1,75 @@
+#include "routing/random_failures.hpp"
+
+#include <random>
+
+#include "graph/connectivity.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+namespace {
+
+IdSet draw_failures(const Graph& g, double p, std::mt19937_64& rng) {
+  std::bernoulli_distribution coin(p);
+  IdSet f = g.empty_edge_set();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (coin(rng)) f.insert(e);
+  }
+  return f;
+}
+
+}  // namespace
+
+RandomFailureStats estimate_delivery_rate(const Graph& g, const ForwardingPattern& pattern,
+                                          VertexId s, VertexId t, double p, int trials,
+                                          uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  RandomFailureStats stats;
+  long long failures_total = 0;
+  long long hops_total = 0;
+  for (int i = 0; i < trials; ++i) {
+    const IdSet f = draw_failures(g, p, rng);
+    if (!connected(g, s, t, f)) continue;
+    ++stats.trials_with_promise;
+    failures_total += f.count();
+    const RoutingResult r = route_packet(g, pattern, f, s, Header{s, t});
+    if (r.outcome == RoutingOutcome::kDelivered) {
+      ++stats.delivered;
+      hops_total += r.hops;
+    }
+  }
+  if (stats.trials_with_promise > 0) {
+    stats.delivery_rate = static_cast<double>(stats.delivered) / stats.trials_with_promise;
+    stats.mean_failures = static_cast<double>(failures_total) / stats.trials_with_promise;
+  }
+  if (stats.delivered > 0) {
+    stats.mean_hops = static_cast<double>(hops_total) / stats.delivered;
+  }
+  return stats;
+}
+
+RandomFailureStats estimate_touring_rate(const Graph& g, const ForwardingPattern& pattern,
+                                         VertexId start, double p, int trials, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  RandomFailureStats stats;
+  long long failures_total = 0;
+  long long hops_total = 0;
+  for (int i = 0; i < trials; ++i) {
+    const IdSet f = draw_failures(g, p, rng);
+    ++stats.trials_with_promise;  // touring's promise is unconditional
+    failures_total += f.count();
+    const TourResult r = tour_packet(g, pattern, f, start);
+    if (r.success) {
+      ++stats.delivered;
+      hops_total += r.steps_walked;
+    }
+  }
+  stats.delivery_rate = static_cast<double>(stats.delivered) / stats.trials_with_promise;
+  stats.mean_failures = static_cast<double>(failures_total) / stats.trials_with_promise;
+  if (stats.delivered > 0) {
+    stats.mean_hops = static_cast<double>(hops_total) / stats.delivered;
+  }
+  return stats;
+}
+
+}  // namespace pofl

@@ -1,0 +1,186 @@
+#include "routing/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/connectivity.hpp"
+
+namespace pofl {
+
+namespace {
+
+/// Masks header fields the model is not allowed to read.
+Header masked(const Header& header, RoutingModel model) {
+  Header h = header;
+  switch (model) {
+    case RoutingModel::kSourceDestination:
+      break;
+    case RoutingModel::kDestinationOnly:
+      h.source = kNoVertex;
+      break;
+    case RoutingModel::kTouring:
+      h.source = kNoVertex;
+      h.destination = kNoVertex;
+      break;
+  }
+  return h;
+}
+
+/// Dense id of the (node, in-port) state: in-ports are the node's incident
+/// edges plus the virtual start port.
+class StateIndex {
+ public:
+  explicit StateIndex(const Graph& g) : offset_(static_cast<size_t>(g.num_vertices()) + 1) {
+    int running = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      offset_[static_cast<size_t>(v)] = running;
+      running += g.degree(v) + 1;  // +1 for the bottom in-port
+    }
+    offset_[static_cast<size_t>(g.num_vertices())] = running;
+  }
+
+  [[nodiscard]] int total() const { return offset_.back(); }
+
+  [[nodiscard]] int id(const Graph& g, VertexId v, EdgeId inport) const {
+    if (inport == kNoEdge) return offset_[static_cast<size_t>(v)];
+    const auto inc = g.incident_edges(v);
+    const auto it = std::find(inc.begin(), inc.end(), inport);
+    assert(it != inc.end());
+    return offset_[static_cast<size_t>(v)] + 1 + static_cast<int>(it - inc.begin());
+  }
+
+ private:
+  std::vector<int> offset_;
+};
+
+}  // namespace
+
+RoutingResult route_packet(const Graph& g, const ForwardingPattern& pattern, const IdSet& failures,
+                           VertexId source, Header header) {
+  const Header visible = masked(header, pattern.model());
+  const VertexId destination = header.destination;
+  assert(destination != kNoVertex && "route_packet needs a destination to detect delivery");
+
+  RoutingResult result;
+  result.walk.push_back(source);
+  if (source == destination) {
+    result.outcome = RoutingOutcome::kDelivered;
+    return result;
+  }
+
+  StateIndex states(g);
+  std::vector<char> seen(static_cast<size_t>(states.total()), 0);
+
+  VertexId at = source;
+  EdgeId inport = kNoEdge;
+  while (true) {
+    const int sid = states.id(g, at, inport);
+    if (seen[static_cast<size_t>(sid)]) {
+      result.outcome = RoutingOutcome::kLooped;
+      return result;
+    }
+    seen[static_cast<size_t>(sid)] = 1;
+
+    const IdSet local = failures & g.incident_edge_set(at);
+    const auto out = pattern.forward(g, at, inport, local, visible);
+    if (!out.has_value()) {
+      result.outcome = RoutingOutcome::kDropped;
+      return result;
+    }
+    const EdgeId oe = *out;
+    const bool incident = oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
+    if (!incident || failures.contains(oe)) {
+      result.outcome = RoutingOutcome::kInvalidForward;
+      return result;
+    }
+    at = g.other_endpoint(oe, at);
+    inport = oe;
+    ++result.hops;
+    result.walk.push_back(at);
+    if (at == destination) {
+      result.outcome = RoutingOutcome::kDelivered;
+      return result;
+    }
+  }
+}
+
+TourResult tour_packet(const Graph& g, const ForwardingPattern& pattern, const IdSet& failures,
+                       VertexId start) {
+  TourResult result;
+  result.walk.push_back(start);
+
+  StateIndex states(g);
+  // first_step[sid] = walk index at which the state was first entered; the
+  // walk from that index onward is the periodic orbit once a state repeats.
+  std::vector<int> first_step(static_cast<size_t>(states.total()), -1);
+  int orbit_start = -1;
+  const Header none;  // touring sees no header
+
+  VertexId at = start;
+  EdgeId inport = kNoEdge;
+  while (true) {
+    const int sid = states.id(g, at, inport);
+    if (first_step[static_cast<size_t>(sid)] >= 0) {
+      orbit_start = first_step[static_cast<size_t>(sid)];
+      break;  // walk is provably periodic now
+    }
+    first_step[static_cast<size_t>(sid)] = static_cast<int>(result.walk.size()) - 1;
+
+    const IdSet local = failures & g.incident_edge_set(at);
+    const auto out = pattern.forward(g, at, inport, local, none);
+    if (!out.has_value()) {
+      // A degree-0 start trivially tours its singleton component.
+      result.dropped = g.alive_incident_edges(at, failures).size() > 0 || at != start;
+      break;
+    }
+    const EdgeId oe = *out;
+    const bool incident =
+        oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
+    if (!incident || failures.contains(oe)) {
+      result.dropped = true;
+      break;
+    }
+    at = g.other_endpoint(oe, at);
+    inport = oe;
+    ++result.steps_walked;
+    result.walk.push_back(at);
+  }
+
+  // Success: the packet visits the whole surviving component and returns to
+  // the start. Coverage can only grow while new states appear, so it is
+  // decided within the recorded walk; the return to the start happens either
+  // inside the recorded prefix (after coverage completed) or — since the
+  // walk replays its periodic orbit forever — whenever the start lies on the
+  // orbit at all.
+  const auto component = component_of(g, start, failures);
+  IdSet covered(g.num_vertices());
+  IdSet needed(g.num_vertices());
+  for (VertexId v : component) needed.insert(v);
+  const int needed_count = static_cast<int>(component.size());
+  int covered_count = 0;
+  bool success = false;
+  bool start_on_orbit = false;
+  if (orbit_start >= 0) {
+    for (size_t i = static_cast<size_t>(orbit_start); i < result.walk.size(); ++i) {
+      if (result.walk[i] == start) start_on_orbit = true;
+    }
+  }
+  for (size_t i = 0; i < result.walk.size(); ++i) {
+    const VertexId v = result.walk[i];
+    if (needed.contains(v) && !covered.contains(v)) {
+      covered.insert(v);
+      ++covered_count;
+    }
+    if (covered_count == needed_count && (v == start || start_on_orbit)) {
+      success = true;
+      break;
+    }
+  }
+  result.success = success && !result.dropped;
+  for (VertexId v : component) {
+    if (!covered.contains(v)) result.missed.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace pofl

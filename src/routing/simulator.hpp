@@ -1,0 +1,66 @@
+#pragma once
+
+// Deterministic packet-walk simulation. Forwarding is static and memoryless,
+// so the packet's trajectory is fully determined by (node, in-port) given a
+// fixed failure set: revisiting a state means the packet loops forever.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+enum class RoutingOutcome {
+  kDelivered,       // reached the destination
+  kLooped,          // (node, in-port) state repeated without delivery
+  kDropped,         // pattern returned no out-port
+  kInvalidForward,  // pattern chose a failed or non-incident edge (a bug)
+};
+
+[[nodiscard]] constexpr const char* to_string(RoutingOutcome o) {
+  switch (o) {
+    case RoutingOutcome::kDelivered:
+      return "delivered";
+    case RoutingOutcome::kLooped:
+      return "looped";
+    case RoutingOutcome::kDropped:
+      return "dropped";
+    case RoutingOutcome::kInvalidForward:
+      return "invalid-forward";
+  }
+  return "?";
+}
+
+struct RoutingResult {
+  RoutingOutcome outcome = RoutingOutcome::kLooped;
+  int hops = 0;
+  /// The node sequence walked, starting at the source. Bounded by the number
+  /// of distinct (node, in-port) states plus one.
+  std::vector<VertexId> walk;
+};
+
+/// Routes one packet from `source` toward `header.destination` under the
+/// (global) failure set; the pattern only ever sees failures incident to the
+/// current node. The header is masked according to the pattern's model
+/// before every forwarding call.
+[[nodiscard]] RoutingResult route_packet(const Graph& g, const ForwardingPattern& pattern,
+                                         const IdSet& failures, VertexId source, Header header);
+
+struct TourResult {
+  /// True iff some prefix of the walk returns to the start after having
+  /// visited every node of the start's surviving component (paper §VII:
+  /// "routes the packet from v to all nodes in its component and back").
+  bool success = false;
+  bool dropped = false;
+  int steps_walked = 0;
+  std::vector<VertexId> walk;
+  std::vector<VertexId> missed;  // component nodes never visited
+};
+
+/// Simulates the touring pattern from `start` until the walk provably cycles
+/// (state repetition), then evaluates tour success.
+[[nodiscard]] TourResult tour_packet(const Graph& g, const ForwardingPattern& pattern,
+                                     const IdSet& failures, VertexId start);
+
+}  // namespace pofl

@@ -1,0 +1,111 @@
+#include "routing/stateful.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace pofl {
+
+int PacketState::header_bits(const Graph& g) const {
+  int edge_bits = 1;
+  while ((1 << edge_bits) < std::max(2, g.num_edges())) ++edge_bits;
+  return g.num_vertices() + edge_bits * static_cast<int>(path.size());
+}
+
+StatefulRoutingResult route_stateful_packet(const Graph& g, const StatefulPattern& pattern,
+                                            const IdSet& failures, VertexId source,
+                                            Header header) {
+  StatefulRoutingResult result;
+  result.walk.push_back(source);
+  if (source == header.destination) {
+    result.outcome = RoutingOutcome::kDelivered;
+    return result;
+  }
+
+  PacketState state{IdSet(g.num_vertices()), {}};
+  const int step_budget = 4 * g.num_edges() + 2 * g.num_vertices() + 4;
+  VertexId at = source;
+  EdgeId inport = kNoEdge;
+  for (int step = 0; step < step_budget; ++step) {
+    const IdSet local = failures & g.incident_edge_set(at);
+    const auto out = pattern.forward(g, at, inport, local, header, state);
+    result.max_header_bits = std::max(result.max_header_bits, state.header_bits(g));
+    if (!out.has_value()) {
+      result.outcome = RoutingOutcome::kDropped;
+      return result;
+    }
+    const EdgeId oe = *out;
+    const bool incident =
+        oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
+    if (!incident || failures.contains(oe)) {
+      result.outcome = RoutingOutcome::kInvalidForward;
+      return result;
+    }
+    at = g.other_endpoint(oe, at);
+    inport = oe;
+    ++result.hops;
+    result.walk.push_back(at);
+    if (at == header.destination) {
+      result.outcome = RoutingOutcome::kDelivered;
+      return result;
+    }
+  }
+  result.outcome = RoutingOutcome::kLooped;  // exceeded any sane DFS budget
+  return result;
+}
+
+namespace {
+
+class DfsRewritingPattern final : public StatefulPattern {
+ public:
+  [[nodiscard]] std::string name() const override { return "dfs-header-rewriting"; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures, const Header& header,
+                                              PacketState& state) const override {
+    state.visited.insert(at);
+    // Deliver immediately when possible.
+    if (header.destination != kNoVertex) {
+      if (const auto direct = g.edge_between(at, header.destination)) {
+        if (!local_failures.contains(*direct)) {
+          state.path.push_back(*direct);
+          return *direct;
+        }
+      }
+    }
+    // Did we arrive forward (inport extended the path) or by backtracking
+    // (inport was just popped)? Forward iff the path's top is the inport.
+    const bool arrived_forward =
+        inport == kNoEdge || (!state.path.empty() && state.path.back() == inport);
+    // Resume the port scan after the edge we last used at this node.
+    const auto inc = g.incident_edges(at);
+    size_t start_index = 0;
+    if (!arrived_forward) {
+      const auto it = std::find(inc.begin(), inc.end(), inport);
+      assert(it != inc.end());
+      start_index = static_cast<size_t>(it - inc.begin()) + 1;
+    }
+    for (size_t i = start_index; i < inc.size(); ++i) {
+      const EdgeId e = inc[i];
+      if (local_failures.contains(e)) continue;
+      if (e == inport && arrived_forward) continue;  // do not bounce the tree edge
+      const VertexId w = g.other_endpoint(e, at);
+      if (state.visited.contains(w)) continue;
+      state.path.push_back(e);
+      return e;
+    }
+    // Exhausted: backtrack along the path.
+    if (state.path.empty()) return std::nullopt;  // back at the source: done
+    const EdgeId back = state.path.back();
+    state.path.pop_back();
+    return back;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StatefulPattern> make_dfs_rewriting_pattern() {
+  return std::make_unique<DfsRewritingPattern>();
+}
+
+}  // namespace pofl

@@ -1,0 +1,62 @@
+#pragma once
+
+// Stateful (header-rewriting) routing — the contrast class the paper's model
+// explicitly *excludes* (§I-B: approaches that rewrite or extend packet
+// headers "introduce overheads and are not always possible"). Implementing
+// one canonical representative quantifies the price of immutability: with a
+// rewritable header every connected graph is perfectly resilient, at the
+// cost of O(n + path) header bits and DFS-length walks.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+/// Mutable in-packet state: a visited-node set plus the DFS path stack.
+struct PacketState {
+  IdSet visited;              // nodes already explored
+  std::vector<EdgeId> path;   // edges from the source to the current node
+
+  /// Header size in bits if serialized naively: one bit per node plus
+  /// ceil(log2(m)) per stacked edge.
+  [[nodiscard]] int header_bits(const Graph& g) const;
+};
+
+/// A forwarding function that may rewrite the packet state.
+class StatefulPattern {
+ public:
+  virtual ~StatefulPattern() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// May mutate `state`; same locality contract as ForwardingPattern.
+  [[nodiscard]] virtual std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                                      const IdSet& local_failures,
+                                                      const Header& header,
+                                                      PacketState& state) const = 0;
+};
+
+struct StatefulRoutingResult {
+  RoutingOutcome outcome = RoutingOutcome::kLooped;
+  int hops = 0;
+  int max_header_bits = 0;
+  std::vector<VertexId> walk;
+};
+
+/// Simulates a stateful packet; without state repetition as a loop witness,
+/// the walk is cut off at 4m + 2n steps (any terminating scheme, e.g. DFS,
+/// finishes within 2m).
+[[nodiscard]] StatefulRoutingResult route_stateful_packet(const Graph& g,
+                                                          const StatefulPattern& pattern,
+                                                          const IdSet& failures, VertexId source,
+                                                          Header header);
+
+/// DFS-with-backtracking over alive links, visited set and path carried in
+/// the header: delivers on every graph whenever s and t are connected.
+[[nodiscard]] std::unique_ptr<StatefulPattern> make_dfs_rewriting_pattern();
+
+}  // namespace pofl

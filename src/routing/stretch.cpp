@@ -1,0 +1,44 @@
+#include "routing/stretch.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "graph/connectivity.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+StretchStats measure_stretch(const Graph& g, const ForwardingPattern& pattern, VertexId s,
+                             VertexId t, int num_failures, int trials, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  StretchStats stats;
+  double stretch_sum = 0.0;
+  long long hops_sum = 0;
+  std::vector<EdgeId> edges(static_cast<size_t>(g.num_edges()));
+  for (size_t i = 0; i < edges.size(); ++i) edges[i] = static_cast<EdgeId>(i);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    std::shuffle(edges.begin(), edges.end(), rng);
+    IdSet failures = g.empty_edge_set();
+    for (int i = 0; i < num_failures && i < g.num_edges(); ++i) failures.insert(edges[static_cast<size_t>(i)]);
+    const auto d = distance(g, s, t, failures);
+    if (!d.has_value() || *d == 0) continue;  // promise broken (or s == t)
+    const RoutingResult r = route_packet(g, pattern, failures, s, Header{s, t});
+    if (r.outcome != RoutingOutcome::kDelivered) {
+      ++stats.failed_deliveries;
+      continue;
+    }
+    ++stats.samples;
+    const double stretch = static_cast<double>(r.hops) / *d;
+    stretch_sum += stretch;
+    hops_sum += r.hops;
+    stats.max_stretch = std::max(stats.max_stretch, stretch);
+  }
+  if (stats.samples > 0) {
+    stats.mean_stretch = stretch_sum / stats.samples;
+    stats.mean_hops = static_cast<double>(hops_sum) / stats.samples;
+  }
+  return stats;
+}
+
+}  // namespace pofl

@@ -1,0 +1,64 @@
+#include "routing/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pofl {
+
+std::optional<EdgeId> PriorityTablePattern::forward(const Graph& g, VertexId at, EdgeId inport,
+                                                    const IdSet& local_failures,
+                                                    const Header& header) const {
+  const VertexId from = inport == kNoEdge ? kNoVertex : g.other_endpoint(inport, at);
+  const std::vector<VertexId>* preference = nullptr;
+  if (model_ == RoutingModel::kSourceDestination && header.source != kNoVertex) {
+    const auto it = source_rules_.find(skey(header.source, header.destination, at, from));
+    if (it != source_rules_.end()) preference = &it->second;
+  }
+  if (preference == nullptr) {
+    const VertexId t = model_ == RoutingModel::kTouring ? kNoVertex : header.destination;
+    const auto it = rules_.find(key(t, at, from));
+    if (it == rules_.end()) return std::nullopt;
+    preference = &it->second;
+  }
+  for (VertexId next : *preference) {
+    const auto e = g.edge_between(at, next);
+    if (!e.has_value()) continue;  // rule listed a non-neighbor; skip
+    if (!local_failures.contains(*e)) return *e;
+  }
+  return std::nullopt;
+}
+
+FullTablePattern::LocalState make_local_state(const Graph& g, VertexId at, EdgeId inport,
+                                               const IdSet& local_failures, const Header& header,
+                                               RoutingModel model) {
+  FullTablePattern::LocalState state;
+  state.node = at;
+  state.local_mask = 0;
+  const auto inc = g.incident_edges(at);
+  for (size_t i = 0; i < inc.size(); ++i) {
+    if (local_failures.contains(inc[i])) state.local_mask |= (uint32_t{1} << i);
+  }
+  state.inport_index = -1;
+  if (inport != kNoEdge) {
+    const auto it = std::find(inc.begin(), inc.end(), inport);
+    assert(it != inc.end());
+    state.inport_index = static_cast<int>(it - inc.begin());
+  }
+  state.source = model == RoutingModel::kSourceDestination ? header.source : kNoVertex;
+  state.destination = model == RoutingModel::kTouring ? kNoVertex : header.destination;
+  return state;
+}
+
+std::optional<EdgeId> FullTablePattern::forward(const Graph& g, VertexId at, EdgeId inport,
+                                                const IdSet& local_failures,
+                                                const Header& header) const {
+  const LocalState state = make_local_state(g, at, inport, local_failures, header, model_);
+  const auto it = table_.find(state);
+  if (it == table_.end()) return std::nullopt;
+  if (it->second < 0) return std::nullopt;
+  const auto inc = g.incident_edges(at);
+  if (it->second >= static_cast<int>(inc.size())) return std::nullopt;
+  return inc[static_cast<size_t>(it->second)];
+}
+
+}  // namespace pofl

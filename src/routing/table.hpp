@@ -1,0 +1,116 @@
+#pragma once
+
+// Table-backed forwarding patterns.
+//
+// The paper specifies its constructive algorithms as per-node tables of the
+// form "@v1  bottom: v2,v3,v4   v3: v2,v4,v3" (e.g. Fig. 4): for a packet
+// arriving at v1 via the given in-port, try the listed out-neighbors in order
+// and take the first alive one. PriorityTablePattern captures exactly that
+// shape. FullTablePattern additionally conditions on the exact local failure
+// set — the fully general finite representation of pi_v, used by the
+// exhaustive searches over candidate patterns.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+/// Per-destination priority tables: rules[t][v][inport_neighbor] is an
+/// ordered neighbor preference list ("forward to the first alive"). The
+/// in-port key kNoVertex stands for the bottom (origin) port. Missing rules
+/// drop the packet, which the verifier reports loudly.
+class PriorityTablePattern final : public ForwardingPattern {
+ public:
+  PriorityTablePattern(RoutingModel model, std::string name)
+      : model_(model), name_(std::move(name)) {}
+
+  /// Installs the rule "(at destination table t) node v, packets from
+  /// `from_neighbor` (kNoVertex = origin): try `preference` in order".
+  /// For touring patterns use t = kNoVertex.
+  void set_rule(VertexId t, VertexId v, VertexId from_neighbor,
+                std::vector<VertexId> preference) {
+    rules_[key(t, v, from_neighbor)] = std::move(preference);
+  }
+
+  /// Source-destination rules: tables may additionally match the source.
+  /// Falls back to the (source-agnostic) rule when absent.
+  void set_rule_with_source(VertexId s, VertexId t, VertexId v, VertexId from_neighbor,
+                            std::vector<VertexId> preference) {
+    source_rules_[skey(s, t, v, from_neighbor)] = std::move(preference);
+  }
+
+  [[nodiscard]] RoutingModel model() const override { return model_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+ private:
+  static uint64_t key(VertexId t, VertexId v, VertexId from) {
+    return ((static_cast<uint64_t>(t + 1)) << 40) | ((static_cast<uint64_t>(v + 1)) << 20) |
+           static_cast<uint64_t>(from + 1);
+  }
+  static uint64_t skey(VertexId s, VertexId t, VertexId v, VertexId from) {
+    return ((static_cast<uint64_t>(s + 1)) << 60) | key(t, v, from);
+  }
+
+  RoutingModel model_;
+  std::string name_;
+  std::map<uint64_t, std::vector<VertexId>> rules_;
+  std::map<uint64_t, std::vector<VertexId>> source_rules_;
+};
+
+/// Fully general table: out-port conditioned on the exact set of locally
+/// failed ports plus the in-port (and optionally the header). Entries are
+/// filled lazily by a generator callback the first time a state is queried,
+/// which lets adversarial searches enumerate/perturb concrete patterns.
+class FullTablePattern final : public ForwardingPattern {
+ public:
+  FullTablePattern(RoutingModel model, std::string name)
+      : model_(model), name_(std::move(name)) {}
+
+  /// Key for one local state. local_mask bit i = i-th incident edge of v
+  /// (port order) failed; inport_index = -1 for the origin port.
+  struct LocalState {
+    VertexId node;
+    uint32_t local_mask;
+    int inport_index;
+    VertexId source;       // kNoVertex unless model matches it
+    VertexId destination;  // kNoVertex for touring
+    auto operator<=>(const LocalState&) const = default;
+  };
+
+  /// out_port_index = index into the node's incident edge list; -2 = drop.
+  void set_entry(const LocalState& state, int out_port_index) {
+    table_[state] = out_port_index;
+  }
+
+  [[nodiscard]] RoutingModel model() const override { return model_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override;
+
+  [[nodiscard]] const std::map<LocalState, int>& table() const { return table_; }
+
+ private:
+  RoutingModel model_;
+  std::string name_;
+  std::map<LocalState, int> table_;
+};
+
+/// Builds the LocalState a forward() call corresponds to (shared by
+/// FullTablePattern and the pattern-corpus generators).
+[[nodiscard]] FullTablePattern::LocalState make_local_state(const Graph& g, VertexId at,
+                                                            EdgeId inport,
+                                                            const IdSet& local_failures,
+                                                            const Header& header,
+                                                            RoutingModel model);
+
+}  // namespace pofl

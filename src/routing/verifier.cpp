@@ -1,0 +1,154 @@
+#include "routing/verifier.hpp"
+
+#include <random>
+
+#include "graph/connectivity.hpp"
+
+namespace pofl {
+
+namespace {
+
+IdSet mask_to_set(const Graph& g, uint64_t mask) {
+  IdSet f = g.empty_edge_set();
+  while (mask != 0) {
+    const int bit = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    f.insert(bit);
+  }
+  return f;
+}
+
+}  // namespace
+
+bool for_each_failure_set(const Graph& g, const VerifyOptions& opts,
+                          const std::function<bool(const IdSet&)>& fn) {
+  const int m = g.num_edges();
+  if (m <= opts.max_exhaustive_edges) {
+    const uint64_t limit = uint64_t{1} << m;
+    for (uint64_t mask = 0; mask < limit; ++mask) {
+      if (opts.max_failures.has_value() &&
+          __builtin_popcountll(mask) > *opts.max_failures) {
+        continue;
+      }
+      if (fn(mask_to_set(g, mask))) return true;
+    }
+    return true;  // exhaustive (fn never stopped us, also fine)
+  }
+  std::mt19937_64 rng(opts.seed);
+  const int cap = opts.max_failures.value_or(m);
+  std::uniform_int_distribution<int> size_dist(0, cap);
+  std::uniform_int_distribution<int> edge_dist(0, m - 1);
+  for (int i = 0; i < opts.samples; ++i) {
+    IdSet f = g.empty_edge_set();
+    const int k = size_dist(rng);
+    for (int j = 0; j < k; ++j) f.insert(edge_dist(rng));
+    if (fn(f)) return false;
+  }
+  return false;  // sampled only
+}
+
+std::optional<Violation> find_resilience_violation_for_pair(const Graph& g,
+                                                            const ForwardingPattern& pattern,
+                                                            VertexId source, VertexId destination,
+                                                            const VerifyOptions& opts) {
+  std::optional<Violation> found;
+  for_each_failure_set(g, opts, [&](const IdSet& failures) {
+    if (!connected(g, source, destination, failures)) return false;
+    const RoutingResult result =
+        route_packet(g, pattern, failures, source, Header{source, destination});
+    if (result.outcome == RoutingOutcome::kDelivered) return false;
+    found = Violation{failures, source, destination, result, {}};
+    return true;
+  });
+  return found;
+}
+
+std::optional<Violation> find_resilience_violation(const Graph& g,
+                                                   const ForwardingPattern& pattern,
+                                                   const VerifyOptions& opts) {
+  // Iterate failure sets outermost (enumeration dominates cost), pairs inner.
+  std::optional<Violation> found;
+  for_each_failure_set(g, opts, [&](const IdSet& failures) {
+    const auto comp = components(g, failures);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      for (VertexId t = 0; t < g.num_vertices(); ++t) {
+        if (s == t) continue;
+        if (comp[static_cast<size_t>(s)] != comp[static_cast<size_t>(t)]) continue;
+        const RoutingResult result = route_packet(g, pattern, failures, s, Header{s, t});
+        if (result.outcome != RoutingOutcome::kDelivered) {
+          found = Violation{failures, s, t, result, {}};
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<Violation> find_r_tolerance_violation(const Graph& g,
+                                                    const ForwardingPattern& pattern,
+                                                    VertexId source, VertexId destination, int r,
+                                                    const VerifyOptions& opts) {
+  std::optional<Violation> found;
+  for_each_failure_set(g, opts, [&](const IdSet& failures) {
+    if (edge_connectivity(g, source, destination, failures) < r) return false;
+    const RoutingResult result =
+        route_packet(g, pattern, failures, source, Header{source, destination});
+    if (result.outcome == RoutingOutcome::kDelivered) return false;
+    found = Violation{failures, source, destination, result, {}};
+    return true;
+  });
+  return found;
+}
+
+std::optional<Violation> find_touring_violation(const Graph& g, const ForwardingPattern& pattern,
+                                                const VerifyOptions& opts) {
+  std::optional<Violation> found;
+  for_each_failure_set(g, opts, [&](const IdSet& failures) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const TourResult result = tour_packet(g, pattern, failures, v);
+      if (!result.success) {
+        found = Violation{failures, v, kNoVertex, {}, result};
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<Violation> find_distance_promise_violation(const Graph& g,
+                                                         const ForwardingPattern& pattern,
+                                                         int max_distance,
+                                                         const VerifyOptions& opts) {
+  std::optional<Violation> found;
+  for_each_failure_set(g, opts, [&](const IdSet& failures) {
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      const auto dist = bfs_distances(g, s, failures);
+      for (VertexId t = 0; t < g.num_vertices(); ++t) {
+        if (s == t) continue;
+        const int d = dist[static_cast<size_t>(t)];
+        if (d < 0 || d > max_distance) continue;
+        const RoutingResult result = route_packet(g, pattern, failures, s, Header{s, t});
+        if (result.outcome != RoutingOutcome::kDelivered) {
+          found = Violation{failures, s, t, result, {}};
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<Violation> find_bounded_failure_violation(const Graph& g,
+                                                        const ForwardingPattern& pattern,
+                                                        int max_failures,
+                                                        const VerifyOptions& opts) {
+  VerifyOptions bounded = opts;
+  bounded.max_failures = max_failures;
+  return find_resilience_violation(g, pattern, bounded);
+}
+
+}  // namespace pofl

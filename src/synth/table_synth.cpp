@@ -1,0 +1,139 @@
+#include "synth/table_synth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+#include "graph/connectivity.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+namespace {
+
+struct Slot {
+  VertexId node;
+  VertexId from;  // kNoVertex = origin port
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const Graph& g, VertexId s, VertexId t, bool with_source)
+      : g_(g), s_(s), t_(t), with_source_(with_source) {
+    assert(g.num_edges() <= 16 && "exhaustive objective needs a small graph");
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (v == t) continue;
+      if (!with_source_ || v == s) slots_.push_back({v, kNoVertex});
+      for (VertexId u : g.neighbors(v)) {
+        if (u != t) slots_.push_back({v, u});  // packets never come from t
+      }
+    }
+  }
+
+  TableSynthesisResult run(const TableSynthesisOptions& opts) {
+    std::mt19937_64 rng(opts.seed);
+    TableSynthesisResult best;
+    best.violations = 1 << 30;
+
+    for (int restart = 0; restart < opts.restarts && best.violations != 0; ++restart) {
+      std::vector<std::vector<VertexId>> current(slots_.size());
+      for (size_t i = 0; i < slots_.size(); ++i) current[i] = random_perm(slots_[i].node, rng);
+      auto pattern = build(current);
+      int score = violations(*pattern);
+      ++best.tables_evaluated;
+      for (int iter = 0; iter < opts.iterations_per_restart && score > 0; ++iter) {
+        const size_t i = rng() % slots_.size();
+        const auto saved = current[i];
+        current[i] = random_perm(slots_[i].node, rng);
+        auto candidate = build(current);
+        const int candidate_score = violations(*candidate);
+        ++best.tables_evaluated;
+        if (candidate_score <= score) {
+          score = candidate_score;
+        } else {
+          current[i] = saved;
+        }
+      }
+      if (score < best.violations) {
+        best.violations = score;
+        best.pattern = build(current);
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<VertexId> random_perm(VertexId node, std::mt19937_64& rng) {
+    std::vector<VertexId> nbrs = g_.neighbors(node);
+    std::erase(nbrs, t_);
+    std::shuffle(nbrs.begin(), nbrs.end(), rng);
+    return nbrs;
+  }
+
+  std::unique_ptr<PriorityTablePattern> build(
+      const std::vector<std::vector<VertexId>>& choice) const {
+    auto pattern = std::make_unique<PriorityTablePattern>(
+        with_source_ ? RoutingModel::kSourceDestination : RoutingModel::kDestinationOnly,
+        "synthesized");
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      std::vector<VertexId> pref{t_};  // delivery always first
+      pref.insert(pref.end(), choice[i].begin(), choice[i].end());
+      if (with_source_) {
+        pattern->set_rule_with_source(s_, t_, slots_[i].node, slots_[i].from, std::move(pref));
+      } else {
+        pattern->set_rule(t_, slots_[i].node, slots_[i].from, std::move(pref));
+      }
+    }
+    return pattern;
+  }
+
+  [[nodiscard]] int violations(const PriorityTablePattern& pattern) const {
+    int bad = 0;
+    const uint32_t limit = uint32_t{1} << g_.num_edges();
+    for (uint32_t mask = 0; mask < limit; ++mask) {
+      IdSet failures = g_.empty_edge_set();
+      for (int b = 0; b < g_.num_edges(); ++b) {
+        if (mask >> b & 1u) failures.insert(b);
+      }
+      if (with_source_) {
+        if (!connected(g_, s_, t_, failures)) continue;
+        if (route_packet(g_, pattern, failures, s_, Header{s_, t_}).outcome !=
+            RoutingOutcome::kDelivered) {
+          ++bad;
+        }
+      } else {
+        const auto comp = components(g_, failures);
+        for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+          if (v == t_ || comp[static_cast<size_t>(v)] != comp[static_cast<size_t>(t_)]) continue;
+          if (route_packet(g_, pattern, failures, v, Header{v, t_}).outcome !=
+              RoutingOutcome::kDelivered) {
+            ++bad;
+          }
+        }
+      }
+    }
+    return bad;
+  }
+
+  const Graph& g_;
+  VertexId s_;
+  VertexId t_;
+  bool with_source_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+TableSynthesisResult synthesize_dest_table(const Graph& g, VertexId t,
+                                           const TableSynthesisOptions& opts) {
+  Synthesizer synth(g, kNoVertex, t, /*with_source=*/false);
+  return synth.run(opts);
+}
+
+TableSynthesisResult synthesize_source_dest_table(const Graph& g, VertexId s, VertexId t,
+                                                  const TableSynthesisOptions& opts) {
+  Synthesizer synth(g, s, t, /*with_source=*/true);
+  return synth.run(opts);
+}
+
+}  // namespace pofl

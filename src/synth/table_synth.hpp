@@ -1,0 +1,48 @@
+#pragma once
+
+// Search-based synthesis of priority-table forwarding patterns.
+//
+// The paper proves several positive results by exhibiting explicit priority
+// tables (Theorem 9's K3,3 tables, Theorem 12's Fig. 4 table). Two of those
+// tables, as printed, contain routing loops — this module is how the
+// repository repaired them: hill-climbing over per-(node, in-port)
+// preference permutations with the exhaustive verifier as the objective
+// (zero violations over all 2^m failure sets). A synthesized table is a
+// *certificate* for the theorem's statement; failure to reach zero after the
+// search budget is, of course, not a proof of impossibility — but on graphs
+// the paper proves impossible (K5^-1, K3,3^-1) zero is unreachable, which
+// the tests exercise as a consistency check.
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "routing/table.hpp"
+
+namespace pofl {
+
+struct TableSynthesisResult {
+  std::unique_ptr<PriorityTablePattern> pattern;
+  /// Violations of the best table found (0 = perfectly resilient, verified).
+  int violations = -1;
+  long long tables_evaluated = 0;
+};
+
+struct TableSynthesisOptions {
+  uint64_t seed = 1;
+  int restarts = 40;
+  int iterations_per_restart = 4000;
+};
+
+/// Synthesizes a destination-based table for destination t on g (all other
+/// vertices get a preference permutation per in-port; delivery to t is
+/// always first). Exhaustive objective: g must have at most ~16 edges.
+[[nodiscard]] TableSynthesisResult synthesize_dest_table(const Graph& g, VertexId t,
+                                                         const TableSynthesisOptions& opts = {});
+
+/// Synthesizes a source-destination table for the pair (s, t): the packet
+/// always starts at s, and rules may depend on both endpoints.
+[[nodiscard]] TableSynthesisResult synthesize_source_dest_table(
+    const Graph& g, VertexId s, VertexId t, const TableSynthesisOptions& opts = {});
+
+}  // namespace pofl

@@ -1,0 +1,94 @@
+#include "graph/arborescence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "resilience/arborescence_routing.hpp"
+#include "routing/verifier.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(Arborescences, CompleteGraphDecompositions) {
+  // K_n is (n-1)-connected: n-1 arc-disjoint arborescences exist.
+  for (int n : {4, 5, 6, 7}) {
+    const Graph g = make_complete(n);
+    const auto trees = build_arborescences(g, n - 1, n - 1, 3);
+    ASSERT_TRUE(trees.has_value()) << "n=" << n;
+    EXPECT_EQ(static_cast<int>(trees->size()), n - 1);
+    EXPECT_TRUE(validate_arborescences(g, *trees));
+  }
+}
+
+TEST(Arborescences, BipartiteAndRandomKConnected) {
+  const Graph k44 = make_complete_bipartite(4, 4);
+  const auto trees = build_arborescences(k44, 7, 4, 5);
+  ASSERT_TRUE(trees.has_value());
+  EXPECT_TRUE(validate_arborescences(k44, *trees));
+
+  // A 3-connected-ish random graph: ask for 2 trees (safe).
+  const Graph g = make_random_connected(10, 24, 11);
+  const auto two = build_arborescences(g, 0, 2, 7);
+  if (two.has_value()) {
+    EXPECT_TRUE(validate_arborescences(g, *two));
+  }
+}
+
+TEST(Arborescences, ValidatorRejectsBrokenTrees) {
+  const Graph g = make_complete(4);
+  auto trees = build_arborescences(g, 3, 2, 1);
+  ASSERT_TRUE(trees.has_value());
+  // Duplicate the same tree: arcs shared.
+  std::vector<Arborescence> dup{(*trees)[0], (*trees)[0]};
+  EXPECT_FALSE(validate_arborescences(g, dup));
+  // Break spanning-ness.
+  auto broken = *trees;
+  broken[0].parent_edge[0] = kNoEdge;
+  EXPECT_FALSE(validate_arborescences(g, broken));
+}
+
+TEST(ArborescenceRouting, DeliversOnFailureFreeGraph) {
+  const Graph g = make_complete(6);
+  const auto pattern = ArborescenceRoutingPattern::build(g, 5, 7);
+  ASSERT_NE(pattern, nullptr);
+  for (VertexId s = 0; s < 6; ++s) {
+    for (VertexId t = 0; t < 6; ++t) {
+      if (s == t) continue;
+      const auto r = route_packet(g, *pattern, g.empty_edge_set(), s, Header{s, t});
+      EXPECT_EQ(r.outcome, RoutingOutcome::kDelivered) << s << "->" << t;
+    }
+  }
+}
+
+TEST(ArborescenceRouting, SurvivesSingleFailuresOnK5) {
+  // With 4 arc-disjoint arborescences per destination, one failure can kill
+  // at most one tree's arc at a node: circular switching must survive.
+  const Graph g = make_complete(5);
+  const auto pattern = ArborescenceRoutingPattern::build(g, 4, 3);
+  ASSERT_NE(pattern, nullptr);
+  VerifyOptions opts;
+  opts.max_failures = 1;
+  EXPECT_FALSE(find_resilience_violation(g, *pattern, opts).has_value());
+}
+
+TEST(ArborescenceRouting, MeasuredResilienceOnK5) {
+  // Ideal resilience would be k-1 = 3 on the 4-connected K5; whether the
+  // circular strategy achieves it is exactly the open question the paper
+  // cites. Measure and require at least 1 (proved above), report more.
+  const Graph g = make_complete(5);
+  const auto pattern = ArborescenceRoutingPattern::build(g, 4, 3);
+  ASSERT_NE(pattern, nullptr);
+  int tolerated = 0;
+  for (int f = 1; f <= 3; ++f) {
+    VerifyOptions opts;
+    opts.max_failures = f;
+    if (find_resilience_violation(g, *pattern, opts).has_value()) break;
+    tolerated = f;
+  }
+  EXPECT_GE(tolerated, 1);
+  RecordProperty("tolerated_failures", tolerated);
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,173 @@
+#include "classify/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "classify/zoo.hpp"
+#include "graph/builders.hpp"
+#include "graph/graphml.hpp"
+#include "graph/planarity.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(Classifier, OuterplanarGraphsAreFullyPossible) {
+  for (const Graph& g : {make_cycle(8), make_random_tree(12, 3), make_star(6),
+                         make_random_maximal_outerplanar(10, 1)}) {
+    const auto c = classify_topology(g);
+    EXPECT_TRUE(c.outerplanar);
+    EXPECT_EQ(c.touring, Verdict::kPossible);
+    EXPECT_EQ(c.destination, Verdict::kPossible);
+    EXPECT_EQ(c.source_destination, Verdict::kPossible);
+  }
+}
+
+TEST(Classifier, TouringIsExactlyOuterplanarity) {
+  EXPECT_EQ(classify_topology(make_complete(4)).touring, Verdict::kImpossible);
+  EXPECT_EQ(classify_topology(make_grid(3, 3)).touring, Verdict::kImpossible);
+  EXPECT_EQ(classify_topology(make_ladder(6)).touring, Verdict::kPossible);
+}
+
+TEST(Classifier, K5Minus1IsDestImpossible) {
+  // Theorem 10: K5^-1 admits no destination-based pattern; and it is its own
+  // forbidden minor.
+  const auto c = classify_topology(make_complete_minus(5, 1));
+  EXPECT_EQ(c.destination, Verdict::kImpossible);
+  // But with source it is a K5 subgraph: possible (Theorem 8).
+  EXPECT_EQ(c.source_destination, Verdict::kPossible);
+}
+
+TEST(Classifier, K5Minus2IsDestPossible) {
+  const auto c = classify_topology(make_complete_minus(5, 2));
+  EXPECT_EQ(c.destination, Verdict::kPossible);
+  EXPECT_EQ(c.source_destination, Verdict::kPossible);
+  EXPECT_EQ(c.touring, Verdict::kImpossible);  // contains K4
+}
+
+TEST(Classifier, K33MinusVariants) {
+  EXPECT_EQ(classify_topology(make_complete_bipartite_minus(3, 3, 1)).destination,
+            Verdict::kImpossible);
+  EXPECT_EQ(classify_topology(make_complete_bipartite_minus(3, 3, 2)).destination,
+            Verdict::kPossible);
+  EXPECT_EQ(classify_topology(make_complete_bipartite(3, 3)).source_destination,
+            Verdict::kPossible);
+}
+
+TEST(Classifier, K7AndK44AreSdImpossible) {
+  EXPECT_EQ(classify_topology(make_complete(7)).source_destination, Verdict::kImpossible);
+  EXPECT_EQ(classify_topology(make_complete_bipartite(4, 4)).source_destination,
+            Verdict::kImpossible);
+  EXPECT_EQ(classify_topology(make_complete_minus(7, 1)).source_destination,
+            Verdict::kImpossible);
+}
+
+TEST(Classifier, K6IsSdUnknownOrBetterNeverImpossible) {
+  // K6 contains neither K7^-1 (needs 7 nodes) nor K4,4^-1 (needs 8): the
+  // source-destination verdict must not be impossible.
+  const auto c = classify_topology(make_complete(6));
+  EXPECT_NE(c.source_destination, Verdict::kImpossible);
+  // Destination-based: K6 contains K5^-1: impossible.
+  EXPECT_EQ(c.destination, Verdict::kImpossible);
+}
+
+TEST(Classifier, WheelIsSometimesForDestination) {
+  // W5: removing the hub leaves a cycle, removing a rim vertex leaves a fan;
+  // several Corollary-5 destinations exist but the graph is not outerplanar.
+  const auto c = classify_topology(make_wheel(5));
+  EXPECT_GT(c.cor5_destinations, 0);
+  EXPECT_NE(c.destination, Verdict::kImpossible);
+}
+
+TEST(Classifier, GridSometimes) {
+  // 3x3 grid: planar, not outerplanar, no K5^-1/K3,3^-1 minor (max degree 4
+  // but only 12 edges vs 9 needed... the searches decide); corner removal
+  // leaves an outerplanar graph -> at least "sometimes".
+  const auto c = classify_topology(make_grid(3, 3));
+  EXPECT_TRUE(c.planar);
+  EXPECT_FALSE(c.outerplanar);
+  EXPECT_GT(c.cor5_destinations, 0);
+}
+
+TEST(SyntheticZoo, SizeAndDeterminism) {
+  const auto zoo1 = make_synthetic_zoo(2022);
+  const auto zoo2 = make_synthetic_zoo(2022);
+  EXPECT_EQ(zoo1.size(), 260u);
+  ASSERT_EQ(zoo1.size(), zoo2.size());
+  for (size_t i = 0; i < zoo1.size(); ++i) {
+    EXPECT_EQ(zoo1[i].name, zoo2[i].name);
+    EXPECT_EQ(zoo1[i].graph.num_edges(), zoo2[i].graph.num_edges());
+  }
+}
+
+TEST(SyntheticZoo, MatchesPublishedEnvelope) {
+  const auto zoo = make_synthetic_zoo(2022);
+  int min_n = 1 << 30, max_n = 0, max_m = 0;
+  std::set<std::string> names;
+  for (const auto& net : zoo) {
+    min_n = std::min(min_n, net.graph.num_vertices());
+    max_n = std::max(max_n, net.graph.num_vertices());
+    max_m = std::max(max_m, net.graph.num_edges());
+    names.insert(net.name);
+  }
+  EXPECT_EQ(names.size(), zoo.size()) << "names must be unique";
+  EXPECT_LE(min_n, 6);
+  EXPECT_GE(max_n, 500);
+  EXPECT_LE(max_n, 754);
+  EXPECT_LE(max_m, 895);
+}
+
+TEST(SyntheticZoo, CompositionNearPaperFractions) {
+  const auto zoo = make_synthetic_zoo(2022);
+  int outer = 0, planar_only = 0, nonplanar = 0;
+  for (const auto& net : zoo) {
+    const bool op = is_outerplanar(net.graph);
+    const bool pl = is_planar(net.graph);
+    if (op) {
+      ++outer;
+    } else if (pl) {
+      ++planar_only;
+    } else {
+      ++nonplanar;
+    }
+  }
+  // Paper: ~1/3 outerplanar, 55.8% planar-not-outerplanar.
+  EXPECT_NEAR(outer / 260.0, 0.33, 0.05);
+  EXPECT_NEAR(planar_only / 260.0, 0.558, 0.06);
+  EXPECT_NEAR(nonplanar / 260.0, 0.11, 0.05);
+}
+
+TEST(GraphML, RoundTrip) {
+  const Graph g = make_wheel(5);
+  const std::string xml = to_graphml(g, "wheel5");
+  const auto parsed = parse_graphml(xml);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "wheel5");
+  EXPECT_EQ(parsed->graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(parsed->graph.num_edges(), g.num_edges());
+}
+
+TEST(GraphML, ParsesTopologyZooStyle) {
+  const std::string xml = R"(<?xml version="1.0"?>
+<graphml><graph id="Example" edgedefault="undirected">
+  <node id="n0"><data key="label">Vienna</data></node>
+  <node id="n1"/><node id="n2"/>
+  <edge source="n0" target="n1"/>
+  <edge source="n1" target="n2"/>
+  <edge source="n2" target="n0"/>
+  <edge source="n0" target="n0"/>
+  <edge source="n1" target="n0"/>
+</graphml>)";
+  const auto parsed = parse_graphml(xml);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "Example");
+  EXPECT_EQ(parsed->graph.num_vertices(), 3);
+  EXPECT_EQ(parsed->graph.num_edges(), 3);  // self loop and parallel dropped
+}
+
+TEST(GraphML, RejectsMalformed) {
+  EXPECT_FALSE(parse_graphml("<graph><edge source=\"a\"/></graph>").has_value());
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,226 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(IdSet, InsertEraseContains) {
+  IdSet s(130);
+  EXPECT_TRUE(s.empty());
+  s.insert(0);
+  s.insert(64);
+  s.insert(129);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(129));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.count(), 3);
+  s.erase(64);
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_EQ(s.count(), 2);
+}
+
+TEST(IdSet, SetAlgebra) {
+  IdSet a(10), b(10);
+  a.insert(1);
+  a.insert(2);
+  b.insert(2);
+  b.insert(3);
+  EXPECT_TRUE(a.intersects(b));
+  const IdSet u = a | b;
+  EXPECT_EQ(u.count(), 3);
+  const IdSet i = a & b;
+  EXPECT_EQ(i.to_vector(), std::vector<int>{2});
+  const IdSet d = a - b;
+  EXPECT_EQ(d.to_vector(), std::vector<int>{1});
+  EXPECT_TRUE(i.is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+}
+
+TEST(IdSet, ToVectorSortedAcrossWords) {
+  IdSet s(200);
+  s.insert(190);
+  s.insert(3);
+  s.insert(70);
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{3, 70, 190}));
+}
+
+TEST(Graph, BasicConstruction) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge_between(0, 1), std::optional<EdgeId>(e01));
+  EXPECT_EQ(g.edge_between(1, 0), std::optional<EdgeId>(e01));
+  EXPECT_FALSE(g.edge_between(0, 2).has_value());
+  EXPECT_EQ(g.other_endpoint(e12, 1), 2);
+  EXPECT_EQ(g.other_endpoint(e12, 2), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, DuplicateEdgeReturnsSameId) {
+  Graph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(1, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, NeighborsInPortOrder) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.neighbors(2), (std::vector<VertexId>{0, 3, 1}));
+}
+
+TEST(Graph, AliveNeighborsRespectsFailures) {
+  Graph g = make_complete(4);
+  IdSet failed = g.empty_edge_set();
+  failed.insert(*g.edge_between(0, 1));
+  failed.insert(*g.edge_between(0, 2));
+  EXPECT_EQ(g.alive_neighbors(0, failed), std::vector<VertexId>{3});
+  EXPECT_EQ(g.alive_incident_edges(0, failed).size(), 1u);
+}
+
+TEST(Graph, WithoutEdges) {
+  Graph g = make_cycle(5);
+  IdSet remove = g.empty_edge_set();
+  remove.insert(0);
+  GraphMapping map;
+  const Graph h = g.without_edges(remove, &map);
+  EXPECT_EQ(h.num_vertices(), 5);
+  EXPECT_EQ(h.num_edges(), 4);
+  EXPECT_EQ(map.edge_to_new[0], kNoEdge);
+  for (EdgeId e = 1; e < g.num_edges(); ++e) {
+    const EdgeId ne = map.edge_to_new[static_cast<size_t>(e)];
+    ASSERT_NE(ne, kNoEdge);
+    EXPECT_EQ(map.edge_to_old[static_cast<size_t>(ne)], e);
+    EXPECT_EQ(h.edge(ne).u, g.edge(e).u);
+    EXPECT_EQ(h.edge(ne).v, g.edge(e).v);
+  }
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g = make_complete(5);
+  IdSet keep = g.empty_vertex_set();
+  keep.insert(1);
+  keep.insert(3);
+  keep.insert(4);
+  GraphMapping map;
+  const Graph h = g.induced_subgraph(keep, &map);
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_edges(), 3);  // triangle on {1,3,4}
+  EXPECT_EQ(map.vertex_to_old.size(), 3u);
+  EXPECT_EQ(map.vertex_to_new[0], kNoVertex);
+  EXPECT_EQ(map.vertex_to_new[2], kNoVertex);
+}
+
+TEST(Graph, WithoutVertex) {
+  Graph g = make_complete(4);
+  const Graph h = g.without_vertex(2);
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_edges(), 3);
+}
+
+TEST(Graph, ContractionMergesAndDedupes) {
+  // Triangle 0-1-2 plus pendant 3 at 2. Contract (0,1): expect triangle edge
+  // parallel collapse -> vertices {01, 2, 3}, edges {01-2, 2-3}.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  GraphMapping map;
+  const Graph h = g.contracted(e01, &map);
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_edges(), 2);
+  // Old vertices 0 and 1 map to the same new vertex.
+  EXPECT_EQ(map.vertex_to_new[0], map.vertex_to_new[1]);
+}
+
+TEST(Builders, Complete) {
+  const Graph k5 = make_complete(5);
+  EXPECT_EQ(k5.num_vertices(), 5);
+  EXPECT_EQ(k5.num_edges(), 10);
+  const Graph k7 = make_complete(7);
+  EXPECT_EQ(k7.num_edges(), 21);
+}
+
+TEST(Builders, CompleteBipartite) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  EXPECT_EQ(k33.num_vertices(), 6);
+  EXPECT_EQ(k33.num_edges(), 9);
+  // No intra-part edges.
+  EXPECT_FALSE(k33.has_edge(0, 1));
+  EXPECT_FALSE(k33.has_edge(3, 4));
+  EXPECT_TRUE(k33.has_edge(0, 3));
+}
+
+TEST(Builders, CompleteMinusRemovesAtLastVertex) {
+  const Graph g = make_complete_minus(5, 2);
+  EXPECT_EQ(g.num_edges(), 8);
+  // The two removed links are incident to vertex 4 (the K5^-2 worst case).
+  EXPECT_EQ(g.degree(4), 2);
+  EXPECT_FALSE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(2, 4));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(1, 4));
+}
+
+TEST(Builders, CompleteBipartiteMinus) {
+  const Graph g = make_complete_bipartite_minus(4, 4, 1);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_EQ(g.degree(7), 3);
+}
+
+TEST(Builders, PathCycleStarWheelGrid) {
+  EXPECT_EQ(make_path(6).num_edges(), 5);
+  EXPECT_EQ(make_cycle(6).num_edges(), 6);
+  EXPECT_EQ(make_star(7).num_edges(), 7);
+  const Graph w = make_wheel(5);
+  EXPECT_EQ(w.num_vertices(), 6);
+  EXPECT_EQ(w.num_edges(), 10);
+  EXPECT_EQ(w.degree(5), 5);
+  const Graph grid = make_grid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12);
+  EXPECT_EQ(grid.num_edges(), 3 * 3 + 2 * 4);
+}
+
+TEST(Builders, RandomTreeIsTree) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph t = make_random_tree(12, seed);
+    EXPECT_EQ(t.num_edges(), 11);
+  }
+}
+
+TEST(Builders, RandomConnectedHitsTargets) {
+  const Graph g = make_random_connected(20, 35, 7);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 35);
+}
+
+TEST(Builders, MaximalOuterplanarEdgeCount) {
+  for (int n : {4, 7, 12, 25}) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      const Graph g = make_random_maximal_outerplanar(n, seed);
+      EXPECT_EQ(g.num_edges(), 2 * n - 3) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Builders, FailuresBetween) {
+  const Graph g = make_complete(4);
+  const IdSet f = failures_between(g, {{0, 1}, {2, 3}});
+  EXPECT_EQ(f.count(), 2);
+  EXPECT_TRUE(f.contains(*g.edge_between(0, 1)));
+  EXPECT_TRUE(f.contains(*g.edge_between(2, 3)));
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,121 @@
+#include "graph/hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "resilience/ham_touring.hpp"
+#include "routing/verifier.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(Walecki, OddCompleteGraphsDecomposeFully) {
+  for (int n : {3, 5, 7, 9, 11}) {
+    const Graph g = make_complete(n);
+    const auto cycles = walecki_cycles(n);
+    EXPECT_EQ(static_cast<int>(cycles.size()), (n - 1) / 2);
+    for (const auto& c : cycles) {
+      EXPECT_TRUE(is_hamiltonian_cycle(g, c)) << "n=" << n;
+    }
+    EXPECT_TRUE(cycles_link_disjoint(g, cycles)) << "n=" << n;
+    // Odd n: the cycles cover every edge.
+    EXPECT_EQ(static_cast<int>(cycles.size()) * n, g.num_edges());
+  }
+}
+
+TEST(Walecki, EvenCompleteGraphs) {
+  for (int n : {4, 6, 8, 10, 12}) {
+    const Graph g = make_complete(n);
+    const auto cycles = walecki_cycles(n);
+    EXPECT_EQ(static_cast<int>(cycles.size()), (n - 1) / 2);
+    for (const auto& c : cycles) {
+      EXPECT_TRUE(is_hamiltonian_cycle(g, c)) << "n=" << n;
+    }
+    EXPECT_TRUE(cycles_link_disjoint(g, cycles)) << "n=" << n;
+  }
+}
+
+TEST(LaskarAuerbach, BipartiteDecompositions) {
+  for (int n : {2, 4, 6, 8}) {
+    const Graph g = make_complete_bipartite(n, n);
+    const auto cycles = bipartite_hamiltonian_cycles(n);
+    EXPECT_EQ(static_cast<int>(cycles.size()), n / 2);
+    for (const auto& c : cycles) {
+      EXPECT_TRUE(is_hamiltonian_cycle(g, c)) << "n=" << n;
+    }
+    EXPECT_TRUE(cycles_link_disjoint(g, cycles)) << "n=" << n;
+    // K_{n,n} with n even: the n/2 cycles cover every edge.
+    EXPECT_EQ(static_cast<int>(cycles.size()) * 2 * n, g.num_edges());
+  }
+}
+
+TEST(CycleValidation, RejectsBrokenCycles) {
+  const Graph g = make_complete(5);
+  EXPECT_FALSE(is_hamiltonian_cycle(g, {0, 1, 2, 3}));        // too short
+  EXPECT_FALSE(is_hamiltonian_cycle(g, {0, 1, 2, 3, 3}));     // repeated
+  const Graph path = make_path(4);
+  EXPECT_FALSE(is_hamiltonian_cycle(path, {0, 1, 2, 3}));     // 3-0 missing
+}
+
+// ---- Theorem 17: (k-1)-resilient touring -----------------------------------
+
+TEST(HamTouring, K5ToleratesOneFailureExhaustive) {
+  // K5 is 4-connected = 2k with k=2: two Walecki cycles, survives 1 failure.
+  const Graph g = make_complete(5);
+  const auto pattern = make_complete_ham_touring(g);
+  ASSERT_NE(pattern, nullptr);
+  EXPECT_EQ(pattern->num_cycles(), 2);
+  VerifyOptions opts;
+  opts.max_failures = 1;
+  const auto violation = find_touring_violation(g, *pattern, opts);
+  EXPECT_FALSE(violation.has_value())
+      << "start=" << violation->source << " F=" << violation->failures.count();
+}
+
+TEST(HamTouring, K7ToleratesTwoFailuresExhaustive) {
+  // K7 is 6-connected: k=3 cycles, survives 2 failures. 21 edges: the
+  // verifier enumerates all C(21,<=2) = 232 bounded failure sets.
+  const Graph g = make_complete(7);
+  const auto pattern = make_complete_ham_touring(g);
+  ASSERT_NE(pattern, nullptr);
+  EXPECT_EQ(pattern->num_cycles(), 3);
+  VerifyOptions opts;
+  opts.max_exhaustive_edges = 21;
+  opts.max_failures = 2;
+  const auto violation = find_touring_violation(g, *pattern, opts);
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(HamTouring, K44ToleratesOneFailureExhaustive) {
+  // K_{4,4} is 4-connected = 2k with k=2: two disjoint Hamiltonian cycles.
+  const Graph g = make_complete_bipartite(4, 4);
+  const auto pattern = make_bipartite_ham_touring(g, 4);
+  ASSERT_NE(pattern, nullptr);
+  EXPECT_EQ(pattern->num_cycles(), 2);
+  VerifyOptions opts;
+  opts.max_failures = 1;
+  const auto violation = find_touring_violation(g, *pattern, opts);
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(HamTouring, FailsBeyondPromiseSomewhere) {
+  // Sanity: with k failures (one past the promise) the K5 pattern must
+  // break for some failure set — otherwise the bound would be loose here.
+  const Graph g = make_complete(5);
+  const auto pattern = make_complete_ham_touring(g);
+  VerifyOptions opts;
+  opts.max_failures = 4;
+  const auto violation = find_touring_violation(g, *pattern, opts);
+  EXPECT_TRUE(violation.has_value());
+}
+
+TEST(HamTouring, RejectsBadCycleSets) {
+  const Graph g = make_complete(5);
+  // Overlapping cycles: same cycle twice.
+  auto cycles = walecki_cycles(5);
+  cycles.push_back(cycles[0]);
+  EXPECT_EQ(HamiltonianTouringPattern::create(g, cycles), nullptr);
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,102 @@
+// Executable versions of the paper's transfer arguments ([2, §4], used by
+// Theorems 8/9/12/13 and Corollary 7): adapting a verified pattern across an
+// edge deletion or contraction preserves perfect resilience on the minor.
+
+#include "routing/minor_adapt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "resilience/k33_source.hpp"
+#include "resilience/k5m2_dest.hpp"
+#include "routing/verifier.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(MinorAdapt, DeletionOnK5KeepsAlgorithm1Resilient) {
+  const Graph k5 = make_complete(5);
+  std::shared_ptr<const ForwardingPattern> alg1 = make_algorithm1_k5();
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    IdSet deleted = k5.empty_edge_set();
+    for (EdgeId e = 0; e < k5.num_edges(); ++e) {
+      if (rng() % 4 == 0) deleted.insert(e);
+    }
+    const Graph reduced = k5.without_edges(deleted);
+    const auto adapted = adapt_to_edge_deletion(alg1, k5, deleted);
+    const auto violation = find_resilience_violation(reduced, *adapted);
+    EXPECT_FALSE(violation.has_value()) << reduced.to_string();
+  }
+}
+
+TEST(MinorAdapt, ContractionOnK5KeepsAlgorithm1Resilient) {
+  const Graph k5 = make_complete(5);
+  std::shared_ptr<const ForwardingPattern> alg1 = make_algorithm1_k5();
+  for (EdgeId e = 0; e < k5.num_edges(); ++e) {
+    const Graph reduced = k5.contracted(e);
+    const auto adapted = adapt_to_contraction(alg1, k5, e);
+    const auto violation = find_resilience_violation(reduced, *adapted);
+    EXPECT_FALSE(violation.has_value()) << "contracted edge " << e;
+  }
+}
+
+TEST(MinorAdapt, ChainedOperationsOnK5) {
+  // Delete two links, then contract an edge of the result: a genuine minor.
+  const Graph k5 = make_complete(5);
+  std::shared_ptr<const ForwardingPattern> alg1 = make_algorithm1_k5();
+  IdSet deleted = k5.empty_edge_set();
+  deleted.insert(0);
+  deleted.insert(4);
+  const Graph step1 = k5.without_edges(deleted);
+  std::shared_ptr<const ForwardingPattern> adapted1 =
+      adapt_to_edge_deletion(alg1, k5, deleted);
+  for (EdgeId e = 0; e < step1.num_edges(); ++e) {
+    const Graph step2 = step1.contracted(e);
+    const auto adapted2 = adapt_to_contraction(adapted1, step1, e);
+    const auto violation = find_resilience_violation(step2, *adapted2);
+    EXPECT_FALSE(violation.has_value()) << "edge " << e << " of " << step1.to_string();
+  }
+}
+
+TEST(MinorAdapt, ContractionOnK33SourceTables) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  std::shared_ptr<const ForwardingPattern> tables = make_k33_source_pattern();
+  for (EdgeId e = 0; e < k33.num_edges(); ++e) {
+    const Graph reduced = k33.contracted(e);
+    const auto adapted = adapt_to_contraction(tables, k33, e);
+    const auto violation = find_resilience_violation(reduced, *adapted);
+    EXPECT_FALSE(violation.has_value()) << "contracted edge " << e;
+  }
+}
+
+TEST(MinorAdapt, DestinationBasedK5m2TransfersToMinors) {
+  const Graph g = make_complete_minus(5, 2);
+  std::shared_ptr<const ForwardingPattern> pattern = make_k5m2_dest_pattern(g);
+  ASSERT_NE(pattern, nullptr);
+  // Deletions.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    IdSet deleted = g.empty_edge_set();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (rng() % 4 == 0) deleted.insert(e);
+    }
+    const Graph reduced = g.without_edges(deleted);
+    const auto adapted = adapt_to_edge_deletion(pattern, g, deleted);
+    EXPECT_FALSE(find_resilience_violation(reduced, *adapted).has_value())
+        << reduced.to_string();
+  }
+  // Contractions.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Graph reduced = g.contracted(e);
+    const auto adapted = adapt_to_contraction(pattern, g, e);
+    EXPECT_FALSE(find_resilience_violation(reduced, *adapted).has_value())
+        << "contracted edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,175 @@
+#include "graph/minors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/builders.hpp"
+#include "graph/planarity.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(MinorModelValidation, AcceptsCorrectModel) {
+  // K4 minor in the wheel W5: hub + 3 rim vertices where rim arcs connect.
+  const Graph host = make_wheel(5);
+  const Graph k4 = make_complete(4);
+  const auto model = find_minor_exact(host, k4);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(validate_minor_model(host, k4, *model));
+}
+
+TEST(MinorModelValidation, RejectsBrokenModels) {
+  const Graph host = make_complete(4);
+  const Graph k3 = make_complete(3);
+  // Overlapping branch sets.
+  MinorModel overlap{{{0}, {0}, {1}}};
+  EXPECT_FALSE(validate_minor_model(host, k3, overlap));
+  // Disconnected branch set (0 and 3 are adjacent in K4, so use a sparser host).
+  const Graph path = make_path(4);
+  MinorModel disconnected{{{0, 2}, {1}, {3}}};
+  EXPECT_FALSE(validate_minor_model(path, k3, disconnected));
+  // Missing pattern edge coverage.
+  MinorModel uncovered{{{0}, {1}, {3}}};
+  EXPECT_FALSE(validate_minor_model(path, k3, uncovered));
+}
+
+TEST(ExactMinor, CompleteGraphHierarchy) {
+  const Graph k6 = make_complete(6);
+  EXPECT_TRUE(find_minor_exact(k6, make_complete(4)).has_value());
+  EXPECT_TRUE(find_minor_exact(k6, make_complete(6)).has_value());
+  EXPECT_FALSE(find_minor_exact(k6, make_complete(7)).has_value());
+}
+
+TEST(ExactMinor, CycleHasNoK4) {
+  EXPECT_FALSE(find_minor_exact(make_cycle(8), make_complete(4)).has_value());
+  EXPECT_FALSE(find_minor_exact(make_cycle(8), make_complete_bipartite(2, 3)).has_value());
+}
+
+TEST(ExactMinor, PetersenContainsK5) {
+  // The Petersen graph famously contains K5 (contract the spokes).
+  Graph petersen(10);
+  for (int i = 0; i < 5; ++i) {
+    petersen.add_edge(i, (i + 1) % 5);          // outer cycle
+    petersen.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    petersen.add_edge(i, 5 + i);                // spokes
+  }
+  const auto model = find_minor_exact(petersen, make_complete(5));
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(validate_minor_model(petersen, make_complete(5), *model));
+  // But not K6 (Petersen has 15 edges; K6 needs 15 edges and more connectivity).
+  EXPECT_FALSE(find_minor_exact(petersen, make_complete(6)).has_value());
+}
+
+TEST(ExactMinor, GridContainsK4ButNotK5) {
+  const Graph grid = make_grid(3, 3);
+  EXPECT_TRUE(find_minor_exact(grid, make_complete(4)).has_value());
+  EXPECT_FALSE(find_minor_exact(grid, make_complete(5)).has_value());  // planar
+  EXPECT_TRUE(find_minor_exact(grid, make_complete_bipartite(2, 3)).has_value());
+}
+
+TEST(ExactMinor, PaperForbiddenMinorsOnTheirOwnGraphs) {
+  // Each forbidden pattern is a minor of itself and of the +1-link version.
+  const Graph k5m1 = make_complete_minus(5, 1);
+  EXPECT_TRUE(find_minor_exact(make_complete(5), k5m1).has_value());
+  EXPECT_TRUE(find_minor_exact(k5m1, k5m1).has_value());
+  const Graph k33m1 = make_complete_bipartite_minus(3, 3, 1);
+  EXPECT_TRUE(find_minor_exact(make_complete_bipartite(3, 3), k33m1).has_value());
+  // K5^-2 does not contain K5^-1 (8 edges < 9).
+  EXPECT_FALSE(find_minor_exact(make_complete_minus(5, 2), k5m1).has_value());
+}
+
+TEST(ExactMinor, K33MinusOneContainsK4) {
+  // Verified in the paper's context: suppressing the two degree-2 vertices
+  // of K3,3^-1 yields K4.
+  const Graph k33m1 = make_complete_bipartite_minus(3, 3, 1);
+  EXPECT_TRUE(find_minor_exact(k33m1, make_complete(4)).has_value());
+}
+
+TEST(HeuristicMinor, FindsModelsOnMediumHosts) {
+  // Heuristic on hosts beyond the exact cutoff; results are validated.
+  const Graph host = make_complete(20);
+  const Graph k7 = make_complete(7);
+  const auto model = find_minor_heuristic(host, k7, 1, 16);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(validate_minor_model(host, k7, *model));
+}
+
+TEST(HeuristicMinor, GridK23) {
+  const Graph host = make_grid(6, 6);
+  const Graph k23 = make_complete_bipartite(2, 3);
+  const auto model = find_minor_heuristic(host, k23, 3, 16);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(validate_minor_model(host, k23, *model));
+}
+
+TEST(HeuristicMinor, AgreesWithExactOnRandomSmallHosts) {
+  std::mt19937_64 rng(71);
+  const Graph k4 = make_complete(4);
+  int both_found = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 6 + static_cast<int>(rng() % 6);
+    const int max_m = n * (n - 1) / 2;
+    const Graph g =
+        make_random_connected(n, std::min(max_m, n + static_cast<int>(rng() % n)), rng());
+    const bool exact = find_minor_exact(g, k4).has_value();
+    const bool heur = find_minor_heuristic(g, k4, rng(), 24).has_value();
+    // Heuristic soundness: can never find what exact says is absent.
+    if (!exact) {
+      EXPECT_FALSE(heur) << g.to_string();
+    }
+    if (exact && heur) ++both_found;
+  }
+  EXPECT_GT(both_found, 0);
+}
+
+TEST(K4MinorFree, SeriesParallelReduction) {
+  EXPECT_FALSE(has_k4_minor(make_cycle(10)));
+  EXPECT_FALSE(has_k4_minor(make_path(10)));
+  EXPECT_FALSE(has_k4_minor(make_random_tree(15, 2)));
+  EXPECT_TRUE(has_k4_minor(make_complete(4)));
+  EXPECT_TRUE(has_k4_minor(make_wheel(5)));
+  EXPECT_TRUE(has_k4_minor(make_grid(3, 3)));
+  EXPECT_FALSE(has_k4_minor(make_ladder(5)));  // ladders are series-parallel
+  EXPECT_TRUE(has_k4_minor(make_complete_bipartite_minus(3, 3, 1)));
+}
+
+TEST(K4MinorFree, AgreesWithExactSearch) {
+  std::mt19937_64 rng(77);
+  const Graph k4 = make_complete(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 7);
+    const int max_m = n * (n - 1) / 2;
+    const Graph g =
+        make_random_connected(n, std::min(max_m, n - 1 + static_cast<int>(rng() % n)), rng());
+    EXPECT_EQ(has_k4_minor(g), find_minor_exact(g, k4).has_value()) << g.to_string();
+  }
+}
+
+TEST(MinorDispatch, UsesExactForSmallHosts) {
+  // Small host, known negative: dispatcher must return a definitive no.
+  EXPECT_FALSE(find_minor(make_cycle(10), make_complete(4)).has_value());
+  // Large host: heuristic positive.
+  const Graph big = make_complete(40);
+  EXPECT_TRUE(find_minor(big, make_complete(5)).has_value());
+}
+
+TEST(Minors, OuterplanarityCharacterizationMatchesPlanarityModule) {
+  // Outerplanar iff no K4 and no K2,3 minor (on small exact hosts).
+  std::mt19937_64 rng(99);
+  const Graph k4 = make_complete(4);
+  const Graph k23 = make_complete_bipartite(2, 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 7);
+    const int max_m = n * (n - 1) / 2;
+    const Graph g =
+        make_random_connected(n, std::min(max_m, n - 1 + static_cast<int>(rng() % n)), rng());
+    const bool outer = is_outerplanar(g);
+    const bool minor_free =
+        !find_minor_exact(g, k4).has_value() && !find_minor_exact(g, k23).has_value();
+    EXPECT_EQ(outer, minor_free) << g.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace pofl

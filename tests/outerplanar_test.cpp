@@ -1,0 +1,183 @@
+#include "graph/outerplanar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "graph/blocks.hpp"
+#include "graph/builders.hpp"
+#include "graph/planarity.hpp"
+
+namespace pofl {
+namespace {
+
+/// Checks that chords drawn on the circle given by `emb` do not cross:
+/// for edges (a,b), (c,d) with circular positions, crossing means exactly one
+/// of c,d lies strictly inside the arc (a,b).
+bool non_crossing(const Graph& g, const OuterplanarEmbedding& emb) {
+  const int n = g.num_vertices();
+  const auto inside = [&](int x, int lo, int hi) {
+    // strict circular interval (lo, hi)
+    if (lo < hi) return lo < x && x < hi;
+    return x > lo || x < hi;
+  };
+  for (EdgeId e1 = 0; e1 < g.num_edges(); ++e1) {
+    for (EdgeId e2 = e1 + 1; e2 < g.num_edges(); ++e2) {
+      const int a = emb.position[static_cast<size_t>(g.edge(e1).u)];
+      const int b = emb.position[static_cast<size_t>(g.edge(e1).v)];
+      const int c = emb.position[static_cast<size_t>(g.edge(e2).u)];
+      const int d = emb.position[static_cast<size_t>(g.edge(e2).v)];
+      if (a == c || a == d || b == c || b == d) continue;  // shared endpoint
+      const bool c_in = inside(c, a, b);
+      const bool d_in = inside(d, a, b);
+      if (c_in != d_in) return false;
+      (void)n;
+    }
+  }
+  return true;
+}
+
+TEST(Blocks, CycleIsOneBlock) {
+  const Graph g = make_cycle(6);
+  const auto blocks = biconnected_components(g);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size(), 6u);
+}
+
+TEST(Blocks, PathHasOneBlockPerEdge) {
+  const Graph g = make_path(5);
+  const auto blocks = biconnected_components(g);
+  EXPECT_EQ(blocks.size(), 4u);
+}
+
+TEST(Blocks, TwoTrianglesSharingAVertex) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  const auto blocks = biconnected_components(g);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].size(), 3u);
+  EXPECT_EQ(blocks[1].size(), 3u);
+}
+
+TEST(Blocks, EveryEdgeInExactlyOneBlock) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 12);
+    const int max_m = n * (n - 1) / 2;
+    const Graph g =
+        make_random_connected(n, std::min(max_m, n - 1 + static_cast<int>(rng() % n)), rng());
+    const auto blocks = biconnected_components(g);
+    std::set<EdgeId> seen;
+    size_t total = 0;
+    for (const auto& b : blocks) {
+      total += b.size();
+      seen.insert(b.begin(), b.end());
+    }
+    EXPECT_EQ(total, seen.size());
+    EXPECT_EQ(static_cast<int>(seen.size()), g.num_edges());
+  }
+}
+
+TEST(OuterHamiltonianCycle, CycleGraph) {
+  const Graph g = make_cycle(7);
+  const auto cyc = outer_hamiltonian_cycle(g);
+  ASSERT_TRUE(cyc.has_value());
+  EXPECT_EQ(cyc->size(), 7u);
+  for (size_t i = 0; i < cyc->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*cyc)[i], (*cyc)[(i + 1) % cyc->size()]));
+  }
+}
+
+TEST(OuterHamiltonianCycle, MaximalOuterplanar) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_random_maximal_outerplanar(10, seed);
+    const auto cyc = outer_hamiltonian_cycle(g);
+    ASSERT_TRUE(cyc.has_value()) << g.to_string();
+    EXPECT_EQ(cyc->size(), 10u);
+    // The recovered cycle must be the polygon boundary: consecutive along
+    // the construction's 0..n-1 polygon. Every cycle edge must exist.
+    for (size_t i = 0; i < cyc->size(); ++i) {
+      EXPECT_TRUE(g.has_edge((*cyc)[i], (*cyc)[(i + 1) % cyc->size()]));
+    }
+  }
+}
+
+TEST(OuterHamiltonianCycle, RejectsNonOuterplanar) {
+  EXPECT_FALSE(outer_hamiltonian_cycle(make_complete(4)).has_value());
+  EXPECT_FALSE(outer_hamiltonian_cycle(make_complete_bipartite(2, 3)).has_value());
+  EXPECT_FALSE(outer_hamiltonian_cycle(make_path(4)).has_value());  // not 2-connected
+}
+
+TEST(OuterplanarEmbedding, CoversAllVerticesOnce) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 20);
+    const Graph g = make_random_outerplanar(n, n - 1 + static_cast<int>(rng() % n), rng());
+    const auto emb = outerplanar_embedding(g);
+    ASSERT_TRUE(emb.has_value()) << g.to_string();
+    EXPECT_EQ(emb->circular_order.size(), static_cast<size_t>(n));
+    std::set<VertexId> unique(emb->circular_order.begin(), emb->circular_order.end());
+    EXPECT_EQ(unique.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(emb->position[static_cast<size_t>(emb->circular_order[static_cast<size_t>(i)])],
+                i);
+    }
+  }
+}
+
+TEST(OuterplanarEmbedding, ChordsDoNotCross) {
+  std::mt19937_64 rng(37);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 16);
+    const Graph g = make_random_outerplanar(n, n - 1 + static_cast<int>(rng() % n), rng());
+    const auto emb = outerplanar_embedding(g);
+    ASSERT_TRUE(emb.has_value()) << g.to_string();
+    EXPECT_TRUE(non_crossing(g, *emb)) << g.to_string();
+  }
+}
+
+TEST(OuterplanarEmbedding, TreesWork) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_random_tree(12, seed);
+    const auto emb = outerplanar_embedding(g);
+    ASSERT_TRUE(emb.has_value());
+    EXPECT_TRUE(non_crossing(g, *emb));
+  }
+}
+
+TEST(OuterplanarEmbedding, RotationContainsAllIncidentEdges) {
+  const Graph g = make_random_maximal_outerplanar(9, 3);
+  const auto emb = outerplanar_embedding(g);
+  ASSERT_TRUE(emb.has_value());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(emb->rotation[static_cast<size_t>(v)].size(),
+              static_cast<size_t>(g.degree(v)));
+  }
+}
+
+TEST(OuterplanarEmbedding, RejectsNonOuterplanar) {
+  EXPECT_FALSE(outerplanar_embedding(make_complete(4)).has_value());
+  EXPECT_FALSE(outerplanar_embedding(make_complete_bipartite(2, 3)).has_value());
+}
+
+TEST(OuterplanarEmbedding, DisconnectedGraphsEmbedPerComponent) {
+  Graph disconnected(7);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  disconnected.add_edge(3, 4);
+  disconnected.add_edge(4, 2);
+  // vertices 5, 6 isolated
+  const auto emb = outerplanar_embedding(disconnected);
+  ASSERT_TRUE(emb.has_value());
+  EXPECT_EQ(emb->circular_order.size(), 7u);
+  EXPECT_TRUE(non_crossing(disconnected, *emb));
+}
+
+}  // namespace
+}  // namespace pofl

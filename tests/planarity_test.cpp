@@ -1,0 +1,158 @@
+#include "graph/planarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/builders.hpp"
+#include "graph/minors.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(Planarity, SmallGraphsArePlanar) {
+  EXPECT_TRUE(is_planar(make_complete(4)));
+  EXPECT_TRUE(is_planar(make_complete_minus(5, 1)));
+  EXPECT_TRUE(is_planar(make_path(10)));
+  EXPECT_TRUE(is_planar(make_cycle(10)));
+  EXPECT_TRUE(is_planar(make_grid(5, 5)));
+  EXPECT_TRUE(is_planar(make_wheel(8)));
+}
+
+TEST(Planarity, KuratowskiGraphsAreNot) {
+  EXPECT_FALSE(is_planar(make_complete(5)));
+  EXPECT_FALSE(is_planar(make_complete_bipartite(3, 3)));
+  EXPECT_FALSE(is_planar(make_complete(6)));
+  EXPECT_FALSE(is_planar(make_complete(7)));
+  EXPECT_FALSE(is_planar(make_complete_bipartite(4, 4)));
+  EXPECT_FALSE(is_planar(make_complete_bipartite(3, 5)));
+}
+
+TEST(Planarity, MinusOneLinkVariantsArePlanar) {
+  // The paper (Thm 10/11) stresses that K5^-1 and K3,3^-1 are planar.
+  EXPECT_TRUE(is_planar(make_complete_minus(5, 1)));
+  EXPECT_TRUE(is_planar(make_complete_bipartite_minus(3, 3, 1)));
+  // K7^-1 and K4,4^-1 stay non-planar.
+  EXPECT_FALSE(is_planar(make_complete_minus(7, 1)));
+  EXPECT_FALSE(is_planar(make_complete_bipartite_minus(4, 4, 1)));
+}
+
+TEST(Planarity, Subdivisions) {
+  // A subdivision of K5 is still non-planar: subdivide every edge once.
+  const Graph k5 = make_complete(5);
+  Graph sub(5 + k5.num_edges());
+  for (EdgeId e = 0; e < k5.num_edges(); ++e) {
+    const VertexId mid = 5 + e;
+    sub.add_edge(k5.edge(e).u, mid);
+    sub.add_edge(mid, k5.edge(e).v);
+  }
+  EXPECT_FALSE(is_planar(sub));
+  // Subdividing a planar graph keeps it planar.
+  const Graph k4 = make_complete(4);
+  Graph sub4(4 + k4.num_edges());
+  for (EdgeId e = 0; e < k4.num_edges(); ++e) {
+    const VertexId mid = 4 + e;
+    sub4.add_edge(k4.edge(e).u, mid);
+    sub4.add_edge(mid, k4.edge(e).v);
+  }
+  EXPECT_TRUE(is_planar(sub4));
+}
+
+TEST(Planarity, DisconnectedGraphs) {
+  // Two disjoint K4's: planar. K5 plus isolated vertices: not.
+  Graph two_k4(8);
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) two_k4.add_edge(base + i, base + j);
+    }
+  }
+  EXPECT_TRUE(is_planar(two_k4));
+
+  Graph k5_iso(8);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) k5_iso.add_edge(i, j);
+  }
+  EXPECT_FALSE(is_planar(k5_iso));
+}
+
+TEST(Planarity, RandomPlanarBuildersStayPlanar) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 40);
+    const Graph g = make_random_planar(n, n + static_cast<int>(rng() % (2 * n)), rng());
+    EXPECT_TRUE(is_planar(g)) << g.to_string();
+  }
+}
+
+TEST(Planarity, RandomOuterplanarBuildersStayOuterplanar) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 30);
+    const Graph g = make_random_outerplanar(n, n - 1 + static_cast<int>(rng() % n), rng());
+    EXPECT_TRUE(is_outerplanar(g)) << g.to_string();
+    EXPECT_TRUE(is_planar(g));
+  }
+}
+
+TEST(Planarity, AgreesWithKuratowskiMinorSearchOnRandomGraphs) {
+  // Cross-validation: planar iff no K5 minor and no K3,3 minor (Wagner).
+  // Exact minor search keeps hosts small.
+  std::mt19937_64 rng(17);
+  const Graph k5 = make_complete(5);
+  const Graph k33 = make_complete_bipartite(3, 3);
+  int nonplanar_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 6);  // 5..10
+    const int max_m = n * (n - 1) / 2;
+    const int m = std::min(max_m, n - 1 + static_cast<int>(rng() % (2 * n)));
+    const Graph g = make_random_connected(n, m, rng());
+    const bool planar = is_planar(g);
+    const bool wagner = !has_minor(g, k5) && !has_minor(g, k33);
+    EXPECT_EQ(planar, wagner) << g.to_string();
+    nonplanar_seen += planar ? 0 : 1;
+  }
+  EXPECT_GT(nonplanar_seen, 3) << "test corpus never exercised the non-planar side";
+}
+
+TEST(Outerplanarity, ClassicExamples) {
+  EXPECT_TRUE(is_outerplanar(make_cycle(8)));
+  EXPECT_TRUE(is_outerplanar(make_path(8)));
+  EXPECT_TRUE(is_outerplanar(make_star(8)));
+  EXPECT_TRUE(is_outerplanar(make_complete(3)));
+  EXPECT_FALSE(is_outerplanar(make_complete(4)));
+  EXPECT_FALSE(is_outerplanar(make_complete_bipartite(2, 3)));
+  EXPECT_FALSE(is_outerplanar(make_wheel(5)));
+  EXPECT_FALSE(is_outerplanar(make_grid(3, 3)));
+  EXPECT_TRUE(is_outerplanar(make_grid(2, 2)));
+  EXPECT_TRUE(is_outerplanar(make_ladder(2)));
+}
+
+TEST(Outerplanarity, MaximalOuterplanarFamilies) {
+  for (int n : {5, 9, 14}) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      EXPECT_TRUE(is_outerplanar(make_random_maximal_outerplanar(n, seed)));
+    }
+  }
+}
+
+TEST(Outerplanarity, AgreesWithForbiddenMinors) {
+  // Chartrand-Harary: outerplanar iff no K4 minor and no K2,3 minor.
+  std::mt19937_64 rng(23);
+  const Graph k4 = make_complete(4);
+  const Graph k23 = make_complete_bipartite(2, 3);
+  int outerplanar_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 6);
+    const int max_m = n * (n - 1) / 2;
+    const int m = std::min(max_m, n - 1 + static_cast<int>(rng() % n));
+    const Graph g = make_random_connected(n, m, rng());
+    const bool outer = is_outerplanar(g);
+    const bool forbidden_free = !has_minor(g, k4) && !has_minor(g, k23);
+    EXPECT_EQ(outer, forbidden_free) << g.to_string();
+    outerplanar_seen += outer ? 1 : 0;
+  }
+  EXPECT_GT(outerplanar_seen, 3);
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,231 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// families of graphs, seeds and sizes (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/minors.hpp"
+#include "graph/planarity.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "resilience/chiesa_baseline.hpp"
+#include "resilience/distance_patterns.hpp"
+#include "resilience/outerplanar_touring.hpp"
+#include "routing/simulator.hpp"
+#include "routing/verifier.hpp"
+
+namespace pofl {
+namespace {
+
+// ---- Walecki / Laskar-Auerbach over the whole size range -------------------
+
+class WaleckiProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaleckiProperty, CyclesAreHamiltonianAndDisjoint) {
+  const int n = GetParam();
+  const Graph g = make_complete(n);
+  const auto cycles = walecki_cycles(n);
+  EXPECT_EQ(static_cast<int>(cycles.size()), (n - 1) / 2);
+  for (const auto& c : cycles) {
+    EXPECT_TRUE(is_hamiltonian_cycle(g, c));
+  }
+  EXPECT_TRUE(cycles_link_disjoint(g, cycles));
+  if (n % 2 == 1) {
+    EXPECT_EQ(static_cast<int>(cycles.size()) * n, g.num_edges()) << "odd n: full decomposition";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, WaleckiProperty,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 17, 20, 25,
+                                           31, 40));
+
+class BipartiteHamProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BipartiteHamProperty, DecompositionComplete) {
+  const int n = GetParam();
+  const Graph g = make_complete_bipartite(n, n);
+  const auto cycles = bipartite_hamiltonian_cycles(n);
+  EXPECT_EQ(static_cast<int>(cycles.size()), n / 2);
+  for (const auto& c : cycles) {
+    EXPECT_TRUE(is_hamiltonian_cycle(g, c));
+  }
+  EXPECT_TRUE(cycles_link_disjoint(g, cycles));
+  EXPECT_EQ(static_cast<int>(cycles.size()) * 2 * n, g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenSizes, BipartiteHamProperty,
+                         ::testing::Values(2, 4, 6, 8, 10, 12, 16));
+
+// ---- Wagner's theorem over random graphs ------------------------------------
+
+class WagnerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WagnerProperty, PlanarIffNoKuratowskiMinor) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 5 + static_cast<int>(rng() % 5);
+  const int max_m = n * (n - 1) / 2;
+  const Graph g =
+      make_random_connected(n, std::min(max_m, n - 1 + static_cast<int>(rng() % (2 * n))), rng());
+  const bool planar = is_planar(g);
+  const bool wagner = !find_minor_exact(g, make_complete(5)).has_value() &&
+                      !find_minor_exact(g, make_complete_bipartite(3, 3)).has_value();
+  EXPECT_EQ(planar, wagner) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WagnerProperty, ::testing::Range(uint64_t{100}, uint64_t{140}));
+
+// ---- Algorithm 1 on arbitrary K5 subgraphs ----------------------------------
+
+class Algorithm1Subgraphs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Algorithm1Subgraphs, PerfectlyResilient) {
+  std::mt19937_64 rng(GetParam());
+  const Graph k5 = make_complete(5);
+  IdSet removed = k5.empty_edge_set();
+  for (EdgeId e = 0; e < k5.num_edges(); ++e) {
+    if (rng() % 3 == 0) removed.insert(e);
+  }
+  const Graph g = k5.without_edges(removed);
+  const auto pattern = make_algorithm1_k5();
+  EXPECT_FALSE(find_resilience_violation(g, *pattern).has_value()) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1Subgraphs,
+                         ::testing::Range(uint64_t{200}, uint64_t{232}));
+
+// ---- Distance-2 promise on arbitrary graphs ---------------------------------
+
+class Distance2Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Distance2Property, DeliversWheneverDistanceAtMost2) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 5 + static_cast<int>(rng() % 3);
+  const int max_m = n * (n - 1) / 2;
+  const Graph g =
+      make_random_connected(n, std::min(max_m, n + static_cast<int>(rng() % n)), rng());
+  if (g.num_edges() > 14) GTEST_SKIP() << "keep exhaustive enumeration quick";
+  const auto pattern = make_distance2_pattern();
+  EXPECT_FALSE(find_distance_promise_violation(g, *pattern, 2).has_value()) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Distance2Property,
+                         ::testing::Range(uint64_t{300}, uint64_t{324}));
+
+// ---- Right-hand touring across the outerplanar family ----------------------
+
+class OuterplanarTouringProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OuterplanarTouringProperty, ToursEverything) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 5 + static_cast<int>(rng() % 6);
+  const Graph g = make_random_outerplanar(n, n - 1 + static_cast<int>(rng() % n), rng());
+  if (g.num_edges() > 15) GTEST_SKIP();
+  const auto pattern = make_outerplanar_touring(g);
+  ASSERT_NE(pattern, nullptr);
+  EXPECT_FALSE(find_touring_violation(g, *pattern).has_value()) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OuterplanarTouringProperty,
+                         ::testing::Range(uint64_t{400}, uint64_t{424}));
+
+// ---- Chiesa sweep achieves n-2 on every K_n ---------------------------------
+
+class ChiesaSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChiesaSweepProperty, SurvivesNMinus2Failures) {
+  const int n = GetParam();
+  const Graph g = make_complete(n);
+  const auto pattern = make_chiesa_complete_pattern();
+  VerifyOptions opts;
+  opts.max_exhaustive_edges = g.num_edges();
+  opts.max_failures = n - 2;
+  EXPECT_FALSE(find_resilience_violation(g, *pattern, opts).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChiesaSweepProperty, ::testing::Values(4, 5, 6));
+
+// ---- r-tolerance is monotone in r -------------------------------------------
+
+class ToleranceMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToleranceMonotonicity, HigherPromiseNeverHurts) {
+  // The distance-2 pattern is 2-tolerant on K5 (Thm 3); r-tolerance for
+  // r' > r follows because the failure sets shrink (§II).
+  const int r = GetParam();
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_distance2_pattern();
+  EXPECT_FALSE(find_r_tolerance_violation(k5, *pattern, 0, 4, r).has_value()) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Promises, ToleranceMonotonicity, ::testing::Values(2, 3, 4));
+
+// ---- Simulator invariants over the corpus -----------------------------------
+
+class SimulatorInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorInvariants, WalkBoundedByStateCount) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 4 + static_cast<int>(rng() % 6);
+  const int max_m = n * (n - 1) / 2;
+  const Graph g =
+      make_random_connected(n, std::min(max_m, n + static_cast<int>(rng() % n)), rng());
+  // Total (node, in-port) states: sum over v of deg(v)+1 = 2m + n.
+  const int state_bound = 2 * g.num_edges() + g.num_vertices();
+  const auto corpus = make_pattern_corpus(RoutingModel::kSourceDestination, g, 1, rng());
+  IdSet failures = g.empty_edge_set();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (rng() % 4 == 0) failures.insert(e);
+  }
+  for (const auto& pattern : corpus) {
+    const auto result = route_packet(g, *pattern, failures, 0, Header{0, n - 1});
+    EXPECT_LE(result.hops, state_bound) << pattern->name();
+    EXPECT_EQ(result.walk.size(), static_cast<size_t>(result.hops) + 1);
+    if (result.outcome == RoutingOutcome::kDelivered) {
+      EXPECT_EQ(result.walk.back(), n - 1);
+    }
+    EXPECT_NE(result.outcome, RoutingOutcome::kInvalidForward)
+        << pattern->name() << " forwarded onto a failed/non-incident edge";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorInvariants,
+                         ::testing::Range(uint64_t{500}, uint64_t{530}));
+
+// ---- Failure injection: adversarial pattern behaviors are contained --------
+
+TEST(FailureInjection, DroppingPatternIsReportedNotLooped) {
+  class Dropper final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+    [[nodiscard]] std::string name() const override { return "dropper"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph&, VertexId, EdgeId, const IdSet&,
+                                                const Header&) const override {
+      return std::nullopt;
+    }
+  };
+  const Graph g = make_complete(4);
+  Dropper d;
+  const auto r = route_packet(g, d, g.empty_edge_set(), 0, Header{0, 3});
+  EXPECT_EQ(r.outcome, RoutingOutcome::kDropped);
+  const auto violation = find_resilience_violation(g, d);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_TRUE(violation->failures.empty()) << "must fail already without failures";
+}
+
+TEST(FailureInjection, VerifierIgnoresDisconnectedPairs) {
+  // A pattern that never forwards is vacuously resilient once s,t cannot be
+  // connected: verify on a two-component graph for cross-component pairs.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+  EXPECT_FALSE(find_resilience_violation_for_pair(g, *pattern, 0, 2).has_value());
+  EXPECT_FALSE(find_resilience_violation_for_pair(g, *pattern, 0, 1).has_value());
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,215 @@
+#include "routing/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "routing/table.hpp"
+
+namespace pofl {
+namespace {
+
+/// A hand-rolled pattern that always forwards "rightward" on a path graph.
+class RightwardPattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "rightward"; }
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId /*inport*/,
+                                              const IdSet& local_failures,
+                                              const Header& /*header*/) const override {
+    const auto e = g.edge_between(at, at + 1);
+    if (e.has_value() && !local_failures.contains(*e)) return e;
+    return std::nullopt;
+  }
+};
+
+TEST(Simulator, DeliversAlongPath) {
+  const Graph g = make_path(5);
+  RightwardPattern p;
+  const auto r = route_packet(g, p, g.empty_edge_set(), 0, Header{0, 4});
+  EXPECT_EQ(r.outcome, RoutingOutcome::kDelivered);
+  EXPECT_EQ(r.hops, 4);
+  EXPECT_EQ(r.walk, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, DropsWhenPatternGivesNothing) {
+  const Graph g = make_path(3);
+  RightwardPattern p;
+  IdSet f = g.empty_edge_set();
+  f.insert(*g.edge_between(1, 2));
+  const auto r = route_packet(g, p, f, 0, Header{0, 2});
+  EXPECT_EQ(r.outcome, RoutingOutcome::kDropped);
+  EXPECT_EQ(r.walk, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(Simulator, ImmediateDeliveryAtDestination) {
+  const Graph g = make_path(3);
+  RightwardPattern p;
+  const auto r = route_packet(g, p, g.empty_edge_set(), 2, Header{2, 2});
+  EXPECT_EQ(r.outcome, RoutingOutcome::kDelivered);
+  EXPECT_EQ(r.hops, 0);
+}
+
+/// Ping-pong pattern: always bounce to the in-port (or go right from start).
+class BouncePattern final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "bounce"; }
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                              const IdSet& /*failures*/,
+                                              const Header& /*header*/) const override {
+    if (inport != kNoEdge) return inport;
+    return g.incident_edges(at).empty() ? std::nullopt
+                                        : std::optional<EdgeId>(g.incident_edges(at)[0]);
+  }
+};
+
+TEST(Simulator, DetectsLoops) {
+  const Graph g = make_path(4);
+  BouncePattern p;
+  const auto r = route_packet(g, p, g.empty_edge_set(), 0, Header{0, 3});
+  EXPECT_EQ(r.outcome, RoutingOutcome::kLooped);
+  // 0 -> 1 -> 0 -> 1: the state (1, edge01) repeats after few steps.
+  EXPECT_LE(r.hops, 4);
+}
+
+TEST(Simulator, InvalidForwardIsFlagged) {
+  // Pattern that forwards onto a failed edge.
+  class Cheater final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+    [[nodiscard]] std::string name() const override { return "cheater"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId,
+                                                const IdSet&, const Header&) const override {
+      return g.incident_edges(at)[0];  // ignores failures entirely
+    }
+  };
+  const Graph g = make_path(3);
+  Cheater p;
+  IdSet f = g.empty_edge_set();
+  f.insert(0);
+  const auto r = route_packet(g, p, f, 0, Header{0, 2});
+  EXPECT_EQ(r.outcome, RoutingOutcome::kInvalidForward);
+}
+
+TEST(Simulator, MasksHeaderForDestinationOnlyModel) {
+  // A destination-only pattern must not see the source.
+  class SourceSpy final : public ForwardingPattern {
+   public:
+    mutable bool saw_source = false;
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+    [[nodiscard]] std::string name() const override { return "spy"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId,
+                                                const IdSet&, const Header& h) const override {
+      if (h.source != kNoVertex) saw_source = true;
+      const auto e = g.edge_between(at, at + 1);
+      return e;
+    }
+  };
+  const Graph g = make_path(3);
+  SourceSpy p;
+  (void)route_packet(g, p, g.empty_edge_set(), 0, Header{0, 2});
+  EXPECT_FALSE(p.saw_source);
+}
+
+TEST(Simulator, TourDetectsSuccessOnCycle) {
+  // A "always turn right" pattern on the cycle: forward to the non-inport
+  // edge; visits everyone and returns.
+  class AroundPattern final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kTouring; }
+    [[nodiscard]] std::string name() const override { return "around"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                                const IdSet& failures,
+                                                const Header&) const override {
+      for (EdgeId e : g.incident_edges(at)) {
+        if (e != inport && !failures.contains(e)) return e;
+      }
+      return inport != kNoEdge ? std::optional<EdgeId>(inport) : std::nullopt;
+    }
+  };
+  const Graph g = make_cycle(6);
+  AroundPattern p;
+  const auto r = tour_packet(g, p, g.empty_edge_set(), 2);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.missed.empty());
+
+  // One failure: the cycle becomes a path; the bounce walk still tours.
+  IdSet f = g.empty_edge_set();
+  f.insert(0);
+  const auto r2 = tour_packet(g, p, f, 2);
+  EXPECT_TRUE(r2.success) << "walk should double back along the path";
+}
+
+TEST(Simulator, TourFailureWhenNodeUnreachableByPattern) {
+  // Rightward pattern on a path never revisits the start: no tour.
+  const Graph g = make_path(4);
+  RightwardPattern p;
+  const auto r = tour_packet(g, p, g.empty_edge_set(), 1);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Simulator, TourOfIsolatedVertexSucceeds) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  BouncePattern p;
+  const auto r = tour_packet(g, p, g.empty_edge_set(), 2);
+  EXPECT_TRUE(r.success);  // component {2} toured trivially
+}
+
+TEST(PriorityTable, FirstAliveWins) {
+  const Graph g = make_complete(4);
+  PriorityTablePattern p(RoutingModel::kDestinationOnly, "test");
+  p.set_rule(3, 0, kNoVertex, {1, 2, 3});
+  IdSet f = g.empty_edge_set();
+  f.insert(*g.edge_between(0, 1));
+  const auto out = p.forward(g, 0, kNoEdge, f, Header{kNoVertex, 3});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(g.other_endpoint(*out, 0), 2);
+}
+
+TEST(PriorityTable, MissingRuleDrops) {
+  const Graph g = make_complete(3);
+  PriorityTablePattern p(RoutingModel::kDestinationOnly, "test");
+  EXPECT_FALSE(p.forward(g, 0, kNoEdge, g.empty_edge_set(), Header{kNoVertex, 2}).has_value());
+}
+
+TEST(PriorityTable, NonNeighborsInListAreSkipped) {
+  const Graph g = make_path(3);
+  PriorityTablePattern p(RoutingModel::kDestinationOnly, "test");
+  p.set_rule(2, 0, kNoVertex, {2, 1});  // 2 is not adjacent to 0; skip to 1
+  const auto out = p.forward(g, 0, kNoEdge, g.empty_edge_set(), Header{kNoVertex, 2});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(g.other_endpoint(*out, 0), 1);
+}
+
+TEST(PriorityTable, SourceRuleOverridesDestinationRule) {
+  const Graph g = make_complete(4);
+  PriorityTablePattern p(RoutingModel::kSourceDestination, "test");
+  p.set_rule(3, 0, kNoVertex, {1});
+  p.set_rule_with_source(2, 3, 0, kNoVertex, {2});
+  const auto generic = p.forward(g, 0, kNoEdge, g.empty_edge_set(), Header{1, 3});
+  ASSERT_TRUE(generic.has_value());
+  EXPECT_EQ(g.other_endpoint(*generic, 0), 1);
+  const auto specific = p.forward(g, 0, kNoEdge, g.empty_edge_set(), Header{2, 3});
+  ASSERT_TRUE(specific.has_value());
+  EXPECT_EQ(g.other_endpoint(*specific, 0), 2);
+}
+
+TEST(FullTable, LocalStateRoundTrip) {
+  const Graph g = make_complete(3);
+  FullTablePattern p(RoutingModel::kDestinationOnly, "full");
+  IdSet f = g.empty_edge_set();
+  const auto state = make_local_state(g, 0, kNoEdge, f, Header{kNoVertex, 2},
+                                      RoutingModel::kDestinationOnly);
+  p.set_entry(state, 0);
+  const auto out = p.forward(g, 0, kNoEdge, f, Header{kNoVertex, 2});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, g.incident_edges(0)[0]);
+  // Different failure set -> different state -> no entry -> drop.
+  IdSet f2 = g.empty_edge_set();
+  f2.insert(*g.edge_between(0, 2));
+  EXPECT_FALSE(p.forward(g, 0, kNoEdge, f2, Header{kNoVertex, 2}).has_value());
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,65 @@
+#include "synth/table_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "routing/verifier.hpp"
+
+namespace pofl {
+namespace {
+
+TEST(TableSynthesis, RecoversTheorem12TableIndependently) {
+  // K5^-2 with both removed links at the destination: the synthesizer must
+  // find a perfectly resilient per-destination table from scratch — an
+  // independent re-derivation of the repaired Fig. 4.
+  const Graph g = make_complete_minus(5, 2);
+  const VertexId t = 4;  // degree-2 destination
+  const auto result = synthesize_dest_table(g, t, {.seed = 5});
+  ASSERT_NE(result.pattern, nullptr);
+  EXPECT_EQ(result.violations, 0) << "after " << result.tables_evaluated << " tables";
+  // Independent verification through the simulator for every start.
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (s == t) continue;
+    EXPECT_FALSE(
+        find_resilience_violation_for_pair(g, *result.pattern, s, t).has_value())
+        << "s=" << s;
+  }
+}
+
+TEST(TableSynthesis, RecoversTheorem9SamePartTable) {
+  const Graph g = make_complete_bipartite(3, 3);
+  const auto result = synthesize_source_dest_table(g, 0, 2, {.seed = 7});
+  ASSERT_NE(result.pattern, nullptr);
+  EXPECT_EQ(result.violations, 0);
+  EXPECT_FALSE(find_resilience_violation_for_pair(g, *result.pattern, 0, 2).has_value());
+}
+
+TEST(TableSynthesis, RecoversTheorem9CrossPartTable) {
+  const Graph g = make_complete_bipartite(3, 3);
+  const auto result = synthesize_source_dest_table(g, 0, 5, {.seed = 9});
+  ASSERT_NE(result.pattern, nullptr);
+  EXPECT_EQ(result.violations, 0);
+}
+
+TEST(TableSynthesis, CannotReachZeroOnK5Minus1Destination) {
+  // Theorem 10: K5^-1 has no perfectly resilient destination-based pattern,
+  // so zero violations is unreachable — whatever the search does.
+  const Graph g = make_complete_minus(5, 1);
+  TableSynthesisOptions opts;
+  opts.seed = 11;
+  opts.restarts = 6;               // keep the test quick; zero is impossible anyway
+  opts.iterations_per_restart = 800;
+  const auto result = synthesize_dest_table(g, 4, opts);
+  EXPECT_GT(result.violations, 0);
+}
+
+TEST(TableSynthesis, SmallGraphsAreEasy) {
+  // Cycle with a chord: destination-based tables must synthesize instantly.
+  Graph g = make_cycle(5);
+  g.add_edge(0, 2);
+  const auto result = synthesize_dest_table(g, 3, {.seed = 13});
+  EXPECT_EQ(result.violations, 0);
+}
+
+}  // namespace
+}  // namespace pofl
