@@ -6,6 +6,11 @@
 //             constant); on K_{a,b}: 3a+4b-21;
 //   positive: the baseline destination-based schemes survive every failure
 //             set of size <= n-2 (resp. <= min(a,b)-2).
+//
+// The positive sweeps run through the parallel SweepEngine: "verified" means
+// an exhaustive |F| <= budget sweep over all ordered pairs delivered every
+// promise-holding scenario; larger instances use uniform exactly-budget
+// samples (a refuter, not a prover).
 
 #include <cstdio>
 
@@ -13,10 +18,12 @@
 #include "attacks/simulation_attack.hpp"
 #include "graph/builders.hpp"
 #include "resilience/chiesa_baseline.hpp"
-#include "routing/verifier.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace pofl;
+  const SweepEngine engine;
 
   std::printf("=== Theorem 14: defeat budget on K_n (paper formula 6n-33) ===\n");
   std::printf("%4s %18s %12s %10s\n", "n", "measured-budget", "paper-6n-33", "linear?");
@@ -41,44 +48,41 @@ int main() {
 
   std::printf("\n=== Positive baseline: K_n sweep survives f <= n-2 "
               "(Table I / [48 B.2]) ===\n");
-  std::printf("%4s %10s %22s\n", "n", "budget", "verified");
+  std::printf("%4s %10s %12s %22s\n", "n", "budget", "scenarios", "verified");
   for (int n : {5, 6, 7}) {
     const Graph g = make_complete(n);
     const auto baseline = make_chiesa_complete_pattern();
-    VerifyOptions opts;
-    opts.max_exhaustive_edges = g.num_edges();  // exhaustive up to K7
-    const auto violation = find_bounded_failure_violation(g, *baseline, n - 2, opts);
-    std::printf("%4d %10d %22s\n", n, n - 2,
-                violation.has_value() ? "VIOLATION" : "all failure sets pass");
+    ExhaustiveFailureSource source(g, n - 2, all_ordered_pairs(g));
+    const SweepStats stats = engine.run(g, *baseline, source);
+    std::printf("%4d %10d %12lld %22s\n", n, n - 2,
+                static_cast<long long>(stats.promise_held()),
+                stats.delivered == stats.promise_held() ? "all failure sets pass"
+                                                        : "VIOLATION");
   }
   {
-    // Larger n: sampled.
+    // Larger n: uniform samples of exactly-budget failure sets.
     const int n = 12;
     const Graph g = make_complete(n);
     const auto baseline = make_chiesa_complete_pattern();
-    VerifyOptions opts;
-    opts.max_exhaustive_edges = 0;
-    opts.samples = 20000;
-    const auto violation = find_bounded_failure_violation(g, *baseline, n - 2, opts);
-    std::printf("%4d %10d %22s (20k sampled sets)\n", n, n - 2,
-                violation.has_value() ? "VIOLATION" : "no violation found");
+    auto source = RandomFailureSource::exact_count(g, n - 2, /*trials_per_pair=*/150,
+                                                   /*seed=*/1, all_ordered_pairs(g));
+    const SweepStats stats = engine.run(g, *baseline, source);
+    std::printf("%4d %10d %12lld %22s (sampled |F|=%d sets)\n", n, n - 2,
+                static_cast<long long>(stats.promise_held()),
+                stats.delivered == stats.promise_held() ? "no violation found" : "VIOLATION",
+                n - 2);
   }
 
   std::printf("\n=== Positive baseline: K_{a,b} relay survives f <= min(a,b)-2 ===\n");
-  std::printf("%8s %10s %22s\n", "a,b", "budget", "verified");
+  std::printf("%8s %10s %12s %22s\n", "a,b", "budget", "scenarios", "verified");
   for (int a : {4, 5}) {
     const Graph g = make_complete_bipartite(a, a);
     const auto baseline = make_chiesa_bipartite_pattern(a, a);
-    VerifyOptions opts;
-    if (g.num_edges() <= 16) {
-      opts.max_exhaustive_edges = g.num_edges();
-    } else {
-      opts.max_exhaustive_edges = 0;
-      opts.samples = 20000;
-    }
-    const auto violation = find_bounded_failure_violation(g, *baseline, a - 2, opts);
-    std::printf("%4d,%-3d %10d %22s\n", a, a, a - 2,
-                violation.has_value() ? "VIOLATION" : "pass");
+    ExhaustiveFailureSource source(g, a - 2, all_ordered_pairs(g));
+    const SweepStats stats = engine.run(g, *baseline, source);
+    std::printf("%4d,%-3d %10d %12lld %22s\n", a, a, a - 2,
+                static_cast<long long>(stats.promise_held()),
+                stats.delivered == stats.promise_held() ? "pass" : "VIOLATION");
   }
   return 0;
 }

@@ -1,6 +1,8 @@
 // P1 — engineering microbenchmarks (google-benchmark): the primitives the
 // reproduction leans on. Not a paper artifact; tracks the cost of planarity
-// testing, minor search, packet simulation and exhaustive verification.
+// testing, minor search, packet simulation and scenario sweeping. All
+// simulation throughput numbers go through the SweepEngine, including a
+// thread-scaling series.
 
 #include <benchmark/benchmark.h>
 
@@ -11,7 +13,8 @@
 #include "graph/planarity.hpp"
 #include "resilience/algorithm1_k5.hpp"
 #include "routing/simulator.hpp"
-#include "routing/verifier.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -73,29 +76,70 @@ void BM_RoutePacketK5(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutePacketK5);
 
-void BM_ExhaustiveVerifyK5(benchmark::State& state) {
+// Exhaustive perfect-resilience verification of Algorithm 1 on K5, expressed
+// as a full 2^10 x pairs sweep through the engine (replaces the bespoke
+// find_resilience_violation loop benchmark).
+void BM_SweepExhaustiveK5(benchmark::State& state) {
   const Graph k5 = make_complete(5);
   const auto pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  SweepOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  const SweepEngine engine(opts);
+  ExhaustiveFailureSource source(k5, k5.num_edges(), pairs);
+  int64_t scenarios = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(find_resilience_violation(k5, *pattern));
+    source.reset();
+    const SweepStats stats = engine.run(k5, *pattern, source);
+    scenarios += stats.total;
+    benchmark::DoNotOptimize(stats);
   }
+  state.SetItemsProcessed(scenarios);
 }
-BENCHMARK(BM_ExhaustiveVerifyK5);
+BENCHMARK(BM_SweepExhaustiveK5)->Arg(1)->Arg(2)->Arg(4);
 
-void BM_CorpusSimulationThroughput(benchmark::State& state) {
+// Monte Carlo sweep throughput on K8 with the id-cyclic corpus family
+// (replaces the bespoke route_packet throughput loop).
+void BM_SweepRandomK8(benchmark::State& state) {
   const Graph g = make_complete(8);
   const auto pattern = make_id_cyclic_pattern(RoutingModel::kSourceDestination);
-  const IdSet failures = failures_between(g, {{0, 7}, {1, 7}, {2, 7}});
-  int64_t hops = 0;
+  SweepOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  const SweepEngine engine(opts);
+  auto source = RandomFailureSource::iid(g, 0.15, /*trials_per_pair=*/200, /*seed=*/5,
+                                         all_ordered_pairs(g));
+  int64_t scenarios = 0;
   for (auto _ : state) {
-    const auto r = route_packet(g, *pattern, failures, 0, Header{0, 7});
-    hops += r.hops;
-    benchmark::DoNotOptimize(r);
+    source.reset();
+    const SweepStats stats = engine.run(g, *pattern, source);
+    scenarios += stats.total;
+    benchmark::DoNotOptimize(stats);
   }
-  state.counters["hops"] = benchmark::Counter(static_cast<double>(hops),
-                                              benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(scenarios);
 }
-BENCHMARK(BM_CorpusSimulationThroughput);
+BENCHMARK(BM_SweepRandomK8)->Arg(1)->Arg(2)->Arg(4);
+
+// Stretch-instrumented sweep (adds one BFS per delivered scenario).
+void BM_SweepStretchRing(benchmark::State& state) {
+  const Graph g = make_ring_with_chords(24, 6, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  SweepOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  opts.compute_stretch = true;
+  const SweepEngine engine(opts);
+  auto source = RandomFailureSource::exact_count(g, 2, /*trials_per_pair=*/50, /*seed=*/9,
+                                                 {{0, 12}, {3, 20}, {7, 15}});
+  int64_t scenarios = 0;
+  for (auto _ : state) {
+    source.reset();
+    const SweepStats stats = engine.run(g, *pattern, source);
+    scenarios += stats.total;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(scenarios);
+}
+BENCHMARK(BM_SweepStretchRing)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -2,6 +2,12 @@
 // adversary must defeat every corpus pattern on K_{3+5r} while keeping s and
 // t r-edge-connected. Reported: success rate (paper: impossibility = 100%),
 // the surviving connectivity (must be >= r) and the adversary's work.
+//
+// The mined defeats are then pooled into one adversarial scenario library
+// per r and replayed against every pattern through the SweepEngine: the
+// diagonal (each pattern on its own defeat) must show zero delivery, and the
+// pooled delivery rate quantifies how transferable the attacks are across
+// pattern families.
 
 #include <cstdio>
 
@@ -9,9 +15,16 @@
 #include "attacks/rtolerance_attack.hpp"
 #include "graph/builders.hpp"
 #include "graph/connectivity.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace pofl;
+  // The replay/transfer sweeps here are tiny (1-7 scenarios); run inline
+  // rather than spinning up a worker per core for each.
+  SweepOptions opts;
+  opts.num_threads = 1;
+  const SweepEngine engine(opts);
 
   std::printf("=== Theorem 1: no r-tolerance on K_{3+5r} ===\n");
   std::printf("%3s %5s %-28s %9s %7s %9s %7s\n", "r", "n", "pattern", "defeated", "|F|",
@@ -21,7 +34,10 @@ int main() {
     const Graph g = make_complete(n);
     const VertexId s = 0, t = n - 1;
     int defeated = 0, total = 0;
-    for (const auto& pattern : make_pattern_corpus(RoutingModel::kSourceDestination, g, 2, 5)) {
+    std::vector<Scenario> library;
+    std::vector<std::unique_ptr<ForwardingPattern>> patterns =
+        make_pattern_corpus(RoutingModel::kSourceDestination, g, 2, 5);
+    for (const auto& pattern : patterns) {
       ++total;
       const auto result = attack_r_tolerance(g, *pattern, s, t, r, /*seed=*/2022);
       if (!result.has_value()) {
@@ -33,9 +49,36 @@ int main() {
       std::printf("%3d %5d %-28s %9s %7d %9s %7d\n", r, n, pattern->name().c_str(), "yes",
                   result->defeat.failures.count(), lambda >= r ? "yes" : "NO",
                   result->restarts_used);
+
+      // The defeat must replay as a non-delivery through the sweep engine.
+      FixedScenarioSource own_defeat({Scenario{result->defeat.failures,
+                                               result->defeat.source,
+                                               result->defeat.destination}});
+      const SweepStats check = engine.run(g, *pattern, own_defeat);
+      if (check.delivered != 0 || check.promise_broken != 0) {
+        std::printf("      ^ REPLAY MISMATCH (delivered=%lld broken=%lld)\n",
+                    static_cast<long long>(check.delivered),
+                    static_cast<long long>(check.promise_broken));
+      }
+      library.push_back(Scenario{result->defeat.failures, result->defeat.source,
+                                 result->defeat.destination});
     }
-    std::printf("  r=%d: %d/%d patterns defeated (paper: impossibility, i.e. 100%%)\n\n", r,
+    std::printf("  r=%d: %d/%d patterns defeated (paper: impossibility, i.e. 100%%)\n", r,
                 defeated, total);
+
+    // Cross-pattern transfer: the pooled defeat library against every family.
+    if (!library.empty()) {
+      std::printf("  transfer sweep over %zu pooled defeats:\n", library.size());
+      FixedScenarioSource pooled(library, "pooled-defeats");
+      for (const auto& pattern : patterns) {
+        pooled.reset();
+        const SweepStats stats = engine.run(g, *pattern, pooled);
+        std::printf("    %-28s delivery %5.2f  loop %5.2f  drop %5.2f\n",
+                    pattern->name().c_str(), stats.delivery_rate(), stats.loop_rate(),
+                    stats.drop_rate());
+      }
+    }
+    std::printf("\n");
   }
 
   std::printf("=== Theorem 3 / Theorem 5 counterpart: small complete graphs ARE "

@@ -7,6 +7,9 @@
 // Shape: adversarial impossibility is a worst-case statement — under random
 // failures even imperfect patterns deliver almost always at realistic p,
 // which quantifies how much of the "price of locality" is adversarial.
+//
+// All Monte Carlo loops run through the parallel SweepEngine; the aggregate
+// counters are thread-count independent.
 
 #include <cstdio>
 
@@ -14,11 +17,13 @@
 #include "graph/builders.hpp"
 #include "resilience/algorithm1_k5.hpp"
 #include "resilience/arborescence_routing.hpp"
-#include "routing/random_failures.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace pofl;
   constexpr int kTrials = 20000;
+  const SweepEngine engine;  // default options: one worker per hardware thread
 
   std::printf("=== Conditional delivery rate under i.i.d. link failures ===\n\n");
   std::printf("--- K5, Algorithm 1 (perfectly resilient: expect 1.000 everywhere) ---\n");
@@ -27,9 +32,10 @@ int main() {
     const Graph k5 = make_complete(5);
     const auto alg1 = make_algorithm1_k5();
     for (double p : {0.05, 0.15, 0.3, 0.5, 0.7}) {
-      const auto s = estimate_delivery_rate(k5, *alg1, 0, 4, p, kTrials, 7);
-      std::printf("%6.2f %12.4f %12.2f %10.2f\n", p, s.delivery_rate, s.mean_failures,
-                  s.mean_hops);
+      auto source = RandomFailureSource::iid(k5, p, kTrials, /*seed=*/7, {{0, 4}});
+      const SweepStats s = engine.run(k5, *alg1, source);
+      std::printf("%6.2f %12.4f %12.2f %10.2f\n", p, s.delivery_rate(), s.mean_failures(),
+                  s.mean_hops());
     }
   }
 
@@ -47,14 +53,12 @@ int main() {
     std::printf("\n");
     for (double p : {0.05, 0.15, 0.3, 0.5, 0.7}) {
       std::printf("%6.2f", p);
-      for (const auto& pat : patterns) {
-        const auto s = estimate_delivery_rate(k7, *pat, 0, 6, p, kTrials, 11);
-        std::printf(" %22.4f", s.delivery_rate);
-      }
-      if (arb) {
-        const auto s = estimate_delivery_rate(k7, *arb, 0, 6, p, kTrials, 11);
-        std::printf(" %22.4f", s.delivery_rate);
-      }
+      auto rate = [&](const ForwardingPattern& pattern) {
+        auto source = RandomFailureSource::iid(k7, p, kTrials, /*seed=*/11, {{0, 6}});
+        return engine.run(k7, pattern, source).delivery_rate();
+      };
+      for (const auto& pat : patterns) std::printf(" %22.4f", rate(*pat));
+      if (arb) std::printf(" %22.4f", rate(*arb));
       std::printf("\n");
     }
   }
@@ -66,10 +70,13 @@ int main() {
     std::printf("%6s %18s %18s\n", "p", "id-cyclic", "shortest-path");
     const auto idc = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
     const auto sp = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+    const std::vector<std::pair<VertexId, VertexId>> pair = {{0, g.num_vertices() - 1}};
     for (double p : {0.02, 0.05, 0.1, 0.2}) {
-      const auto a = estimate_delivery_rate(g, *idc, 0, g.num_vertices() - 1, p, kTrials, 17);
-      const auto b = estimate_delivery_rate(g, *sp, 0, g.num_vertices() - 1, p, kTrials, 17);
-      std::printf("%6.2f %18.4f %18.4f\n", p, a.delivery_rate, b.delivery_rate);
+      auto src_a = RandomFailureSource::iid(g, p, kTrials, /*seed=*/17, pair);
+      auto src_b = RandomFailureSource::iid(g, p, kTrials, /*seed=*/17, pair);
+      const SweepStats a = engine.run(g, *idc, src_a);
+      const SweepStats b = engine.run(g, *sp, src_b);
+      std::printf("%6.2f %18.4f %18.4f\n", p, a.delivery_rate(), b.delivery_rate());
     }
   }
   return 0;

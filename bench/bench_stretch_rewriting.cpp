@@ -1,27 +1,35 @@
 // Ablation — the two model boundaries the paper draws (§I-B):
 //
 //  1. Stretch: robust routes are not shortest routes. Mean/max stretch of
-//     the paper's perfectly resilient patterns as failures accumulate.
+//     the paper's perfectly resilient patterns as failures accumulate,
+//     measured by stretch-instrumented SweepEngine runs.
 //  2. Header rewriting: the approaches the model excludes. A DFS scheme
 //     with a rewritable header is perfectly resilient on *every* graph —
 //     including K7, where no static pattern can be — at a measured cost in
 //     header bits and walk length. That cost is the price of generality the
-//     paper's static model refuses to pay.
+//     paper's static model refuses to pay. (The DFS walk is stateful, so it
+//     stays on a bespoke loop — the sweep engine only batches the paper's
+//     static patterns.)
 
 #include <algorithm>
 #include <cstdio>
 #include <random>
 
 #include "attacks/pattern_corpus.hpp"
-#include "graph/connectivity.hpp"
 #include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
 #include "resilience/algorithm1_k5.hpp"
 #include "resilience/k5m2_dest.hpp"
 #include "routing/stateful.hpp"
-#include "routing/stretch.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace pofl;
+
+  SweepOptions stretch_opts;
+  stretch_opts.compute_stretch = true;
+  const SweepEngine engine(stretch_opts);
 
   std::printf("=== Stretch of perfectly resilient patterns ===\n");
   std::printf("%-24s %4s %9s %12s %12s %10s\n", "pattern/graph", "|F|", "samples",
@@ -30,16 +38,20 @@ int main() {
     const Graph k5 = make_complete(5);
     const auto alg1 = make_algorithm1_k5();
     for (int f : {0, 2, 4, 6}) {
-      const auto s = measure_stretch(k5, *alg1, 0, 4, f, 4000, 3);
-      std::printf("%-24s %4d %9d %12.3f %12.3f %10d\n", "algorithm1/K5", f, s.samples,
-                  s.mean_stretch, s.max_stretch, s.failed_deliveries);
+      auto source = RandomFailureSource::exact_count(k5, f, 4000, /*seed=*/3, {{0, 4}});
+      const SweepStats s = engine.run(k5, *alg1, source);
+      std::printf("%-24s %4d %9lld %12.3f %12.3f %10lld\n", "algorithm1/K5", f,
+                  static_cast<long long>(s.stretch_samples), s.mean_stretch(),
+                  s.max_stretch, static_cast<long long>(s.promise_held() - s.delivered));
     }
     const Graph k5m2 = make_complete_minus(5, 2);
     const auto dest = make_k5m2_dest_pattern(k5m2);
     for (int f : {0, 2, 4}) {
-      const auto s = measure_stretch(k5m2, *dest, 0, 4, f, 4000, 5);
-      std::printf("%-24s %4d %9d %12.3f %12.3f %10d\n", "k5m2-dest/K5^-2", f, s.samples,
-                  s.mean_stretch, s.max_stretch, s.failed_deliveries);
+      auto source = RandomFailureSource::exact_count(k5m2, f, 4000, /*seed=*/5, {{0, 4}});
+      const SweepStats s = engine.run(k5m2, *dest, source);
+      std::printf("%-24s %4d %9lld %12.3f %12.3f %10lld\n", "k5m2-dest/K5^-2", f,
+                  static_cast<long long>(s.stretch_samples), s.mean_stretch(),
+                  s.max_stretch, static_cast<long long>(s.promise_held() - s.delivered));
     }
   }
 
@@ -53,13 +65,10 @@ int main() {
     const auto static_pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
     const VertexId s = 0, t = g.num_vertices() - 1;
     for (int f : {4, 8, 12}) {
-      // Static: delivery fraction over random |F|-failure draws.
-      const auto st = measure_stretch(g, *static_pattern, s, t, f, 4000, 9);
-      const double static_rate =
-          st.samples + st.failed_deliveries > 0
-              ? static_cast<double>(st.samples) / (st.samples + st.failed_deliveries)
-              : 0.0;
-      // DFS rewriting: same draws.
+      // Static: delivery fraction over random |F|-failure draws via the engine.
+      auto source = RandomFailureSource::exact_count(g, f, 4000, /*seed=*/9, {{s, t}});
+      const SweepStats st = engine.run(g, *static_pattern, source);
+      // DFS rewriting: same experiment, bespoke loop (stateful walk).
       int delivered = 0, total = 0;
       long long hops = 0, bits = 0;
       std::mt19937_64 rng(11);
@@ -79,7 +88,7 @@ int main() {
         }
       }
       std::printf("%-10s %4d | %11.4f%% | %13.4f%% %11.2f %10.2f\n", name, f,
-                  100 * static_rate, total > 0 ? 100.0 * delivered / total : 0.0,
+                  100 * st.delivery_rate(), total > 0 ? 100.0 * delivered / total : 0.0,
                   delivered > 0 ? static_cast<double>(hops) / delivered : 0.0,
                   delivered > 0 ? static_cast<double>(bits) / delivered : 0.0);
     }

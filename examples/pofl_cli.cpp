@@ -8,6 +8,11 @@
 //                                             pattern on this topology
 //   pofl_cli export-zoo <directory>           write the synthetic zoo as
 //                                             GraphML for external tools
+//   pofl_cli sweep <file.graphml> <p> <trials>
+//                                             parallel Monte Carlo sweep of
+//                                             the natural failover pattern
+//                                             over all pairs under i.i.d.
+//                                             link failures
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +28,8 @@
 #include "graph/graphml.hpp"
 #include "resilience/dest_via_touring.hpp"
 #include "routing/verifier.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -33,7 +40,8 @@ int usage() {
                "usage: pofl_cli classify <file.graphml>\n"
                "       pofl_cli destinations <file.graphml>\n"
                "       pofl_cli attack <file.graphml> <s> <t>\n"
-               "       pofl_cli export-zoo <directory>\n");
+               "       pofl_cli export-zoo <directory>\n"
+               "       pofl_cli sweep <file.graphml> <p> <trials>\n");
   return 2;
 }
 
@@ -113,6 +121,39 @@ int cmd_attack(const std::string& path, VertexId s, VertexId t) {
   return 0;
 }
 
+int cmd_sweep(const std::string& path, double p, int trials) {
+  const auto net = load(path);
+  if (!net.has_value()) return 1;
+  const Graph& g = net->graph;
+  if (p < 0.0 || p > 1.0 || trials <= 0) {
+    std::fprintf(stderr, "error: need 0 <= p <= 1 and trials > 0\n");
+    return 1;
+  }
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+  const auto pairs = all_ordered_pairs(g);
+  auto source = RandomFailureSource::iid(g, p, trials, /*seed=*/1, pairs);
+  SweepOptions opts;
+  opts.compute_stretch = true;
+  const SweepStats stats = SweepEngine(opts).run(g, *pattern, source);
+  std::printf("network:          %s (n=%d m=%d)\n", net->name.c_str(), g.num_vertices(),
+              g.num_edges());
+  std::printf("pattern:          %s\n", pattern->name().c_str());
+  std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
+              static_cast<long long>(stats.total), pairs.size(), trials, p);
+  std::printf("promise held:     %lld (%.2f%%)\n",
+              static_cast<long long>(stats.promise_held()),
+              stats.total > 0 ? 100.0 * stats.promise_held() / stats.total : 0.0);
+  std::printf("delivery rate:    %.4f\n", stats.delivery_rate());
+  std::printf("loop rate:        %.4f\n", stats.loop_rate());
+  std::printf("drop rate:        %.4f\n", stats.drop_rate());
+  std::printf("mean |F|:         %.2f\n", stats.mean_failures());
+  std::printf("mean hops:        %.2f\n", stats.mean_hops());
+  std::printf("mean stretch:     %.3f (max %.3f over %lld deliveries)\n",
+              stats.mean_stretch(), stats.max_stretch,
+              static_cast<long long>(stats.stretch_samples));
+  return 0;
+}
+
 int cmd_export_zoo(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -140,5 +181,8 @@ int main(int argc, char** argv) {
     return cmd_attack(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
   }
   if (cmd == "export-zoo") return cmd_export_zoo(argv[2]);
+  if (cmd == "sweep" && argc == 5) {
+    return cmd_sweep(argv[2], std::atof(argv[3]), std::atoi(argv[4]));
+  }
   return usage();
 }

@@ -2,40 +2,11 @@
 
 #include <cassert>
 
+#include "graph/bitmask.hpp"
 #include "graph/connectivity.hpp"
 
 namespace pofl {
 
-namespace {
-
-IdSet mask_to_set(const Graph& g, uint64_t mask) {
-  IdSet f = g.empty_edge_set();
-  while (mask != 0) {
-    const int bit = __builtin_ctzll(mask);
-    mask &= mask - 1;
-    f.insert(bit);
-  }
-  return f;
-}
-
-/// Enumerates all size-k subsets of {0..m-1} as masks (Gosper's hack).
-template <typename Fn>
-bool for_each_k_subset(int m, int k, const Fn& fn) {
-  assert(m < 63);
-  if (k == 0) return fn(uint64_t{0});
-  if (k > m) return false;
-  uint64_t mask = (uint64_t{1} << k) - 1;
-  const uint64_t limit = uint64_t{1} << m;
-  while (mask < limit) {
-    if (fn(mask)) return true;
-    const uint64_t c = mask & -mask;
-    const uint64_t r = mask + c;
-    mask = (((r ^ mask) >> 2) / c) | r;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPattern& pattern,
                                           VertexId source, VertexId destination, int max_budget) {
@@ -43,7 +14,7 @@ std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPatter
   std::optional<Defeat> found;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
-      const IdSet failures = mask_to_set(g, mask);
+      const IdSet failures = edge_mask_to_set(g, mask);
       if (!connected(g, source, destination, failures)) return false;
       const RoutingResult result =
           route_packet(g, pattern, failures, source, Header{source, destination});
@@ -61,7 +32,7 @@ std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
   std::optional<Defeat> found;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
-      const IdSet failures = mask_to_set(g, mask);
+      const IdSet failures = edge_mask_to_set(g, mask);
       const auto comp = components(g, failures);
       for (VertexId s = 0; s < g.num_vertices(); ++s) {
         for (VertexId t = 0; t < g.num_vertices(); ++t) {
@@ -85,7 +56,7 @@ std::optional<Defeat> find_minimum_touring_defeat(const Graph& g,
   std::optional<Defeat> found;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
-      const IdSet failures = mask_to_set(g, mask);
+      const IdSet failures = edge_mask_to_set(g, mask);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         const TourResult result = tour_packet(g, pattern, failures, v);
         if (!result.success) {

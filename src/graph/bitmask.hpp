@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared bit-twiddling for exhaustive failure-set enumeration. Both the
+// adversarial searches (attacks/exhaustive) and the sweep engine's
+// ExhaustiveFailureSource walk all size-k edge subsets as uint64 masks;
+// the subtle Gosper step and the mask decoding live here once.
+
+#include <cassert>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// Decodes an edge-id bitmask into a failure IdSet over g's edges.
+[[nodiscard]] inline IdSet edge_mask_to_set(const Graph& g, uint64_t mask) {
+  IdSet f = g.empty_edge_set();
+  while (mask != 0) {
+    const int bit = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    f.insert(bit);
+  }
+  return f;
+}
+
+/// The next mask with the same popcount (Gosper's hack). The caller checks
+/// the result against its universe limit; mask must be non-zero.
+[[nodiscard]] inline uint64_t next_same_popcount(uint64_t mask) {
+  const uint64_t c = mask & (~mask + 1);
+  const uint64_t r = mask + c;
+  return (((r ^ mask) >> 2) / c) | r;
+}
+
+/// Enumerates all size-k subsets of {0..m-1} as masks, invoking fn until it
+/// returns true; returns whether fn ever did.
+template <typename Fn>
+bool for_each_k_subset(int m, int k, const Fn& fn) {
+  assert(m < 63);
+  if (k == 0) return fn(uint64_t{0});
+  if (k > m) return false;
+  uint64_t mask = (uint64_t{1} << k) - 1;
+  const uint64_t limit = uint64_t{1} << m;
+  while (mask < limit) {
+    if (fn(mask)) return true;
+    mask = next_same_popcount(mask);
+  }
+  return false;
+}
+
+}  // namespace pofl

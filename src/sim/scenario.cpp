@@ -1,0 +1,211 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "attacks/exhaustive.hpp"
+#include "attacks/pattern_corpus.hpp"
+#include "graph/bitmask.hpp"
+
+namespace pofl {
+
+std::vector<std::pair<VertexId, VertexId>> all_ordered_pairs(const Graph& g) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(static_cast<size_t>(g.num_vertices()) * (g.num_vertices() - 1));
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  return pairs;
+}
+
+ExhaustiveFailureSource::ExhaustiveFailureSource(const Graph& g, int max_failures,
+                                                 std::vector<std::pair<VertexId, VertexId>> pairs)
+    : g_(&g),
+      max_failures_(std::min(max_failures, g.num_edges())),
+      pairs_(std::move(pairs)) {
+  if (g.num_edges() > 62) {
+    throw std::invalid_argument("ExhaustiveFailureSource: graph has " +
+                                std::to_string(g.num_edges()) +
+                                " edges; exhaustive enumeration requires <= 62");
+  }
+  reset();
+}
+
+std::string ExhaustiveFailureSource::name() const {
+  return "exhaustive<=" + std::to_string(max_failures_);
+}
+
+void ExhaustiveFailureSource::reset() {
+  size_ = 0;
+  mask_ = 0;
+  pair_index_ = 0;
+  exhausted_ = pairs_.empty() || max_failures_ < 0;
+}
+
+bool ExhaustiveFailureSource::advance_mask() {
+  const uint64_t limit = uint64_t{1} << g_->num_edges();
+  if (size_ > 0) {
+    mask_ = next_same_popcount(mask_);
+    if (mask_ < limit) return true;
+  }
+  ++size_;
+  if (size_ > max_failures_) return false;
+  mask_ = (uint64_t{1} << size_) - 1;
+  return mask_ < limit;
+}
+
+int ExhaustiveFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+  int appended = 0;
+  while (appended < max_batch && !exhausted_) {
+    out.push_back(Scenario{edge_mask_to_set(*g_, mask_), pairs_[pair_index_].first,
+                           pairs_[pair_index_].second});
+    ++appended;
+    if (++pair_index_ == pairs_.size()) {
+      pair_index_ = 0;
+      if (!advance_mask()) exhausted_ = true;
+    }
+  }
+  return appended;
+}
+
+int64_t ExhaustiveFailureSource::total_scenarios() const {
+  // Saturating: near the 62-edge limit the binomial sums exceed int64.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  const int m = g_->num_edges();
+  __int128 sets = 0;
+  __int128 binom = 1;  // C(m, 0)
+  for (int k = 0; k <= max_failures_; ++k) {
+    sets += binom;
+    binom = binom * (m - k) / (k + 1);
+  }
+  const __int128 total = sets * static_cast<__int128>(pairs_.size());
+  return total > kMax ? kMax : static_cast<int64_t>(total);
+}
+
+RandomFailureSource RandomFailureSource::iid(const Graph& g, double p, int trials_per_pair,
+                                             uint64_t seed,
+                                             std::vector<std::pair<VertexId, VertexId>> pairs) {
+  return RandomFailureSource(g, /*exact=*/false, p, 0, trials_per_pair, seed, std::move(pairs));
+}
+
+RandomFailureSource RandomFailureSource::exact_count(
+    const Graph& g, int num_failures, int trials_per_pair, uint64_t seed,
+    std::vector<std::pair<VertexId, VertexId>> pairs) {
+  return RandomFailureSource(g, /*exact=*/true, 0.0, num_failures, trials_per_pair, seed,
+                             std::move(pairs));
+}
+
+RandomFailureSource::RandomFailureSource(const Graph& g, bool exact, double p, int num_failures,
+                                         int trials_per_pair, uint64_t seed,
+                                         std::vector<std::pair<VertexId, VertexId>> pairs)
+    : g_(&g),
+      exact_(exact),
+      p_(p),
+      num_failures_(num_failures),
+      trials_per_pair_(trials_per_pair),
+      seed_(seed),
+      pairs_(std::move(pairs)),
+      edge_scratch_(static_cast<size_t>(g.num_edges())),
+      rng_(seed) {
+  reset();
+}
+
+std::string RandomFailureSource::name() const {
+  return exact_ ? "random|F|=" + std::to_string(num_failures_)
+                : "random p=" + std::to_string(p_);
+}
+
+void RandomFailureSource::reset() {
+  rng_.seed(seed_);
+  // The exact-count shuffles permute edge_scratch_ cumulatively; restore the
+  // identity order so a reset stream replays the identical draws.
+  for (size_t i = 0; i < edge_scratch_.size(); ++i) edge_scratch_[i] = static_cast<EdgeId>(i);
+  pair_index_ = 0;
+  trial_ = 0;
+}
+
+IdSet RandomFailureSource::draw() {
+  if (exact_) {
+    std::shuffle(edge_scratch_.begin(), edge_scratch_.end(), rng_);
+    IdSet f = g_->empty_edge_set();
+    for (int i = 0; i < num_failures_ && i < g_->num_edges(); ++i) {
+      f.insert(edge_scratch_[static_cast<size_t>(i)]);
+    }
+    return f;
+  }
+  std::bernoulli_distribution coin(p_);
+  IdSet f = g_->empty_edge_set();
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (coin(rng_)) f.insert(e);
+  }
+  return f;
+}
+
+int RandomFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+  if (trials_per_pair_ <= 0) return 0;  // empty stream, not an infinite one
+  int appended = 0;
+  while (appended < max_batch && pair_index_ < pairs_.size()) {
+    out.push_back(Scenario{draw(), pairs_[pair_index_].first, pairs_[pair_index_].second});
+    ++appended;
+    if (++trial_ == trials_per_pair_) {
+      trial_ = 0;
+      ++pair_index_;
+    }
+  }
+  return appended;
+}
+
+AdversarialCorpusSource::AdversarialCorpusSource(const Graph& g, RoutingModel model,
+                                                 int max_budget, int random_variants,
+                                                 uint64_t seed)
+    : g_(&g), model_(model), max_budget_(max_budget), random_variants_(random_variants),
+      seed_(seed) {}
+
+std::string AdversarialCorpusSource::name() const {
+  return "corpus-defeats<=" + std::to_string(max_budget_);
+}
+
+void AdversarialCorpusSource::mine() {
+  if (mined_) return;
+  mined_ = true;
+  for (const auto& pattern : make_pattern_corpus(model_, *g_, random_variants_, seed_)) {
+    const auto defeat = find_minimum_defeat_any_pair(*g_, *pattern, max_budget_);
+    if (!defeat.has_value()) continue;
+    scenarios_.push_back(Scenario{defeat->failures, defeat->source, defeat->destination});
+    defeated_.push_back(pattern->name());
+  }
+}
+
+const std::vector<std::string>& AdversarialCorpusSource::defeated_patterns() {
+  mine();
+  return defeated_;
+}
+
+int AdversarialCorpusSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+  mine();
+  int appended = 0;
+  while (appended < max_batch && index_ < scenarios_.size()) {
+    out.push_back(scenarios_[index_++]);
+    ++appended;
+  }
+  return appended;
+}
+
+void AdversarialCorpusSource::reset() { index_ = 0; }
+
+FixedScenarioSource::FixedScenarioSource(std::vector<Scenario> scenarios, std::string name)
+    : scenarios_(std::move(scenarios)), name_(std::move(name)) {}
+
+int FixedScenarioSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+  int appended = 0;
+  while (appended < max_batch && index_ < scenarios_.size()) {
+    out.push_back(scenarios_[index_++]);
+    ++appended;
+  }
+  return appended;
+}
+
+}  // namespace pofl

@@ -1,0 +1,174 @@
+#pragma once
+
+// Scenario streams for the sweep engine.
+//
+// A scenario is one routing question — "from `source` toward `destination`
+// under failure set F" — and a ScenarioSource is a deterministic, resettable
+// stream of them. Producers are pulled in batches under the engine's lock, so
+// a source may keep simple sequential state (Gosper masks, a PRNG) and still
+// yield the same scenario sequence regardless of how many workers consume it.
+//
+// Three families cover the experiments in the paper and its §IX outlook:
+//
+//   * ExhaustiveFailureSource — every failure set with |F| <= k, crossed with
+//     a pair list (the machine-checked positive theorems);
+//   * RandomFailureSource     — Monte Carlo draws, either i.i.d. per-link
+//     probability p (the §IX random-failure regime, matching
+//     routing/random_failures) or uniform exactly-k sets (the stretch
+//     experiments);
+//   * AdversarialCorpusSource — the minimum defeats mined from the
+//     attacks/pattern_corpus families: a library of known-hostile failure
+//     sets to replay against any pattern.
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+
+namespace pofl {
+
+/// One routing question. destination == kNoVertex marks a touring scenario
+/// (tour_packet from `source` instead of route_packet).
+struct Scenario {
+  IdSet failures;
+  VertexId source = kNoVertex;
+  VertexId destination = kNoVertex;
+};
+
+/// Deterministic stream of scenarios. next_batch is always called serially
+/// (the engine holds a producer lock), so implementations need no internal
+/// synchronization; they must yield the same sequence after each reset().
+class ScenarioSource {
+ public:
+  virtual ~ScenarioSource() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Appends up to max_batch scenarios to out and returns how many were
+  /// appended; 0 means the stream is exhausted.
+  virtual int next_batch(int max_batch, std::vector<Scenario>& out) = 0;
+
+  /// Rewinds the stream to the beginning (same sequence again).
+  virtual void reset() = 0;
+};
+
+/// All ordered (s, t) pairs with s != t — the default pair universe.
+[[nodiscard]] std::vector<std::pair<VertexId, VertexId>> all_ordered_pairs(const Graph& g);
+
+/// Every failure set with |F| in [0, max_failures], enumerated in increasing
+/// cardinality (Gosper's hack), crossed with the given (source, destination)
+/// pairs. Requires m <= 62 edges.
+class ExhaustiveFailureSource final : public ScenarioSource {
+ public:
+  ExhaustiveFailureSource(const Graph& g, int max_failures,
+                          std::vector<std::pair<VertexId, VertexId>> pairs);
+
+  [[nodiscard]] std::string name() const override;
+  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  void reset() override;
+
+  /// Number of scenarios the full stream yields (pairs x failure sets).
+  [[nodiscard]] int64_t total_scenarios() const;
+
+ private:
+  bool advance_mask();
+
+  const Graph* g_;
+  int max_failures_;
+  std::vector<std::pair<VertexId, VertexId>> pairs_;
+  int size_ = 0;
+  uint64_t mask_ = 0;
+  size_t pair_index_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Monte Carlo failure draws crossed with a pair list. Two modes:
+/// iid(p) draws every link independently with probability p;
+/// exact_count(k) draws a uniform failure set of exactly k links.
+class RandomFailureSource final : public ScenarioSource {
+ public:
+  [[nodiscard]] static RandomFailureSource iid(const Graph& g, double p, int trials_per_pair,
+                                               uint64_t seed,
+                                               std::vector<std::pair<VertexId, VertexId>> pairs);
+  [[nodiscard]] static RandomFailureSource exact_count(
+      const Graph& g, int num_failures, int trials_per_pair, uint64_t seed,
+      std::vector<std::pair<VertexId, VertexId>> pairs);
+
+  [[nodiscard]] std::string name() const override;
+  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  void reset() override;
+
+ private:
+  RandomFailureSource(const Graph& g, bool exact, double p, int num_failures,
+                      int trials_per_pair, uint64_t seed,
+                      std::vector<std::pair<VertexId, VertexId>> pairs);
+
+  [[nodiscard]] IdSet draw();
+
+  const Graph* g_;
+  bool exact_;
+  double p_;
+  int num_failures_;
+  int trials_per_pair_;
+  uint64_t seed_;
+  std::vector<std::pair<VertexId, VertexId>> pairs_;
+  std::vector<EdgeId> edge_scratch_;
+  std::mt19937_64 rng_;
+  size_t pair_index_ = 0;
+  int trial_ = 0;
+};
+
+/// The minimum defeats of every attacks/pattern_corpus family on g: each
+/// corpus pattern is attacked once (find_minimum_defeat_any_pair, bounded by
+/// max_budget) and the resulting (F, s, t) triples become the scenario
+/// stream. Mining is lazy (first next_batch) and cached across resets, so
+/// replaying the adversarial library against many patterns pays the attack
+/// cost once.
+class AdversarialCorpusSource final : public ScenarioSource {
+ public:
+  AdversarialCorpusSource(const Graph& g, RoutingModel model, int max_budget,
+                          int random_variants = 2, uint64_t seed = 1);
+
+  [[nodiscard]] std::string name() const override;
+  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  void reset() override;
+
+  /// Corpus pattern names whose defeat made it into the stream (mines if
+  /// needed). Parallel to the scenario order.
+  [[nodiscard]] const std::vector<std::string>& defeated_patterns();
+
+ private:
+  void mine();
+
+  const Graph* g_;
+  RoutingModel model_;
+  int max_budget_;
+  int random_variants_;
+  uint64_t seed_;
+  bool mined_ = false;
+  std::vector<Scenario> scenarios_;
+  std::vector<std::string> defeated_;
+  size_t index_ = 0;
+};
+
+/// A fixed, caller-provided scenario list (tests, replaying stored defeats).
+class FixedScenarioSource final : public ScenarioSource {
+ public:
+  explicit FixedScenarioSource(std::vector<Scenario> scenarios, std::string name = "fixed");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  void reset() override { index_ = 0; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+  std::string name_;
+  size_t index_ = 0;
+};
+
+}  // namespace pofl

@@ -1,0 +1,128 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "graph/connectivity.hpp"
+#include "routing/simulator.hpp"
+
+namespace pofl {
+
+void SweepStats::merge(const SweepStats& other) {
+  total += other.total;
+  promise_broken += other.promise_broken;
+  delivered += other.delivered;
+  looped += other.looped;
+  dropped += other.dropped;
+  invalid += other.invalid;
+  failures_seen += other.failures_seen;
+  hops_delivered += other.hops_delivered;
+  stretch_samples += other.stretch_samples;
+  stretch_sum += other.stretch_sum;
+  max_stretch = std::max(max_stretch, other.max_stretch);
+}
+
+namespace {
+
+void process_scenario(const Graph& g, const ForwardingPattern& pattern, const Scenario& sc,
+                      bool compute_stretch, SweepStats& stats) {
+  ++stats.total;
+
+  if (sc.destination == kNoVertex) {
+    // Touring: the promise holds unconditionally (§VII).
+    stats.failures_seen += sc.failures.count();
+    const TourResult r = tour_packet(g, pattern, sc.failures, sc.source);
+    if (r.success) {
+      ++stats.delivered;
+      stats.hops_delivered += r.steps_walked;
+    } else if (r.dropped) {
+      ++stats.dropped;
+    } else {
+      ++stats.looped;
+    }
+    return;
+  }
+
+  std::optional<int> dist;
+  if (compute_stretch) {
+    dist = distance(g, sc.source, sc.destination, sc.failures);
+    if (!dist.has_value()) {
+      ++stats.promise_broken;
+      return;
+    }
+  } else if (!connected(g, sc.source, sc.destination, sc.failures)) {
+    ++stats.promise_broken;
+    return;
+  }
+
+  stats.failures_seen += sc.failures.count();
+  const RoutingResult r = route_packet(g, pattern, sc.failures, sc.source,
+                                       Header{sc.source, sc.destination});
+  switch (r.outcome) {
+    case RoutingOutcome::kDelivered:
+      ++stats.delivered;
+      stats.hops_delivered += r.hops;
+      if (compute_stretch && *dist >= 1) {
+        const double stretch = static_cast<double>(r.hops) / *dist;
+        ++stats.stretch_samples;
+        stats.stretch_sum += stretch;
+        stats.max_stretch = std::max(stats.max_stretch, stretch);
+      }
+      break;
+    case RoutingOutcome::kLooped:
+      ++stats.looped;
+      break;
+    case RoutingOutcome::kDropped:
+      ++stats.dropped;
+      break;
+    case RoutingOutcome::kInvalidForward:
+      ++stats.invalid;
+      break;
+  }
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts) {}
+
+SweepStats SweepEngine::run(const Graph& g, const ForwardingPattern& pattern,
+                            ScenarioSource& source) const {
+  const int requested = opts_.num_threads;
+  const int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  const int num_threads = requested > 0 ? requested : std::max(1, hardware);
+  const int batch_size = std::max(1, opts_.batch_size);
+
+  SweepStats global;
+  std::mutex source_mutex;
+  std::mutex stats_mutex;
+
+  auto worker = [&]() {
+    SweepStats local;
+    std::vector<Scenario> batch;
+    for (;;) {
+      batch.clear();
+      {
+        const std::lock_guard<std::mutex> lock(source_mutex);
+        if (source.next_batch(batch_size, batch) == 0) break;
+      }
+      for (const Scenario& sc : batch) {
+        process_scenario(g, pattern, sc, opts_.compute_stretch, local);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    global.merge(local);
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return global;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return global;
+}
+
+}  // namespace pofl

@@ -1,0 +1,93 @@
+#pragma once
+
+// Parallel scenario-sweep engine.
+//
+// Every bench used to hand-roll the same triple loop — graphs x failure sets
+// x (source, destination) pairs — around route_packet. The SweepEngine
+// factors that loop out once: a ScenarioSource streams (F, s, t) questions,
+// a worker pool batches them through route_packet / tour_packet, and the
+// per-worker tallies merge into one SweepStats. All counters are integer
+// sums, so the aggregate is identical for 1 and N threads; the floating
+// stretch sums are order-sensitive only in the last ulp.
+//
+// The promise discipline matches the paper: a scenario whose failure set
+// disconnects s from t breaks the promise and is tallied separately — rates
+// are always conditioned on the promise holding (touring scenarios hold
+// unconditionally, §VII).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "routing/forwarding.hpp"
+#include "sim/scenario.hpp"
+
+namespace pofl {
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency. 1 runs inline (no pool).
+  int num_threads = 0;
+  /// Scenarios handed to a worker per lock acquisition.
+  int batch_size = 64;
+  /// Also BFS the surviving graph on each delivery to accumulate stretch
+  /// (hops / dist_{G\F}(s, t)). Costs one BFS per delivered scenario.
+  bool compute_stretch = false;
+};
+
+/// Aggregate outcome tallies of one sweep. The integer counters satisfy
+///   delivered + looped + dropped + invalid == promise_held()
+///   promise_held() + promise_broken == total
+/// regardless of thread count.
+struct SweepStats {
+  int64_t total = 0;           // scenarios consumed from the source
+  int64_t promise_broken = 0;  // s-t disconnected: excluded from the rates
+  int64_t delivered = 0;       // routing delivered / tour succeeded
+  int64_t looped = 0;          // state repeated (incl. failed tours)
+  int64_t dropped = 0;
+  int64_t invalid = 0;         // pattern forwarded onto a failed/absent edge
+
+  int64_t failures_seen = 0;   // sum |F| over promise-holding scenarios
+  int64_t hops_delivered = 0;  // sum hops over delivered scenarios
+
+  int64_t stretch_samples = 0;  // deliveries with dist >= 1 (stretch mode)
+  double stretch_sum = 0.0;
+  double max_stretch = 0.0;
+
+  [[nodiscard]] int64_t promise_held() const { return total - promise_broken; }
+  [[nodiscard]] double delivery_rate() const { return rate(delivered); }
+  [[nodiscard]] double loop_rate() const { return rate(looped); }
+  [[nodiscard]] double drop_rate() const { return rate(dropped); }
+  [[nodiscard]] double invalid_rate() const { return rate(invalid); }
+  [[nodiscard]] double mean_failures() const {
+    return promise_held() > 0 ? static_cast<double>(failures_seen) / promise_held() : 0.0;
+  }
+  [[nodiscard]] double mean_hops() const {
+    return delivered > 0 ? static_cast<double>(hops_delivered) / delivered : 0.0;
+  }
+  [[nodiscard]] double mean_stretch() const {
+    return stretch_samples > 0 ? stretch_sum / stretch_samples : 0.0;
+  }
+
+  void merge(const SweepStats& other);
+
+ private:
+  [[nodiscard]] double rate(int64_t numerator) const {
+    return promise_held() > 0 ? static_cast<double>(numerator) / promise_held() : 0.0;
+  }
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions opts = {});
+
+  /// Drains `source` (from its current position; callers usually reset()
+  /// first) through `pattern` on g and returns the merged tallies.
+  [[nodiscard]] SweepStats run(const Graph& g, const ForwardingPattern& pattern,
+                               ScenarioSource& source) const;
+
+  [[nodiscard]] const SweepOptions& options() const { return opts_; }
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace pofl

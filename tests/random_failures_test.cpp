@@ -6,6 +6,8 @@
 #include "resilience/algorithm1_k5.hpp"
 #include "resilience/outerplanar_touring.hpp"
 #include "attacks/pattern_corpus.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace pofl {
 namespace {
@@ -32,6 +34,32 @@ TEST(RandomFailures, ImperfectPatternDegradesWithP) {
   EXPECT_GT(low.delivery_rate, 0.99);   // few failures: nearly always fine
   EXPECT_LT(high.delivery_rate, 1.0);   // heavy failures: some loops
   EXPECT_GE(low.delivery_rate, high.delivery_rate);
+}
+
+TEST(RandomFailures, SweepEngineReproducesEstimatorExactly) {
+  // RandomFailureSource::iid draws failure sets with the same generator
+  // discipline as estimate_delivery_rate (fresh Bernoulli coin per trial over
+  // edge ids), so with equal seed and trial count the sweep engine must
+  // reproduce the legacy estimator's aggregates bit for bit.
+  const Graph k7 = make_complete(7);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kSourceDestination);
+  const double p = 0.35;
+  const int trials = 2000;
+  const uint64_t seed = 13;
+
+  const RandomFailureStats legacy = estimate_delivery_rate(k7, *pattern, 0, 6, p, trials, seed);
+
+  auto source = RandomFailureSource::iid(k7, p, trials, seed, {{0, 6}});
+  SweepOptions opts;
+  opts.num_threads = 3;
+  const SweepStats sweep = SweepEngine(opts).run(k7, *pattern, source);
+
+  EXPECT_EQ(sweep.total, trials);
+  EXPECT_EQ(sweep.promise_held(), legacy.trials_with_promise);
+  EXPECT_EQ(sweep.delivered, legacy.delivered);
+  EXPECT_DOUBLE_EQ(sweep.delivery_rate(), legacy.delivery_rate);
+  EXPECT_DOUBLE_EQ(sweep.mean_failures(), legacy.mean_failures);
+  EXPECT_DOUBLE_EQ(sweep.mean_hops(), legacy.mean_hops);
 }
 
 TEST(RandomFailures, MeanFailuresTracksP) {

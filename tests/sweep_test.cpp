@@ -1,0 +1,203 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "sim/scenario.hpp"
+
+namespace pofl {
+namespace {
+
+SweepOptions threads(int n) {
+  SweepOptions opts;
+  opts.num_threads = n;
+  opts.batch_size = 7;  // deliberately odd, to exercise partial batches
+  return opts;
+}
+
+TEST(ExhaustiveFailureSource, EnumeratesEveryScenarioExactlyOnce) {
+  const Graph g = make_complete(4);  // m = 6
+  ExhaustiveFailureSource source(g, 2, all_ordered_pairs(g));
+  // (C(6,0) + C(6,1) + C(6,2)) failure sets x 12 ordered pairs.
+  EXPECT_EQ(source.total_scenarios(), (1 + 6 + 15) * 12);
+
+  std::vector<Scenario> all;
+  while (source.next_batch(5, all) > 0) {
+  }
+  EXPECT_EQ(static_cast<int64_t>(all.size()), source.total_scenarios());
+  for (const Scenario& sc : all) {
+    EXPECT_LE(sc.failures.count(), 2);
+    EXPECT_NE(sc.source, sc.destination);
+  }
+
+  // reset() replays the identical stream.
+  source.reset();
+  std::vector<Scenario> again;
+  while (source.next_batch(64, again) > 0) {
+  }
+  ASSERT_EQ(again.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(again[i].failures, all[i].failures);
+    EXPECT_EQ(again[i].source, all[i].source);
+    EXPECT_EQ(again[i].destination, all[i].destination);
+  }
+}
+
+TEST(RandomFailureSourceContract, ResetReplaysIdenticalExactCountDraws) {
+  const Graph g = make_complete(5);
+  auto source = RandomFailureSource::exact_count(g, 3, 20, /*seed=*/21, {{0, 4}});
+  std::vector<Scenario> first;
+  while (source.next_batch(8, first) > 0) {
+  }
+  source.reset();
+  std::vector<Scenario> second;
+  while (source.next_batch(8, second) > 0) {
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].failures, second[i].failures) << "draw " << i;
+  }
+}
+
+TEST(RandomFailureSourceContract, ZeroTrialsIsAnEmptyStream) {
+  const Graph g = make_complete(4);
+  auto source = RandomFailureSource::iid(g, 0.2, /*trials_per_pair=*/0, 1, all_ordered_pairs(g));
+  std::vector<Scenario> out;
+  EXPECT_EQ(source.next_batch(16, out), 0);
+  const SweepStats stats =
+      SweepEngine(threads(2)).run(g, *make_id_cyclic_pattern(RoutingModel::kDestinationOnly),
+                                  source);
+  EXPECT_EQ(stats.total, 0);
+}
+
+TEST(ExhaustiveFailureSource, RejectsGraphsBeyondTheMaskWidth) {
+  const Graph big = make_complete(12);  // 66 edges > 62
+  EXPECT_THROW(ExhaustiveFailureSource(big, 1, all_ordered_pairs(big)), std::invalid_argument);
+}
+
+TEST(SweepStats, OutcomeCountsSumToScenarioTotal) {
+  const Graph g = make_cycle(6);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+  ExhaustiveFailureSource source(g, 3, all_ordered_pairs(g));
+
+  const SweepStats stats = SweepEngine(threads(1)).run(g, *pattern, source);
+  EXPECT_EQ(stats.total, source.total_scenarios());
+  EXPECT_EQ(stats.delivered + stats.looped + stats.dropped + stats.invalid,
+            stats.promise_held());
+  EXPECT_EQ(stats.promise_held() + stats.promise_broken, stats.total);
+  // With up to 3 of 6 cycle edges down, some draws must disconnect pairs.
+  EXPECT_GT(stats.promise_broken, 0);
+}
+
+TEST(SweepEngine, SingleAndMultiThreadAggregatesMatch) {
+  const Graph g = make_complete(5);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+
+  auto run_with = [&](int num_threads) {
+    RandomFailureSource source =
+        RandomFailureSource::iid(g, 0.3, 40, /*seed=*/9, all_ordered_pairs(g));
+    SweepOptions opts = threads(num_threads);
+    opts.compute_stretch = true;
+    return SweepEngine(opts).run(g, *pattern, source);
+  };
+
+  const SweepStats one = run_with(1);
+  const SweepStats many = run_with(4);
+  EXPECT_EQ(one.total, many.total);
+  EXPECT_EQ(one.promise_broken, many.promise_broken);
+  EXPECT_EQ(one.delivered, many.delivered);
+  EXPECT_EQ(one.looped, many.looped);
+  EXPECT_EQ(one.dropped, many.dropped);
+  EXPECT_EQ(one.invalid, many.invalid);
+  EXPECT_EQ(one.failures_seen, many.failures_seen);
+  EXPECT_EQ(one.hops_delivered, many.hops_delivered);
+  EXPECT_EQ(one.stretch_samples, many.stretch_samples);
+  EXPECT_DOUBLE_EQ(one.max_stretch, many.max_stretch);
+  EXPECT_NEAR(one.stretch_sum, many.stretch_sum, 1e-9);
+}
+
+TEST(SweepEngine, ExhaustiveAndSampledSweepsAgreeOnPerfectPattern) {
+  // Algorithm 1 is perfectly resilient on K5 toward destination 4: every
+  // sweep mode must report delivery rate exactly 1 for promise-holding
+  // scenarios.
+  const Graph k5 = make_complete(5);
+  const auto alg1 = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+
+  ExhaustiveFailureSource exhaustive(k5, k5.num_edges(), pairs);
+  const SweepStats full = SweepEngine(threads(2)).run(k5, *alg1, exhaustive);
+  EXPECT_GT(full.promise_held(), 0);
+  EXPECT_DOUBLE_EQ(full.delivery_rate(), 1.0);
+
+  RandomFailureSource sampled = RandomFailureSource::iid(k5, 0.4, 500, /*seed=*/3, pairs);
+  const SweepStats sub = SweepEngine(threads(2)).run(k5, *alg1, sampled);
+  EXPECT_GT(sub.promise_held(), 0);
+  EXPECT_DOUBLE_EQ(sub.delivery_rate(), 1.0);
+}
+
+TEST(SweepEngine, SampledRateTracksExhaustiveRate) {
+  // For an imperfect pattern the Monte Carlo estimate must land near the
+  // exhaustive ground truth (deterministic seed, so this is a fixed number).
+  const Graph g = make_cycle(5);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+
+  ExhaustiveFailureSource exhaustive(g, 1, all_ordered_pairs(g));
+  const SweepStats truth = SweepEngine(threads(1)).run(g, *pattern, exhaustive);
+
+  RandomFailureSource sampled =
+      RandomFailureSource::exact_count(g, 1, 400, /*seed=*/5, all_ordered_pairs(g));
+  const SweepStats estimate = SweepEngine(threads(2)).run(g, *pattern, sampled);
+
+  EXPECT_NEAR(estimate.delivery_rate(), truth.delivery_rate(), 0.1);
+}
+
+TEST(SweepEngine, TouringScenariosTallyAsDeliveries) {
+  // Right-hand-rule tour of a cycle: always leave via the non-inport edge.
+  class AroundPattern final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kTouring; }
+    [[nodiscard]] std::string name() const override { return "around"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                                const IdSet& failures,
+                                                const Header&) const override {
+      for (EdgeId e : g.incident_edges(at)) {
+        if (e != inport && !failures.contains(e)) return e;
+      }
+      return inport != kNoEdge ? std::optional<EdgeId>(inport) : std::nullopt;
+    }
+  };
+
+  const Graph g = make_cycle(6);
+  std::vector<Scenario> scenarios;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    scenarios.push_back(Scenario{g.empty_edge_set(), v, kNoVertex});
+  }
+  FixedScenarioSource source(std::move(scenarios), "tours");
+  AroundPattern pattern;
+  const SweepStats stats = SweepEngine(threads(2)).run(g, pattern, source);
+  EXPECT_EQ(stats.total, g.num_vertices());
+  EXPECT_EQ(stats.delivered, g.num_vertices());  // every tour succeeds
+  EXPECT_EQ(stats.promise_broken, 0);
+}
+
+TEST(AdversarialCorpusSource, MinedDefeatsKeepThePromiseAndDefeatTheirPattern) {
+  const Graph g = make_cycle(5);
+  AdversarialCorpusSource source(g, RoutingModel::kDestinationOnly, /*max_budget=*/2,
+                                 /*random_variants=*/1, /*seed=*/1);
+  const auto& names = source.defeated_patterns();
+
+  // Replay the mined library against one corpus member: by construction every
+  // scenario keeps its (s, t) connected, so nothing can be promise-broken.
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+  source.reset();
+  const SweepStats stats = SweepEngine(threads(1)).run(g, *pattern, source);
+  EXPECT_EQ(stats.total, static_cast<int64_t>(names.size()));
+  EXPECT_EQ(stats.promise_broken, 0);
+  EXPECT_EQ(stats.delivered + stats.looped + stats.dropped + stats.invalid, stats.total);
+}
+
+}  // namespace
+}  // namespace pofl

@@ -1,0 +1,113 @@
+#include "routing/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/builders.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+
+namespace pofl {
+namespace {
+
+SweepStats exhaustive_sweep(const Graph& g, const ForwardingPattern& pattern) {
+  ExhaustiveFailureSource source(g, g.num_edges(), all_ordered_pairs(g));
+  SweepOptions opts;
+  opts.num_threads = 2;
+  return SweepEngine(opts).run(g, pattern, source);
+}
+
+TEST(Verifier, ShortestPathOnAPathIsPerfectlyResilient) {
+  // On a path graph the s-t promise forces the whole s-t subpath alive, so
+  // the BFS next hop always survives: no violation can exist.
+  const Graph g = make_path(5);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  VerifyOptions opts;
+  opts.max_exhaustive_edges = g.num_edges();
+  EXPECT_FALSE(find_resilience_violation(g, *pattern, opts).has_value());
+
+  // The sweep engine over the same exhaustive space must agree exactly.
+  const SweepStats stats = exhaustive_sweep(g, *pattern);
+  EXPECT_GT(stats.promise_held(), 0);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+}
+
+TEST(Verifier, ViolationAndSweepShortfallCoincideOnACycle) {
+  // Whatever the verifier concludes about a pattern on C5, the exhaustive
+  // sweep must tell the same story: violation found <=> delivery rate < 1.
+  const Graph g = make_cycle(5);
+  VerifyOptions opts;
+  opts.max_exhaustive_edges = g.num_edges();
+  for (const auto& pattern :
+       make_pattern_corpus(RoutingModel::kDestinationOnly, g, /*random_variants=*/1, 3)) {
+    const auto violation = find_resilience_violation(g, *pattern, opts);
+    const SweepStats stats = exhaustive_sweep(g, *pattern);
+    if (violation.has_value()) {
+      EXPECT_LT(stats.delivery_rate(), 1.0) << pattern->name();
+    } else {
+      EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0) << pattern->name();
+    }
+  }
+}
+
+TEST(Verifier, ReportedViolationReplaysAsNonDeliveryInTheEngine) {
+  // A pattern that gives up the moment it sees any local failure. On a path
+  // with an off-route failure the promise still holds, so this must violate
+  // perfect resilience — and the verifier's witness, replayed through the
+  // sweep engine, must reproduce the non-delivery.
+  class PanicPattern final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+    [[nodiscard]] std::string name() const override { return "panic"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId /*inport*/,
+                                                const IdSet& local_failures,
+                                                const Header& header) const override {
+      if (!local_failures.empty()) return std::nullopt;  // panic
+      for (EdgeId e : g.incident_edges(at)) {
+        if (g.other_endpoint(e, at) == at + 1 && header.destination > at) return e;
+      }
+      return std::nullopt;
+    }
+  };
+
+  const Graph g = make_path(4);
+  PanicPattern pattern;
+  VerifyOptions opts;
+  opts.max_exhaustive_edges = g.num_edges();
+  const auto violation = find_resilience_violation(g, pattern, opts);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->routing.outcome, RoutingOutcome::kDelivered);
+
+  FixedScenarioSource witness(
+      {Scenario{violation->failures, violation->source, violation->destination}});
+  SweepOptions sweep_opts;
+  sweep_opts.num_threads = 1;
+  const SweepStats stats = SweepEngine(sweep_opts).run(g, pattern, witness);
+  EXPECT_EQ(stats.total, 1);
+  EXPECT_EQ(stats.promise_broken, 0);
+  EXPECT_EQ(stats.delivered, 0);
+}
+
+TEST(Verifier, BoundedFailureVerdictMatchesBoundedSweep) {
+  // C6 tolerates any single failure under shortest-path routing iff the
+  // bounded verifier says so; cross-check against an exhaustive |F| <= 1
+  // sweep.
+  const Graph g = make_cycle(6);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  VerifyOptions opts;
+  opts.max_exhaustive_edges = g.num_edges();
+  const auto violation = find_bounded_failure_violation(g, *pattern, /*max_failures=*/1, opts);
+
+  ExhaustiveFailureSource source(g, 1, all_ordered_pairs(g));
+  SweepOptions sweep_opts;
+  sweep_opts.num_threads = 2;
+  const SweepStats stats = SweepEngine(sweep_opts).run(g, *pattern, source);
+  if (violation.has_value()) {
+    EXPECT_LT(stats.delivery_rate(), 1.0);
+  } else {
+    EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pofl
