@@ -10,20 +10,34 @@
 //   of destinations perfectly reachable.
 //
 // Pass a directory of .graphml files to run on the real dataset instead.
+// `--json <path>` writes the per-network classifications machine-readably
+// (resilience checks behind classify_topology run on the sweep engine).
 
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "classify/classifier.hpp"
 #include "classify/zoo.hpp"
+#include "sim/sweep_json.hpp"
 
 int main(int argc, char** argv) {
   using namespace pofl;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
+  if (args.error) {
+    std::fprintf(stderr, "usage: %s [graphml-dir] [--json <path>]\n", argv[0]);
+    return 2;
+  }
+  const std::string& json_path = args.json_path;
   std::vector<NamedGraph> zoo;
-  if (argc > 1) zoo = load_zoo_directory(argv[1]);
+  if (!args.positional.empty()) zoo = load_zoo_directory(args.positional.front());
   const bool synthetic = zoo.empty();
   if (synthetic) zoo = make_synthetic_zoo();
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("fig7_zoo");
+  json.key("networks").begin_array();
   std::printf("=== Figure 7: perfect-resilience classification of %zu %s networks ===\n\n",
               zoo.size(), synthetic ? "synthetic zoo" : "GraphML");
 
@@ -40,6 +54,17 @@ int main(int argc, char** argv) {
 
   for (const auto& net : zoo) {
     const Classification c = classify_topology(net.graph);
+    json.begin_object();
+    json.key("name").value(net.name);
+    json.key("n").value(net.graph.num_vertices());
+    json.key("m").value(net.graph.num_edges());
+    json.key("planar").value(c.planar);
+    json.key("outerplanar").value(c.outerplanar);
+    json.key("touring").value(to_string(c.touring));
+    json.key("destination").value(to_string(c.destination));
+    json.key("source_destination").value(to_string(c.source_destination));
+    json.key("cor5_destinations").value(c.cor5_destinations);
+    json.end_object();
     const int cls = c.outerplanar ? 0 : (c.planar ? 1 : 2);
     ++class_totals[cls];
     ++touring[cls].by_verdict[c.touring];
@@ -100,5 +125,10 @@ int main(int argc, char** argv) {
                 "'sometimes' networks:            %5.1f%%  (21.3%%)\n",
                 100 * sometimes_fraction_sum / sometimes_count);
   }
+  json.end_array();
+  json.key("planar_not_outer").value(planar_not_outer);
+  json.key("planar_dest_impossible").value(planar_dest_impossible);
+  json.end_object();
+  if (!json_path.empty() && !write_json_file(json_path, json.str())) return 1;
   return 0;
 }

@@ -6,9 +6,15 @@
 //     adversary must defeat every corpus pattern on the rest;
 //   * Hamiltonian switching on K_n / K_{n,n}: measured maximum tolerated
 //     failure count vs. the paper's k-1 promise.
+//
+// Both halves run on the SweepEngine: the right-hand-rule check and the
+// tolerated-budget probe are early-exit verification sweeps, and the probe
+// walks the |F| = f strata incrementally so each failure set is toured once.
+// `--json <path>` writes both tables machine-readably.
 
 #include <cstdio>
 #include <random>
+#include <string>
 
 #include "attacks/pattern_corpus.hpp"
 #include "attacks/touring_attack.hpp"
@@ -17,14 +23,25 @@
 #include "resilience/ham_touring.hpp"
 #include "resilience/outerplanar_touring.hpp"
 #include "routing/verifier.hpp"
+#include "sim/sweep_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pofl;
+  const BenchArgs args = parse_bench_args(argc, argv);
+  if (args.error || !args.positional.empty()) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 2;
+  }
+  const std::string& json_path = args.json_path;
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("touring");
 
   std::printf("=== Corollary 6: touring possible iff outerplanar ===\n");
   std::printf("%-24s %6s %12s %28s\n", "graph", "outer?", "right-hand", "corpus-defeat");
   std::mt19937_64 rng(2022);
   int agree = 0, total = 0;
+  json.key("corollary6").begin_array();
   for (int trial = 0; trial < 14; ++trial) {
     const int n = 5 + static_cast<int>(rng() % 5);
     const int max_m = n * (n - 1) / 2;
@@ -58,26 +75,55 @@ int main() {
     std::snprintf(name, sizeof(name), "random n=%d m=%d", g.num_vertices(), g.num_edges());
     std::printf("%-24s %6s %12s %28s\n", name, outer ? "yes" : "no",
                 rh != nullptr ? (rh_ok ? "tours" : "FAILS") : "n/a", corpus_buf);
+    json.begin_object();
+    json.key("n").value(g.num_vertices());
+    json.key("m").value(g.num_edges());
+    json.key("outerplanar").value(outer);
+    json.key("right_hand_tours").value(rh_ok);
+    json.key("corpus_defeated").value(defeated);
+    json.key("corpus_size").value(corpus_size);
+    json.key("consistent").value(consistent);
+    json.end_object();
   }
+  json.end_array();
   std::printf("characterization consistent on %d/%d sampled graphs\n\n", agree, total);
 
   std::printf("=== Theorem 17: Hamiltonian-switch touring, promise |F| <= k-1 ===\n");
   std::printf("%-10s %3s %9s %16s\n", "graph", "k", "promise", "max-tolerated");
+  // Stratified probe on the engine: stratum f is toured only once (the first
+  // step covers |F| in {0, 1}), and the first stratum containing a failed
+  // tour ends the probe at f - 1.
   const auto max_tolerated = [](const Graph& g, const ForwardingPattern& p, int probe_to) {
     for (int f = 1; f <= probe_to; ++f) {
       VerifyOptions opts;
-      opts.max_exhaustive_edges = g.num_edges() <= 21 ? g.num_edges() : 0;
       opts.samples = 4000;
       opts.max_failures = f;
+      if (g.num_edges() <= 21) {
+        opts.max_exhaustive_edges = g.num_edges();
+        opts.min_failures = f == 1 ? 0 : f;
+      } else {
+        opts.max_exhaustive_edges = 0;
+      }
       if (find_touring_violation(g, p, opts).has_value()) return f - 1;
     }
     return probe_to;
+  };
+  json.key("theorem17").begin_array();
+  const auto emit_row = [&](const std::string& graph, int k, int tolerated) {
+    json.begin_object();
+    json.key("graph").value(graph);
+    json.key("k").value(k);
+    json.key("promise").value(k - 1);
+    json.key("max_tolerated").value(tolerated);
+    json.end_object();
   };
   for (int n : {5, 7, 9}) {
     const Graph g = make_complete(n);
     const auto p = make_complete_ham_touring(g);
     const int k = p->num_cycles();
-    std::printf("K%-9d %3d %9d %16d\n", n, k, k - 1, max_tolerated(g, *p, k + 1));
+    const int tolerated = max_tolerated(g, *p, k + 1);
+    std::printf("K%-9d %3d %9d %16d\n", n, k, k - 1, tolerated);
+    emit_row("K" + std::to_string(n), k, tolerated);
   }
   for (int a : {4, 6}) {
     const Graph g = make_complete_bipartite(a, a);
@@ -85,9 +131,14 @@ int main() {
     const int k = p->num_cycles();
     char name[16];
     std::snprintf(name, sizeof(name), "K%d,%d", a, a);
-    std::printf("%-10s %3d %9d %16d\n", name, k, k - 1, max_tolerated(g, *p, k + 1));
+    const int tolerated = max_tolerated(g, *p, k + 1);
+    std::printf("%-10s %3d %9d %16d\n", name, k, k - 1, tolerated);
+    emit_row(name, k, tolerated);
   }
+  json.end_array();
+  json.end_object();
   std::printf("(expected: max-tolerated >= promise; equality is typical since one\n"
               " extra failure can sever the last intact cycle's use at a node)\n");
+  if (!json_path.empty() && !write_json_file(json_path, json.str())) return 1;
   return 0;
 }

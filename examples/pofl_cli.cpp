@@ -8,14 +8,17 @@
 //                                             pattern on this topology
 //   pofl_cli export-zoo <directory>           write the synthetic zoo as
 //                                             GraphML for external tools
-//   pofl_cli sweep <file.graphml> <p> <trials>
+//   pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] [--per-pair]
 //                                             parallel Monte Carlo sweep of
 //                                             the natural failover pattern
 //                                             over all pairs under i.i.d.
-//                                             link failures
+//                                             link failures; --json writes
+//                                             SweepStats (+ per-pair rows)
+//                                             machine-readably
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -25,11 +28,13 @@
 #include "classify/classifier.hpp"
 #include "classify/zoo.hpp"
 #include "graph/connectivity.hpp"
+#include "graph/connectivity_oracle.hpp"
 #include "graph/graphml.hpp"
 #include "resilience/dest_via_touring.hpp"
 #include "routing/verifier.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
+#include "sim/sweep_json.hpp"
 
 namespace {
 
@@ -41,7 +46,8 @@ int usage() {
                "       pofl_cli destinations <file.graphml>\n"
                "       pofl_cli attack <file.graphml> <s> <t>\n"
                "       pofl_cli export-zoo <directory>\n"
-               "       pofl_cli sweep <file.graphml> <p> <trials>\n");
+               "       pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] "
+               "[--per-pair]\n");
   return 2;
 }
 
@@ -121,7 +127,8 @@ int cmd_attack(const std::string& path, VertexId s, VertexId t) {
   return 0;
 }
 
-int cmd_sweep(const std::string& path, double p, int trials) {
+int cmd_sweep(const std::string& path, double p, int trials, const std::string& json_path,
+              bool per_pair) {
   const auto net = load(path);
   if (!net.has_value()) return 1;
   const Graph& g = net->graph;
@@ -132,9 +139,18 @@ int cmd_sweep(const std::string& path, double p, int trials) {
   const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
   const auto pairs = all_ordered_pairs(g);
   auto source = RandomFailureSource::iid(g, p, trials, /*seed=*/1, pairs);
+  ConnectivityOracle oracle(g);
   SweepOptions opts;
   opts.compute_stretch = true;
-  const SweepStats stats = SweepEngine(opts).run(g, *pattern, source);
+  opts.oracle = &oracle;
+  const SweepEngine engine(opts);
+  SweepReport report;
+  if (per_pair || !json_path.empty()) {
+    report = engine.run_report(g, *pattern, source);
+  } else {
+    report.totals = engine.run(g, *pattern, source);
+  }
+  const SweepStats& stats = report.totals;
   std::printf("network:          %s (n=%d m=%d)\n", net->name.c_str(), g.num_vertices(),
               g.num_edges());
   std::printf("pattern:          %s\n", pattern->name().c_str());
@@ -151,6 +167,19 @@ int cmd_sweep(const std::string& path, double p, int trials) {
   std::printf("mean stretch:     %.3f (max %.3f over %lld deliveries)\n",
               stats.mean_stretch(), stats.max_stretch,
               static_cast<long long>(stats.stretch_samples));
+  std::printf("oracle:           %lld BFS computed, %lld reused from cache\n",
+              static_cast<long long>(stats.oracle_misses),
+              static_cast<long long>(stats.oracle_hits));
+  if (per_pair) {
+    std::printf("%6s %6s %10s %10s %10s\n", "src", "dst", "scenarios", "held", "delivery");
+    for (const PairStats& row : report.per_pair) {
+      std::printf("%6d %6d %10lld %10lld %10.4f\n", row.source, row.destination,
+                  static_cast<long long>(row.stats.total),
+                  static_cast<long long>(row.stats.promise_held()),
+                  row.stats.delivery_rate());
+    }
+  }
+  if (!json_path.empty() && !write_json_file(json_path, to_json(report))) return 1;
   return 0;
 }
 
@@ -181,8 +210,19 @@ int main(int argc, char** argv) {
     return cmd_attack(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
   }
   if (cmd == "export-zoo") return cmd_export_zoo(argv[2]);
-  if (cmd == "sweep" && argc == 5) {
-    return cmd_sweep(argv[2], std::atof(argv[3]), std::atoi(argv[4]));
+  if (cmd == "sweep" && argc >= 5) {
+    std::string json_path;
+    bool per_pair = false;
+    for (int i = 5; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--per-pair") == 0) {
+        per_pair = true;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_sweep(argv[2], std::atof(argv[3]), std::atoi(argv[4]), json_path, per_pair);
   }
   return usage();
 }

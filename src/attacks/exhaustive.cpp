@@ -9,13 +9,16 @@ namespace pofl {
 
 
 std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPattern& pattern,
-                                          VertexId source, VertexId destination, int max_budget) {
+                                          VertexId source, VertexId destination, int max_budget,
+                                          ConnectivityOracle* oracle) {
   assert(g.num_edges() <= 30 && "exhaustive defeat search is for small graphs");
   std::optional<Defeat> found;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
-      if (!connected(g, source, destination, failures)) return false;
+      const bool alive = oracle != nullptr ? oracle->connected(source, destination, failures)
+                                           : connected(g, source, destination, failures);
+      if (!alive) return false;
       const RoutingResult result =
           route_packet(g, pattern, failures, source, Header{source, destination});
       if (result.outcome == RoutingOutcome::kDelivered) return false;
@@ -28,12 +31,19 @@ std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPatter
 
 std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
                                                    const ForwardingPattern& pattern,
-                                                   int max_budget) {
+                                                   int max_budget, ConnectivityOracle* oracle) {
   std::optional<Defeat> found;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
-      const auto comp = components(g, failures);
+      std::shared_ptr<const std::vector<int>> cached;
+      std::vector<int> local;
+      if (oracle != nullptr) {
+        cached = oracle->components_of(failures);
+      } else {
+        local = components(g, failures);
+      }
+      const std::vector<int>& comp = cached != nullptr ? *cached : local;
       for (VertexId s = 0; s < g.num_vertices(); ++s) {
         for (VertexId t = 0; t < g.num_vertices(); ++t) {
           if (s == t || comp[static_cast<size_t>(s)] != comp[static_cast<size_t>(t)]) continue;

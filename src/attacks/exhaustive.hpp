@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "graph/connectivity_oracle.hpp"
 #include "graph/graph.hpp"
 #include "routing/forwarding.hpp"
 #include "routing/simulator.hpp"
@@ -24,16 +25,20 @@ struct Defeat {
 /// Smallest failure set F such that s,t stay connected in G\F but the packet
 /// is not delivered. Exhaustive and exact for graphs with <= 30 edges;
 /// `max_budget` bounds |F|. nullopt = no defeat within budget (for a
-/// perfectly resilient pattern: no defeat at all).
+/// perfectly resilient pattern: no defeat at all). An optional shared
+/// ConnectivityOracle caches the per-failure-set component labels — corpus
+/// drivers that attack many patterns on one graph re-enumerate the same
+/// failure sets, so sharing one oracle across calls pays the BFS once.
 [[nodiscard]] std::optional<Defeat> find_minimum_defeat(const Graph& g,
                                                         const ForwardingPattern& pattern,
                                                         VertexId source, VertexId destination,
-                                                        int max_budget);
+                                                        int max_budget,
+                                                        ConnectivityOracle* oracle = nullptr);
 
 /// Smallest defeating failure set over all (s,t) pairs.
-[[nodiscard]] std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
-                                                                 const ForwardingPattern& pattern,
-                                                                 int max_budget);
+[[nodiscard]] std::optional<Defeat> find_minimum_defeat_any_pair(
+    const Graph& g, const ForwardingPattern& pattern, int max_budget,
+    ConnectivityOracle* oracle = nullptr);
 
 /// Touring version: smallest F such that some start's surviving component is
 /// not toured.

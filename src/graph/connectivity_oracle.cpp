@@ -1,0 +1,71 @@
+#include "graph/connectivity_oracle.hpp"
+
+#include "graph/connectivity.hpp"
+
+namespace pofl {
+
+ConnectivityOracle::ConnectivityOracle(const Graph& g, size_t max_entries)
+    : g_(&g),
+      max_entries_per_shard_(max_entries / kNumShards + 1),
+      shards_(new Shard[kNumShards]) {}
+
+ConnectivityOracle::Shard& ConnectivityOracle::shard_for(const IdSet& failures) {
+  // hash() feeds the map buckets too and barely diffuses sparse masks into
+  // its top bits, so run it through a splitmix64 finalizer before taking the
+  // shard index — otherwise every small failure set lands in one shard.
+  uint64_t z = failures.hash() + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return shards_[z % kNumShards];
+}
+
+std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const IdSet& failures) {
+  Shard& shard = shard_for(failures);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(failures);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside the lock: a concurrent miss on the same F duplicates the
+  // BFS at worst, and never blocks other failure sets in this shard.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto labels = std::make_shared<const std::vector<int>>(components(*g_, failures));
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() < max_entries_per_shard_) {
+      const auto [it, inserted] = shard.map.emplace(failures, labels);
+      return it->second;  // keep the first writer's copy on a lost race
+    }
+  }
+  return labels;
+}
+
+bool ConnectivityOracle::connected(VertexId u, VertexId v, const IdSet& failures) {
+  if (u == v) return true;
+  const auto labels = components_of(failures);
+  return (*labels)[static_cast<size_t>(u)] == (*labels)[static_cast<size_t>(v)];
+}
+
+size_t ConnectivityOracle::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].map.size();
+  }
+  return total;
+}
+
+void ConnectivityOracle::clear() {
+  for (size_t i = 0; i < kNumShards; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pofl

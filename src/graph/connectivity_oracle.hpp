@@ -1,0 +1,72 @@
+#pragma once
+
+// Memoized connectivity oracle.
+//
+// Verification sweeps ask "are s and t connected in G \ F?" once per
+// scenario, but scenario streams are failure-set-major: the same F is
+// queried for every (s, t) pair before the next F appears, and adversarial
+// corpus replays revisit the same F across many patterns. One BFS computes
+// the component labels of G \ F for *all* pairs at once, so caching the
+// label vector keyed by the failure set answers every subsequent query on
+// that F with two array lookups.
+//
+// The oracle is thread-safe (sharded maps under mutexes; label vectors are
+// handed out as shared_ptr so a concurrent rehash cannot invalidate a
+// reader) and bounded: past `max_entries` it degrades to compute-without-
+// insert instead of growing without limit. Hit/miss counters expose how many
+// BFS traversals the cache saved; the sweep engine surfaces them in
+// SweepStats.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+class ConnectivityOracle {
+ public:
+  explicit ConnectivityOracle(const Graph& g, size_t max_entries = size_t{1} << 20);
+
+  /// Component labels of g minus `failures` — identical to
+  /// components(g, failures) — computed once per distinct failure set.
+  [[nodiscard]] std::shared_ptr<const std::vector<int>> components_of(const IdSet& failures);
+
+  /// Cached equivalent of connected(g, u, v, failures).
+  [[nodiscard]] bool connected(VertexId u, VertexId v, const IdSet& failures);
+
+  /// Queries answered from the cache (no BFS needed).
+  [[nodiscard]] int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Queries that had to run the BFS.
+  [[nodiscard]] int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Distinct failure sets currently cached.
+  [[nodiscard]] size_t size() const;
+
+  void clear();
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+ private:
+  struct IdSetHash {
+    size_t operator()(const IdSet& s) const { return static_cast<size_t>(s.hash()); }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<IdSet, std::shared_ptr<const std::vector<int>>, IdSetHash> map;
+  };
+  static constexpr size_t kNumShards = 16;
+
+  [[nodiscard]] Shard& shard_for(const IdSet& failures);
+
+  const Graph* g_;
+  size_t max_entries_per_shard_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace pofl

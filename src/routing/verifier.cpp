@@ -1,145 +1,138 @@
 #include "routing/verifier.hpp"
 
-#include <random>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "graph/connectivity.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace pofl {
 
 namespace {
 
-IdSet mask_to_set(const Graph& g, uint64_t mask) {
-  IdSet f = g.empty_edge_set();
-  while (mask != 0) {
-    const int bit = __builtin_ctzll(mask);
-    mask &= mask - 1;
-    f.insert(bit);
+// The all-pairs finders get a private oracle when the caller supplies none:
+// the scenario stream is failure-set-major, so every pair after the first
+// reuses the cached component BFS. Capped well below the default so a
+// pathological exhaustive call cannot balloon memory.
+constexpr size_t kLocalOracleEntries = size_t{1} << 16;
+
+[[nodiscard]] bool use_exhaustive(const Graph& g, const VerifyOptions& opts) {
+  return g.num_edges() <= opts.max_exhaustive_edges && g.num_edges() <= 62;
+}
+
+/// Builds the scenario stream the options describe: exhaustive strata when
+/// the graph is small enough, the legacy sampled refutation stream otherwise.
+[[nodiscard]] std::unique_ptr<ScenarioSource> make_verify_source(
+    const Graph& g, const VerifyOptions& opts,
+    std::vector<std::pair<VertexId, VertexId>> pairs) {
+  const int cap = opts.max_failures.value_or(g.num_edges());
+  if (use_exhaustive(g, opts)) {
+    return std::make_unique<ExhaustiveFailureSource>(g, opts.min_failures.value_or(0), cap,
+                                                     std::move(pairs));
   }
-  return f;
+  return std::make_unique<SampledFailureSource>(g, cap, opts.samples, opts.seed,
+                                                std::move(pairs));
+}
+
+/// Runs the early-exit sweep and converts the finding into a Violation.
+[[nodiscard]] std::optional<Violation> run_find(const Graph& g, const ForwardingPattern& pattern,
+                                                const VerifyOptions& opts,
+                                                std::vector<std::pair<VertexId, VertexId>> pairs,
+                                                PromiseCheck promise, bool want_oracle) {
+  SweepOptions sweep_opts;
+  sweep_opts.num_threads = opts.num_threads;
+  sweep_opts.promise = std::move(promise);
+  sweep_opts.oracle = opts.oracle;
+
+  // A private cache only pays off when several pairs share each failure set
+  // and the default connectivity promise is in force.
+  std::unique_ptr<ConnectivityOracle> local_oracle;
+  if (want_oracle && sweep_opts.oracle == nullptr && !sweep_opts.promise && pairs.size() > 1) {
+    local_oracle = std::make_unique<ConnectivityOracle>(g, kLocalOracleEntries);
+    sweep_opts.oracle = local_oracle.get();
+  }
+
+  const auto source = make_verify_source(g, opts, std::move(pairs));
+  const auto finding = SweepEngine(sweep_opts).find_first_violation(g, pattern, *source);
+  if (!finding.has_value()) return std::nullopt;
+  return Violation{finding->scenario.failures, finding->scenario.source,
+                   finding->scenario.destination, finding->routing, finding->tour};
 }
 
 }  // namespace
-
-bool for_each_failure_set(const Graph& g, const VerifyOptions& opts,
-                          const std::function<bool(const IdSet&)>& fn) {
-  const int m = g.num_edges();
-  if (m <= opts.max_exhaustive_edges) {
-    const uint64_t limit = uint64_t{1} << m;
-    for (uint64_t mask = 0; mask < limit; ++mask) {
-      if (opts.max_failures.has_value() &&
-          __builtin_popcountll(mask) > *opts.max_failures) {
-        continue;
-      }
-      if (fn(mask_to_set(g, mask))) return true;
-    }
-    return true;  // exhaustive (fn never stopped us, also fine)
-  }
-  std::mt19937_64 rng(opts.seed);
-  const int cap = opts.max_failures.value_or(m);
-  std::uniform_int_distribution<int> size_dist(0, cap);
-  std::uniform_int_distribution<int> edge_dist(0, m - 1);
-  for (int i = 0; i < opts.samples; ++i) {
-    IdSet f = g.empty_edge_set();
-    const int k = size_dist(rng);
-    for (int j = 0; j < k; ++j) f.insert(edge_dist(rng));
-    if (fn(f)) return false;
-  }
-  return false;  // sampled only
-}
 
 std::optional<Violation> find_resilience_violation_for_pair(const Graph& g,
                                                             const ForwardingPattern& pattern,
                                                             VertexId source, VertexId destination,
                                                             const VerifyOptions& opts) {
-  std::optional<Violation> found;
-  for_each_failure_set(g, opts, [&](const IdSet& failures) {
-    if (!connected(g, source, destination, failures)) return false;
-    const RoutingResult result =
-        route_packet(g, pattern, failures, source, Header{source, destination});
-    if (result.outcome == RoutingOutcome::kDelivered) return false;
-    found = Violation{failures, source, destination, result, {}};
-    return true;
-  });
-  return found;
+  return run_find(g, pattern, opts, {{source, destination}}, nullptr, /*want_oracle=*/true);
 }
 
 std::optional<Violation> find_resilience_violation(const Graph& g,
                                                    const ForwardingPattern& pattern,
                                                    const VerifyOptions& opts) {
-  // Iterate failure sets outermost (enumeration dominates cost), pairs inner.
-  std::optional<Violation> found;
-  for_each_failure_set(g, opts, [&](const IdSet& failures) {
-    const auto comp = components(g, failures);
-    for (VertexId s = 0; s < g.num_vertices(); ++s) {
-      for (VertexId t = 0; t < g.num_vertices(); ++t) {
-        if (s == t) continue;
-        if (comp[static_cast<size_t>(s)] != comp[static_cast<size_t>(t)]) continue;
-        const RoutingResult result = route_packet(g, pattern, failures, s, Header{s, t});
-        if (result.outcome != RoutingOutcome::kDelivered) {
-          found = Violation{failures, s, t, result, {}};
-          return true;
-        }
-      }
-    }
-    return false;
-  });
-  return found;
+  return run_find(g, pattern, opts, all_ordered_pairs(g), nullptr, /*want_oracle=*/true);
 }
 
 std::optional<Violation> find_r_tolerance_violation(const Graph& g,
                                                     const ForwardingPattern& pattern,
                                                     VertexId source, VertexId destination, int r,
                                                     const VerifyOptions& opts) {
-  std::optional<Violation> found;
-  for_each_failure_set(g, opts, [&](const IdSet& failures) {
-    if (edge_connectivity(g, source, destination, failures) < r) return false;
-    const RoutingResult result =
-        route_packet(g, pattern, failures, source, Header{source, destination});
-    if (result.outcome == RoutingOutcome::kDelivered) return false;
-    found = Violation{failures, source, destination, result, {}};
-    return true;
-  });
-  return found;
+  PromiseCheck promise = [r](const Graph& graph, const Scenario& sc) {
+    return edge_connectivity(graph, sc.source, sc.destination, sc.failures) >= r;
+  };
+  return run_find(g, pattern, opts, {{source, destination}}, std::move(promise),
+                  /*want_oracle=*/false);
 }
 
 std::optional<Violation> find_touring_violation(const Graph& g, const ForwardingPattern& pattern,
                                                 const VerifyOptions& opts) {
-  std::optional<Violation> found;
-  for_each_failure_set(g, opts, [&](const IdSet& failures) {
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      const TourResult result = tour_packet(g, pattern, failures, v);
-      if (!result.success) {
-        found = Violation{failures, v, kNoVertex, {}, result};
-        return true;
-      }
-    }
-    return false;
-  });
-  return found;
+  return run_find(g, pattern, opts, all_touring_starts(g), nullptr, /*want_oracle=*/false);
 }
 
 std::optional<Violation> find_distance_promise_violation(const Graph& g,
                                                          const ForwardingPattern& pattern,
                                                          int max_distance,
                                                          const VerifyOptions& opts) {
-  std::optional<Violation> found;
-  for_each_failure_set(g, opts, [&](const IdSet& failures) {
-    for (VertexId s = 0; s < g.num_vertices(); ++s) {
-      const auto dist = bfs_distances(g, s, failures);
-      for (VertexId t = 0; t < g.num_vertices(); ++t) {
-        if (s == t) continue;
-        const int d = dist[static_cast<size_t>(t)];
-        if (d < 0 || d > max_distance) continue;
-        const RoutingResult result = route_packet(g, pattern, failures, s, Header{s, t});
-        if (result.outcome != RoutingOutcome::kDelivered) {
-          found = Violation{failures, s, t, result, {}};
-          return true;
-        }
+  // The pair list is source-major under each failure set, so all n-1
+  // destinations of a (F, s) run share one BFS: cache the distance vector
+  // keyed by (F, s) for the lifetime of this call (thread-safe, bounded).
+  struct DistanceCache {
+    struct KeyHash {
+      size_t operator()(const std::pair<IdSet, VertexId>& key) const {
+        return static_cast<size_t>(key.first.hash() * 31u +
+                                   static_cast<uint64_t>(static_cast<uint32_t>(key.second)));
       }
+    };
+    std::mutex mu;
+    std::unordered_map<std::pair<IdSet, VertexId>, std::shared_ptr<const std::vector<int>>,
+                       KeyHash>
+        map;
+  };
+  auto cache = std::make_shared<DistanceCache>();
+  PromiseCheck promise = [max_distance, cache](const Graph& graph, const Scenario& sc) {
+    const auto key = std::make_pair(sc.failures, sc.source);
+    std::shared_ptr<const std::vector<int>> dist;
+    {
+      const std::lock_guard<std::mutex> lock(cache->mu);
+      const auto it = cache->map.find(key);
+      if (it != cache->map.end()) dist = it->second;
     }
-    return false;
-  });
-  return found;
+    if (dist == nullptr) {
+      dist = std::make_shared<const std::vector<int>>(
+          bfs_distances(graph, sc.source, sc.failures));
+      const std::lock_guard<std::mutex> lock(cache->mu);
+      if (cache->map.size() < kLocalOracleEntries) cache->map.emplace(key, dist);
+    }
+    const int d = (*dist)[static_cast<size_t>(sc.destination)];
+    return d >= 0 && d <= max_distance;
+  };
+  return run_find(g, pattern, opts, all_ordered_pairs(g), std::move(promise),
+                  /*want_oracle=*/false);
 }
 
 std::optional<Violation> find_bounded_failure_violation(const Graph& g,

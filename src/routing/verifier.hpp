@@ -8,11 +8,20 @@
 // enumerated exhaustively, turning each positive theorem into a
 // machine-checked statement. Larger graphs fall back to stratified random
 // sampling (a sound refuter, not a prover).
+//
+// Every finder here is a thin wrapper over SweepEngine::find_first_violation:
+// the scenario stream (exhaustive in increasing |F|, Gosper order within a
+// stratum, pairs innermost; or the sampled refutation stream) is drained by a
+// worker pool that stops as soon as the earliest violation in stream order is
+// pinned down. The reported violation is deterministic and identical for 1
+// and N worker threads. A shared ConnectivityOracle caches the per-failure-
+// set component labels across the pairs (and, when the caller passes one in,
+// across patterns and budgets too).
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 
+#include "graph/connectivity_oracle.hpp"
 #include "graph/graph.hpp"
 #include "routing/forwarding.hpp"
 #include "routing/simulator.hpp"
@@ -22,11 +31,21 @@ namespace pofl {
 struct VerifyOptions {
   /// Exhaustive enumeration whenever the graph has at most this many edges.
   int max_exhaustive_edges = 20;
-  /// Number of random failure sets per (s,t) pair above the cutoff.
+  /// Number of random failure sets (each crossed with every pair) above the
+  /// cutoff.
   int samples = 2000;
   uint64_t seed = 1;
   /// If set, only failure sets with at most this many failures are tried.
   std::optional<int> max_failures;
+  /// If set, failure sets smaller than this are skipped (exhaustive mode
+  /// only) — incremental budget probes sweep each |F| stratum exactly once.
+  std::optional<int> min_failures;
+  /// Worker threads for the sweep; 0 = hardware concurrency, 1 = inline.
+  int num_threads = 0;
+  /// Optional shared connectivity cache. When null, the all-pairs finders
+  /// create a private one per call (pairs under the same failure set share
+  /// its component BFS); pass one in to also share it across calls.
+  ConnectivityOracle* oracle = nullptr;
 };
 
 struct Violation {
@@ -74,11 +93,5 @@ struct Violation {
 [[nodiscard]] std::optional<Violation> find_bounded_failure_violation(
     const Graph& g, const ForwardingPattern& pattern, int max_failures,
     const VerifyOptions& opts = {});
-
-/// Enumerates failure sets (exhaustive for small m, sampled otherwise),
-/// invoking fn until it returns true; returns whether the enumeration was
-/// exhaustive. Exposed for the adversarial searches.
-bool for_each_failure_set(const Graph& g, const VerifyOptions& opts,
-                          const std::function<bool(const IdSet&)>& fn);
 
 }  // namespace pofl

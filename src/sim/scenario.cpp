@@ -7,6 +7,7 @@
 #include "attacks/exhaustive.hpp"
 #include "attacks/pattern_corpus.hpp"
 #include "graph/bitmask.hpp"
+#include "graph/connectivity_oracle.hpp"
 
 namespace pofl {
 
@@ -21,9 +22,22 @@ std::vector<std::pair<VertexId, VertexId>> all_ordered_pairs(const Graph& g) {
   return pairs;
 }
 
+std::vector<std::pair<VertexId, VertexId>> all_touring_starts(const Graph& g) {
+  std::vector<std::pair<VertexId, VertexId>> starts;
+  starts.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) starts.emplace_back(v, kNoVertex);
+  return starts;
+}
+
 ExhaustiveFailureSource::ExhaustiveFailureSource(const Graph& g, int max_failures,
                                                  std::vector<std::pair<VertexId, VertexId>> pairs)
+    : ExhaustiveFailureSource(g, 0, max_failures, std::move(pairs)) {}
+
+ExhaustiveFailureSource::ExhaustiveFailureSource(const Graph& g, int min_failures,
+                                                 int max_failures,
+                                                 std::vector<std::pair<VertexId, VertexId>> pairs)
     : g_(&g),
+      min_failures_(std::max(0, min_failures)),
       max_failures_(std::min(max_failures, g.num_edges())),
       pairs_(std::move(pairs)) {
   if (g.num_edges() > 62) {
@@ -35,14 +49,19 @@ ExhaustiveFailureSource::ExhaustiveFailureSource(const Graph& g, int max_failure
 }
 
 std::string ExhaustiveFailureSource::name() const {
+  if (min_failures_ > 0) {
+    return "exhaustive[" + std::to_string(min_failures_) + ".." +
+           std::to_string(max_failures_) + "]";
+  }
   return "exhaustive<=" + std::to_string(max_failures_);
 }
 
 void ExhaustiveFailureSource::reset() {
-  size_ = 0;
-  mask_ = 0;
+  size_ = min_failures_;
   pair_index_ = 0;
-  exhausted_ = pairs_.empty() || max_failures_ < 0;
+  exhausted_ = pairs_.empty() || max_failures_ < min_failures_;
+  // Only shift when the stratum is live: max_failures_ <= 62 bounds size_.
+  mask_ = (!exhausted_ && size_ > 0) ? (uint64_t{1} << size_) - 1 : 0;
 }
 
 bool ExhaustiveFailureSource::advance_mask() {
@@ -78,7 +97,7 @@ int64_t ExhaustiveFailureSource::total_scenarios() const {
   __int128 sets = 0;
   __int128 binom = 1;  // C(m, 0)
   for (int k = 0; k <= max_failures_; ++k) {
-    sets += binom;
+    if (k >= min_failures_) sets += binom;
     binom = binom * (m - k) / (k + 1);
   }
   const __int128 total = sets * static_cast<__int128>(pairs_.size());
@@ -158,6 +177,58 @@ int RandomFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
   return appended;
 }
 
+SampledFailureSource::SampledFailureSource(const Graph& g, int max_failures, int samples,
+                                           uint64_t seed,
+                                           std::vector<std::pair<VertexId, VertexId>> pairs)
+    : g_(&g),
+      max_failures_(std::min(std::max(0, max_failures), g.num_edges())),
+      samples_(samples),
+      seed_(seed),
+      pairs_(std::move(pairs)),
+      rng_(seed),
+      current_(g.empty_edge_set()) {
+  reset();
+}
+
+std::string SampledFailureSource::name() const {
+  return "sampled<=" + std::to_string(max_failures_) + " x" + std::to_string(samples_);
+}
+
+void SampledFailureSource::reset() {
+  rng_.seed(seed_);
+  sample_index_ = 0;
+  pair_index_ = 0;
+  if (samples_ > 0 && !pairs_.empty()) {
+    // Legacy draw: uniform size k in [0, cap], then k edge ids with
+    // replacement — same RNG call sequence as the pre-engine verifier.
+    std::uniform_int_distribution<int> size_dist(0, max_failures_);
+    std::uniform_int_distribution<int> edge_dist(0, g_->num_edges() - 1);
+    current_ = g_->empty_edge_set();
+    const int k = size_dist(rng_);
+    for (int j = 0; j < k; ++j) current_.insert(edge_dist(rng_));
+  }
+}
+
+int SampledFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+  int appended = 0;
+  while (appended < max_batch && sample_index_ < samples_ && !pairs_.empty()) {
+    out.push_back(
+        Scenario{current_, pairs_[pair_index_].first, pairs_[pair_index_].second});
+    ++appended;
+    if (++pair_index_ == pairs_.size()) {
+      pair_index_ = 0;
+      if (++sample_index_ < samples_) {
+        std::uniform_int_distribution<int> size_dist(0, max_failures_);
+        std::uniform_int_distribution<int> edge_dist(0, g_->num_edges() - 1);
+        current_ = g_->empty_edge_set();
+        const int k = size_dist(rng_);
+        for (int j = 0; j < k; ++j) current_.insert(edge_dist(rng_));
+      }
+    }
+  }
+  return appended;
+}
+
 AdversarialCorpusSource::AdversarialCorpusSource(const Graph& g, RoutingModel model,
                                                  int max_budget, int random_variants,
                                                  uint64_t seed)
@@ -171,8 +242,11 @@ std::string AdversarialCorpusSource::name() const {
 void AdversarialCorpusSource::mine() {
   if (mined_) return;
   mined_ = true;
+  // Every corpus pattern re-enumerates the same failure sets; one oracle
+  // shared across the whole mining pass pays each component BFS once.
+  ConnectivityOracle oracle(*g_);
   for (const auto& pattern : make_pattern_corpus(model_, *g_, random_variants_, seed_)) {
-    const auto defeat = find_minimum_defeat_any_pair(*g_, *pattern, max_budget_);
+    const auto defeat = find_minimum_defeat_any_pair(*g_, *pattern, max_budget_, &oracle);
     if (!defeat.has_value()) continue;
     scenarios_.push_back(Scenario{defeat->failures, defeat->source, defeat->destination});
     defeated_.push_back(pattern->name());

@@ -55,22 +55,36 @@ class ScenarioSource {
 
   /// Rewinds the stream to the beginning (same sequence again).
   virtual void reset() = 0;
+
+  /// Scenarios a full stream yields, or -1 when unknown. A sizing hint only
+  /// — the engine uses it to avoid spawning more workers than there are
+  /// batches; it never affects results.
+  [[nodiscard]] virtual int64_t total_hint() const { return -1; }
 };
 
 /// All ordered (s, t) pairs with s != t — the default pair universe.
 [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> all_ordered_pairs(const Graph& g);
 
-/// Every failure set with |F| in [0, max_failures], enumerated in increasing
-/// cardinality (Gosper's hack), crossed with the given (source, destination)
-/// pairs. Requires m <= 62 edges.
+/// Every vertex as a touring start: pairs of (v, kNoVertex), which the
+/// sources cross with failure sets into touring scenarios.
+[[nodiscard]] std::vector<std::pair<VertexId, VertexId>> all_touring_starts(const Graph& g);
+
+/// Every failure set with |F| in [min_failures, max_failures], enumerated in
+/// increasing cardinality (Gosper's hack), crossed with the given
+/// (source, destination) pairs. Requires m <= 62 edges. A nonzero
+/// min_failures selects a stratum window, so incremental budget probes can
+/// sweep each cardinality exactly once.
 class ExhaustiveFailureSource final : public ScenarioSource {
  public:
   ExhaustiveFailureSource(const Graph& g, int max_failures,
+                          std::vector<std::pair<VertexId, VertexId>> pairs);
+  ExhaustiveFailureSource(const Graph& g, int min_failures, int max_failures,
                           std::vector<std::pair<VertexId, VertexId>> pairs);
 
   [[nodiscard]] std::string name() const override;
   int next_batch(int max_batch, std::vector<Scenario>& out) override;
   void reset() override;
+  [[nodiscard]] int64_t total_hint() const override { return total_scenarios(); }
 
   /// Number of scenarios the full stream yields (pairs x failure sets).
   [[nodiscard]] int64_t total_scenarios() const;
@@ -79,6 +93,7 @@ class ExhaustiveFailureSource final : public ScenarioSource {
   bool advance_mask();
 
   const Graph* g_;
+  int min_failures_;
   int max_failures_;
   std::vector<std::pair<VertexId, VertexId>> pairs_;
   int size_ = 0;
@@ -102,6 +117,11 @@ class RandomFailureSource final : public ScenarioSource {
   [[nodiscard]] std::string name() const override;
   int next_batch(int max_batch, std::vector<Scenario>& out) override;
   void reset() override;
+  [[nodiscard]] int64_t total_hint() const override {
+    return trials_per_pair_ > 0
+               ? static_cast<int64_t>(trials_per_pair_) * static_cast<int64_t>(pairs_.size())
+               : 0;
+  }
 
  private:
   RandomFailureSource(const Graph& g, bool exact, double p, int num_failures,
@@ -123,6 +143,37 @@ class RandomFailureSource final : public ScenarioSource {
   int trial_ = 0;
 };
 
+/// The refutation distribution of the sampled verifier: `samples` failure
+/// sets, each of uniform size in [0, max_failures] with edges drawn with
+/// replacement, crossed with the pair list failure-set-major (every pair sees
+/// draw i before draw i+1 is made). Matches the legacy verifier's RNG
+/// sequence exactly for a given seed, so sampled refutations stay
+/// reproducible across the engine migration.
+class SampledFailureSource final : public ScenarioSource {
+ public:
+  SampledFailureSource(const Graph& g, int max_failures, int samples, uint64_t seed,
+                       std::vector<std::pair<VertexId, VertexId>> pairs);
+
+  [[nodiscard]] std::string name() const override;
+  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  void reset() override;
+  [[nodiscard]] int64_t total_hint() const override {
+    return samples_ > 0 ? static_cast<int64_t>(samples_) * static_cast<int64_t>(pairs_.size())
+                        : 0;
+  }
+
+ private:
+  const Graph* g_;
+  int max_failures_;
+  int samples_;
+  uint64_t seed_;
+  std::vector<std::pair<VertexId, VertexId>> pairs_;
+  std::mt19937_64 rng_;
+  IdSet current_;
+  int sample_index_ = 0;
+  size_t pair_index_ = 0;
+};
+
 /// The minimum defeats of every attacks/pattern_corpus family on g: each
 /// corpus pattern is attacked once (find_minimum_defeat_any_pair, bounded by
 /// max_budget) and the resulting (F, s, t) triples become the scenario
@@ -137,6 +188,9 @@ class AdversarialCorpusSource final : public ScenarioSource {
   [[nodiscard]] std::string name() const override;
   int next_batch(int max_batch, std::vector<Scenario>& out) override;
   void reset() override;
+  [[nodiscard]] int64_t total_hint() const override {
+    return mined_ ? static_cast<int64_t>(scenarios_.size()) : -1;
+  }
 
   /// Corpus pattern names whose defeat made it into the stream (mines if
   /// needed). Parallel to the scenario order.
@@ -164,6 +218,9 @@ class FixedScenarioSource final : public ScenarioSource {
   [[nodiscard]] std::string name() const override { return name_; }
   int next_batch(int max_batch, std::vector<Scenario>& out) override;
   void reset() override { index_ = 0; }
+  [[nodiscard]] int64_t total_hint() const override {
+    return static_cast<int64_t>(scenarios_.size());
+  }
 
  private:
   std::vector<Scenario> scenarios_;

@@ -1,8 +1,13 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "graph/connectivity.hpp"
 #include "routing/simulator.hpp"
@@ -21,16 +26,27 @@ void SweepStats::merge(const SweepStats& other) {
   stretch_samples += other.stretch_samples;
   stretch_sum += other.stretch_sum;
   max_stretch = std::max(max_stretch, other.max_stretch);
+  oracle_hits += other.oracle_hits;
+  oracle_misses += other.oracle_misses;
 }
 
 namespace {
 
-void process_scenario(const Graph& g, const ForwardingPattern& pattern, const Scenario& sc,
-                      bool compute_stretch, SweepStats& stats) {
+/// Tallies one scenario into stats and reports whether it is a resilience
+/// violation (promise held, but not delivered / tour incomplete). The
+/// optional result captures feed find_first_violation's witness.
+bool process_scenario(const Graph& g, const ForwardingPattern& pattern, const Scenario& sc,
+                      const SweepOptions& opts, SweepStats& stats,
+                      RoutingResult* routing_out, TourResult* tour_out) {
   ++stats.total;
 
   if (sc.destination == kNoVertex) {
-    // Touring: the promise holds unconditionally (§VII).
+    // Touring: the promise holds unconditionally (§VII) unless a custom
+    // promise narrows it.
+    if (opts.promise && !opts.promise(g, sc)) {
+      ++stats.promise_broken;
+      return false;
+    }
     stats.failures_seen += sc.failures.count();
     const TourResult r = tour_packet(g, pattern, sc.failures, sc.source);
     if (r.success) {
@@ -41,35 +57,43 @@ void process_scenario(const Graph& g, const ForwardingPattern& pattern, const Sc
     } else {
       ++stats.looped;
     }
-    return;
+    if (tour_out != nullptr) *tour_out = r;
+    return !r.success;
   }
 
-  std::optional<int> dist;
-  if (compute_stretch) {
-    dist = distance(g, sc.source, sc.destination, sc.failures);
-    if (!dist.has_value()) {
-      ++stats.promise_broken;
-      return;
-    }
-  } else if (!connected(g, sc.source, sc.destination, sc.failures)) {
+  bool held;
+  if (opts.promise) {
+    held = opts.promise(g, sc);
+  } else if (opts.oracle != nullptr) {
+    held = opts.oracle->connected(sc.source, sc.destination, sc.failures);
+  } else {
+    held = connected(g, sc.source, sc.destination, sc.failures);
+  }
+  if (!held) {
     ++stats.promise_broken;
-    return;
+    return false;
   }
 
   stats.failures_seen += sc.failures.count();
   const RoutingResult r = route_packet(g, pattern, sc.failures, sc.source,
                                        Header{sc.source, sc.destination});
   switch (r.outcome) {
-    case RoutingOutcome::kDelivered:
+    case RoutingOutcome::kDelivered: {
       ++stats.delivered;
       stats.hops_delivered += r.hops;
-      if (compute_stretch && *dist >= 1) {
-        const double stretch = static_cast<double>(r.hops) / *dist;
-        ++stats.stretch_samples;
-        stats.stretch_sum += stretch;
-        stats.max_stretch = std::max(stats.max_stretch, stretch);
+      if (opts.compute_stretch) {
+        // BFS only on delivery: undelivered and promise-broken scenarios
+        // never need the distance.
+        const auto dist = distance(g, sc.source, sc.destination, sc.failures);
+        if (dist.has_value() && *dist >= 1) {
+          const double stretch = static_cast<double>(r.hops) / *dist;
+          ++stats.stretch_samples;
+          stats.stretch_sum += stretch;
+          stats.max_stretch = std::max(stats.max_stretch, stretch);
+        }
       }
       break;
+    }
     case RoutingOutcome::kLooped:
       ++stats.looped;
       break;
@@ -80,25 +104,74 @@ void process_scenario(const Graph& g, const ForwardingPattern& pattern, const Sc
       ++stats.invalid;
       break;
   }
+  if (routing_out != nullptr) *routing_out = r;
+  return r.outcome != RoutingOutcome::kDelivered;
+}
+
+/// Packs a (source, destination) pair into one map key; kNoVertex
+/// destinations (touring starts) pack like any other value.
+uint64_t pair_key(VertexId s, VertexId t) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(t));
+}
+
+/// Worker count: the requested number (0 = hardware concurrency), capped at
+/// one worker per batch when the source knows its size — spawning 64
+/// threads for a 3-batch stratum probe would cost more than the sweep.
+int resolve_threads(int requested, const ScenarioSource& source, int batch_size) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  const int64_t hint = source.total_hint();
+  if (hint >= 0) {
+    const int64_t batches = (hint + batch_size - 1) / batch_size;
+    threads = static_cast<int>(std::min<int64_t>(threads, std::max<int64_t>(1, batches)));
+  }
+  return threads;
+}
+
+void run_on_pool(int num_threads, const std::function<void()>& worker) {
+  if (num_threads == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
 }
 
 }  // namespace
 
-SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts) {}
+SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
 
 SweepStats SweepEngine::run(const Graph& g, const ForwardingPattern& pattern,
                             ScenarioSource& source) const {
-  const int requested = opts_.num_threads;
-  const int hardware = static_cast<int>(std::thread::hardware_concurrency());
-  const int num_threads = requested > 0 ? requested : std::max(1, hardware);
-  const int batch_size = std::max(1, opts_.batch_size);
+  return run_impl(g, pattern, source, /*collect_per_pair=*/false).totals;
+}
 
-  SweepStats global;
+SweepReport SweepEngine::run_report(const Graph& g, const ForwardingPattern& pattern,
+                                    ScenarioSource& source) const {
+  return run_impl(g, pattern, source, /*collect_per_pair=*/true);
+}
+
+SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& pattern,
+                                  ScenarioSource& source, bool collect_per_pair) const {
+  const int batch_size = std::max(1, opts_.batch_size);
+  const int num_threads = resolve_threads(opts_.num_threads, source, batch_size);
+
+  const int64_t oracle_hits_before = opts_.oracle != nullptr ? opts_.oracle->hits() : 0;
+  const int64_t oracle_misses_before = opts_.oracle != nullptr ? opts_.oracle->misses() : 0;
+
+  SweepReport report;
+  std::unordered_map<uint64_t, SweepStats> global_pairs;
   std::mutex source_mutex;
   std::mutex stats_mutex;
 
   auto worker = [&]() {
     SweepStats local;
+    std::unordered_map<uint64_t, SweepStats> local_pairs;
     std::vector<Scenario> batch;
     for (;;) {
       batch.clear();
@@ -107,22 +180,105 @@ SweepStats SweepEngine::run(const Graph& g, const ForwardingPattern& pattern,
         if (source.next_batch(batch_size, batch) == 0) break;
       }
       for (const Scenario& sc : batch) {
-        process_scenario(g, pattern, sc, opts_.compute_stretch, local);
+        SweepStats& target =
+            collect_per_pair ? local_pairs[pair_key(sc.source, sc.destination)] : local;
+        process_scenario(g, pattern, sc, opts_, target, nullptr, nullptr);
       }
     }
     const std::lock_guard<std::mutex> lock(stats_mutex);
-    global.merge(local);
+    if (collect_per_pair) {
+      // Totals are the merge of the pair rows, so the documented identity
+      // totals == sum(per_pair) holds by construction.
+      for (auto& [key, stats] : local_pairs) {
+        report.totals.merge(stats);
+        global_pairs[key].merge(stats);
+      }
+    } else {
+      report.totals.merge(local);
+    }
   };
 
-  if (num_threads == 1) {
-    worker();
-    return global;
+  run_on_pool(num_threads, worker);
+
+  if (opts_.oracle != nullptr) {
+    report.totals.oracle_hits = opts_.oracle->hits() - oracle_hits_before;
+    report.totals.oracle_misses = opts_.oracle->misses() - oracle_misses_before;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_threads));
-  for (int i = 0; i < num_threads; ++i) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
-  return global;
+
+  if (collect_per_pair) {
+    std::map<std::pair<VertexId, VertexId>, SweepStats> sorted;
+    for (auto& [key, stats] : global_pairs) {
+      const auto s = static_cast<VertexId>(static_cast<int32_t>(key >> 32));
+      const auto t = static_cast<VertexId>(static_cast<int32_t>(key & 0xffffffffu));
+      sorted.emplace(std::make_pair(s, t), stats);
+    }
+    report.per_pair.reserve(sorted.size());
+    for (auto& [pair, stats] : sorted) {
+      report.per_pair.push_back(PairStats{pair.first, pair.second, stats});
+    }
+  }
+  return report;
+}
+
+std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
+                                                              const ForwardingPattern& pattern,
+                                                              ScenarioSource& source) const {
+  const int batch_size = std::max(1, opts_.batch_size);
+  const int num_threads = resolve_threads(opts_.num_threads, source, batch_size);
+
+  // Deterministic early exit. `produced` is the stream position of the next
+  // unproduced scenario; `best` the smallest violating index found so far.
+  // Workers keep pulling while produced < best, so every scenario earlier
+  // than a candidate is still evaluated; a candidate only survives if no
+  // earlier scenario violates. Scenarios at index >= best are skipped — they
+  // cannot improve the minimum. The final `best` is therefore the global
+  // minimum violating index, independent of thread count and timing.
+  constexpr int64_t kNoViolation = std::numeric_limits<int64_t>::max();
+  std::atomic<int64_t> best{kNoViolation};
+  std::optional<SweepFinding> finding;
+  std::mutex source_mutex;
+  std::mutex best_mutex;
+  int64_t produced = 0;
+
+  auto worker = [&]() {
+    SweepStats scratch;
+    std::vector<Scenario> batch;
+    for (;;) {
+      int64_t start = 0;
+      int n = 0;
+      batch.clear();
+      {
+        const std::lock_guard<std::mutex> lock(source_mutex);
+        const int64_t remaining = best.load(std::memory_order_acquire) - produced;
+        if (remaining <= 0) break;
+        const int want =
+            static_cast<int>(std::min<int64_t>(batch_size, remaining));
+        n = source.next_batch(want, batch);
+        if (n == 0) break;
+        start = produced;
+        produced += n;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int64_t index = start + i;
+        if (index >= best.load(std::memory_order_relaxed)) break;
+        RoutingResult routing;
+        TourResult tour;
+        if (!process_scenario(g, pattern, batch[static_cast<size_t>(i)], opts_, scratch,
+                              &routing, &tour)) {
+          continue;
+        }
+        const std::lock_guard<std::mutex> lock(best_mutex);
+        if (index < best.load(std::memory_order_relaxed)) {
+          best.store(index, std::memory_order_release);
+          finding = SweepFinding{index, batch[static_cast<size_t>(i)], routing, tour};
+        }
+        break;  // later scenarios in this batch have larger indices
+      }
+    }
+  };
+
+  run_on_pool(num_threads, worker);
+  return finding;
 }
 
 }  // namespace pofl

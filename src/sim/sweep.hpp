@@ -13,15 +13,37 @@
 // The promise discipline matches the paper: a scenario whose failure set
 // disconnects s from t breaks the promise and is tallied separately — rates
 // are always conditioned on the promise holding (touring scenarios hold
-// unconditionally, §VII).
+// unconditionally, §VII). A custom promise predicate generalizes this to the
+// paper's other quantifier families (r-tolerance, distance promises), and a
+// shared ConnectivityOracle caches the default connectivity check across the
+// pairs and patterns that revisit the same failure set.
+//
+// Three entry points:
+//   run()                  aggregate tallies (the original mode);
+//   run_report()           the same plus per-(source, destination) breakdowns;
+//   find_first_violation() early-exit verification — stops the pool as soon
+//                          as the earliest violation in the canonical
+//                          scenario order is pinned down, with a result that
+//                          is invariant under the worker-thread count.
 
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
 
+#include "graph/connectivity_oracle.hpp"
 #include "graph/graph.hpp"
 #include "routing/forwarding.hpp"
+#include "routing/simulator.hpp"
 #include "sim/scenario.hpp"
 
 namespace pofl {
+
+/// Decides whether a scenario is inside the promise (violations only count
+/// inside it). Called concurrently from workers: must be pure. When unset,
+/// the default promise is "s and t connected in G \ F" for routing scenarios
+/// and "always" for touring scenarios.
+using PromiseCheck = std::function<bool(const Graph&, const Scenario&)>;
 
 struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency. 1 runs inline (no pool).
@@ -31,6 +53,12 @@ struct SweepOptions {
   /// Also BFS the surviving graph on each delivery to accumulate stretch
   /// (hops / dist_{G\F}(s, t)). Costs one BFS per delivered scenario.
   bool compute_stretch = false;
+  /// Shared connectivity cache for the default promise check. Scenario
+  /// streams are failure-set-major, so one cached component BFS answers the
+  /// promise for every pair under that failure set. Not owned.
+  ConnectivityOracle* oracle = nullptr;
+  /// Custom promise predicate; overrides the default connectivity check.
+  PromiseCheck promise;
 };
 
 /// Aggregate outcome tallies of one sweep. The integer counters satisfy
@@ -51,6 +79,13 @@ struct SweepStats {
   int64_t stretch_samples = 0;  // deliveries with dist >= 1 (stretch mode)
   double stretch_sum = 0.0;
   double max_stretch = 0.0;
+
+  // Connectivity-oracle accounting for this sweep (zero when no oracle is
+  // attached): hits are promise checks answered from the cache — i.e.
+  // disconnected scenarios skipped, and connected ones admitted, without
+  // repeating the BFS.
+  int64_t oracle_hits = 0;
+  int64_t oracle_misses = 0;
 
   [[nodiscard]] int64_t promise_held() const { return total - promise_broken; }
   [[nodiscard]] double delivery_rate() const { return rate(delivered); }
@@ -75,6 +110,33 @@ struct SweepStats {
   }
 };
 
+/// One (source, destination) row of a per-pair breakdown. Touring scenarios
+/// key on (start, kNoVertex). The oracle counters stay in the totals only.
+struct PairStats {
+  VertexId source = kNoVertex;
+  VertexId destination = kNoVertex;
+  SweepStats stats;
+};
+
+/// run_report() output: the aggregate plus per-pair rows sorted by
+/// (source, destination). totals equals the merge of all rows.
+struct SweepReport {
+  SweepStats totals;
+  std::vector<PairStats> per_pair;
+};
+
+/// The earliest violation of a sweep in canonical scenario order: the
+/// promise held (under the default or custom check) but the packet was not
+/// delivered / the tour did not complete. `index` is the 0-based position in
+/// the source's stream, minimal over all violations — identical for 1 and N
+/// worker threads.
+struct SweepFinding {
+  int64_t index = -1;
+  Scenario scenario;
+  RoutingResult routing;  // filled for routing scenarios
+  TourResult tour;        // filled for touring scenarios
+};
+
 class SweepEngine {
  public:
   explicit SweepEngine(SweepOptions opts = {});
@@ -84,9 +146,25 @@ class SweepEngine {
   [[nodiscard]] SweepStats run(const Graph& g, const ForwardingPattern& pattern,
                                ScenarioSource& source) const;
 
+  /// run() plus per-(source, destination) breakdowns.
+  [[nodiscard]] SweepReport run_report(const Graph& g, const ForwardingPattern& pattern,
+                                       ScenarioSource& source) const;
+
+  /// Early-exit verification sweep: returns the violation with the minimal
+  /// stream index, or nullopt if every promise-holding scenario delivered.
+  /// Workers race ahead speculatively, but a candidate at index i only stops
+  /// production once the stream position passes i and every earlier scenario
+  /// has been evaluated — so the reported violation is deterministic and
+  /// thread-count-invariant for any deterministic source.
+  [[nodiscard]] std::optional<SweepFinding> find_first_violation(
+      const Graph& g, const ForwardingPattern& pattern, ScenarioSource& source) const;
+
   [[nodiscard]] const SweepOptions& options() const { return opts_; }
 
  private:
+  [[nodiscard]] SweepReport run_impl(const Graph& g, const ForwardingPattern& pattern,
+                                     ScenarioSource& source, bool collect_per_pair) const;
+
   SweepOptions opts_;
 };
 

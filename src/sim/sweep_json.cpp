@@ -1,0 +1,209 @@
+#include "sim/sweep_json.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace pofl {
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        args.error = true;
+        return args;
+      }
+      args.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      // Unknown flags (misspellings, --json=path) must fail loudly, not
+      // silently become positionals.
+      args.error = true;
+      return args;
+    } else {
+      args.positional.emplace_back(argv[i]);
+    }
+  }
+  return args;
+}
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty() && needs_comma_.back()) out_ += ',';
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+  if (has_pending_key_) {
+    out_ += '"';
+    out_ += json_escape(pending_key_);
+    out_ += "\":";
+    has_pending_key_ = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  pending_key_ = k;
+  has_pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_json(JsonWriter& w, const SweepStats& stats) {
+  w.begin_object();
+  w.key("total").value(stats.total);
+  w.key("promise_broken").value(stats.promise_broken);
+  w.key("promise_held").value(stats.promise_held());
+  w.key("delivered").value(stats.delivered);
+  w.key("looped").value(stats.looped);
+  w.key("dropped").value(stats.dropped);
+  w.key("invalid").value(stats.invalid);
+  w.key("failures_seen").value(stats.failures_seen);
+  w.key("hops_delivered").value(stats.hops_delivered);
+  w.key("stretch_samples").value(stats.stretch_samples);
+  w.key("stretch_sum").value(stats.stretch_sum);
+  w.key("max_stretch").value(stats.max_stretch);
+  w.key("oracle_hits").value(stats.oracle_hits);
+  w.key("oracle_misses").value(stats.oracle_misses);
+  w.key("delivery_rate").value(stats.delivery_rate());
+  w.key("loop_rate").value(stats.loop_rate());
+  w.key("drop_rate").value(stats.drop_rate());
+  w.key("invalid_rate").value(stats.invalid_rate());
+  w.key("mean_failures").value(stats.mean_failures());
+  w.key("mean_hops").value(stats.mean_hops());
+  w.key("mean_stretch").value(stats.mean_stretch());
+  w.end_object();
+}
+
+void append_json(JsonWriter& w, const SweepReport& report) {
+  w.begin_object();
+  w.key("totals");
+  append_json(w, report.totals);
+  w.key("per_pair").begin_array();
+  for (const PairStats& row : report.per_pair) {
+    w.begin_object();
+    w.key("source").value(static_cast<int64_t>(row.source));
+    if (row.destination == kNoVertex) {
+      w.key("destination").null();
+    } else {
+      w.key("destination").value(static_cast<int64_t>(row.destination));
+    }
+    w.key("stats");
+    append_json(w, row.stats);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string to_json(const SweepStats& stats) {
+  JsonWriter w;
+  append_json(w, stats);
+  return w.str();
+}
+
+std::string to_json(const SweepReport& report) {
+  JsonWriter w;
+  append_json(w, report);
+  return w.str();
+}
+
+bool write_json_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << body << "\n";
+  return out.good();
+}
+
+}  // namespace pofl

@@ -1,0 +1,76 @@
+#pragma once
+
+// Machine-readable sweep results. A tiny dependency-free JSON writer plus
+// serializers for SweepStats / SweepReport, so the CLI and the bench drivers
+// can emit BENCH_*.json trajectories instead of being scraped from stdout.
+//
+// JSON shape (stable; documented in the README):
+//   SweepStats  -> {"total":..,"promise_broken":..,...,"delivery_rate":..}
+//   SweepReport -> {"totals":{...},"per_pair":[{"source":..,
+//                   "destination":..|null,"stats":{...}},...]}
+// Touring rows serialize their kNoVertex destination as null.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+
+namespace pofl {
+
+/// Shared command-line convention for the bench drivers:
+/// `<bench> [positional...] [--json <path>]`. One parser instead of six
+/// hand-rolled copies, with one behavior: a `--json` flag without a path is
+/// an error (reported on stderr by the caller), never a positional.
+struct BenchArgs {
+  std::string json_path;                 // empty when --json absent
+  std::vector<std::string> positional;   // everything that is not a flag
+  bool error = false;                    // --json without a path, or an unknown --flag
+};
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Append-style compact JSON writer. Keys and values are emitted in call
+/// order; commas and nesting are handled by the writer. No pretty-printing —
+/// consumers are scripts, not eyes.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key for the next value inside an object.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::string pending_key_;
+  bool has_pending_key_ = false;
+  std::vector<bool> needs_comma_;
+};
+
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Serializes the stats as one JSON object (counters plus derived rates).
+void append_json(JsonWriter& w, const SweepStats& stats);
+
+/// Serializes totals + per-pair rows.
+void append_json(JsonWriter& w, const SweepReport& report);
+
+[[nodiscard]] std::string to_json(const SweepStats& stats);
+[[nodiscard]] std::string to_json(const SweepReport& report);
+
+/// Writes `body` to `path`; returns false (and prints to stderr) on failure.
+bool write_json_file(const std::string& path, const std::string& body);
+
+}  // namespace pofl

@@ -1,0 +1,132 @@
+#include "graph/connectivity_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/bitmask.hpp"
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+
+namespace pofl {
+namespace {
+
+/// Exhaustively checks that the oracle agrees bit-for-bit with the uncached
+/// primitives on every failure set of g and every ordered pair.
+void check_exhaustive_agreement(const Graph& g) {
+  ConnectivityOracle oracle(g);
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    const IdSet failures = edge_mask_to_set(g, mask);
+    const auto cached = oracle.components_of(failures);
+    EXPECT_EQ(*cached, components(g, failures));
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(oracle.connected(u, v, failures), connected(g, u, v, failures))
+            << "mask=" << mask << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(ConnectivityOracle, AgreesWithUncachedConnectedOnK5Exhaustively) {
+  check_exhaustive_agreement(make_complete(5));  // 2^10 failure sets
+}
+
+TEST(ConnectivityOracle, AgreesWithUncachedConnectedOnK33Exhaustively) {
+  check_exhaustive_agreement(make_complete_bipartite(3, 3));  // 2^9 failure sets
+}
+
+TEST(ConnectivityOracle, CountsOneMissPerDistinctFailureSet) {
+  const Graph g = make_cycle(6);
+  ConnectivityOracle oracle(g);
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  // First pass: every set is a miss. Second pass: every set is a hit.
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    (void)oracle.components_of(edge_mask_to_set(g, mask));
+  }
+  EXPECT_EQ(oracle.misses(), static_cast<int64_t>(limit));
+  EXPECT_EQ(oracle.hits(), 0);
+  EXPECT_EQ(oracle.size(), static_cast<size_t>(limit));
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    (void)oracle.components_of(edge_mask_to_set(g, mask));
+  }
+  EXPECT_EQ(oracle.misses(), static_cast<int64_t>(limit));
+  EXPECT_EQ(oracle.hits(), static_cast<int64_t>(limit));
+}
+
+TEST(ConnectivityOracle, BoundedCapacityStaysCorrect) {
+  // With a tiny cap the oracle degrades to compute-without-insert but must
+  // keep answering correctly.
+  const Graph g = make_complete(4);
+  ConnectivityOracle oracle(g, /*max_entries=*/4);
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t mask = 0; mask < limit; ++mask) {
+      const IdSet failures = edge_mask_to_set(g, mask);
+      for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          ASSERT_EQ(oracle.connected(u, v, failures), connected(g, u, v, failures));
+        }
+      }
+    }
+  }
+  EXPECT_LE(oracle.size(), size_t{64});  // 4 entries per shard ceiling
+}
+
+TEST(ConnectivityOracle, ClearResetsCountersAndEntries) {
+  const Graph g = make_path(4);
+  ConnectivityOracle oracle(g);
+  (void)oracle.connected(0, 3, g.empty_edge_set());
+  (void)oracle.connected(1, 3, g.empty_edge_set());
+  EXPECT_EQ(oracle.misses(), 1);
+  EXPECT_EQ(oracle.hits(), 1);
+  oracle.clear();
+  EXPECT_EQ(oracle.misses(), 0);
+  EXPECT_EQ(oracle.hits(), 0);
+  EXPECT_EQ(oracle.size(), size_t{0});
+}
+
+TEST(ConnectivityOracle, EngineSweepWithOracleMatchesWithout) {
+  // The oracle is a pure cache: attaching it must not change a single
+  // counter of a multi-threaded sweep, and the sweep must record its
+  // hit/miss accounting.
+  const Graph g = make_complete(5);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+
+  // Budget 5 > the 4-edge-connectivity of K5, so some failure sets really
+  // disconnect pairs and exercise the promise-broken path through the cache.
+  ExhaustiveFailureSource plain_source(g, 5, all_ordered_pairs(g));
+  SweepOptions plain;
+  plain.num_threads = 4;
+  const SweepStats uncached = SweepEngine(plain).run(g, *pattern, plain_source);
+
+  ConnectivityOracle oracle(g);
+  ExhaustiveFailureSource oracle_source(g, 5, all_ordered_pairs(g));
+  SweepOptions with_oracle;
+  with_oracle.num_threads = 4;
+  with_oracle.oracle = &oracle;
+  const SweepStats cached = SweepEngine(with_oracle).run(g, *pattern, oracle_source);
+
+  EXPECT_EQ(uncached.total, cached.total);
+  EXPECT_EQ(uncached.promise_broken, cached.promise_broken);
+  EXPECT_EQ(uncached.delivered, cached.delivered);
+  EXPECT_EQ(uncached.looped, cached.looped);
+  EXPECT_EQ(uncached.dropped, cached.dropped);
+  EXPECT_EQ(uncached.invalid, cached.invalid);
+  EXPECT_EQ(uncached.oracle_hits, 0);
+  EXPECT_EQ(uncached.oracle_misses, 0);
+  // Every routing scenario runs exactly one promise check through the cache.
+  EXPECT_EQ(cached.oracle_hits + cached.oracle_misses, cached.total);
+  // Scenarios are failure-set-major: each failure set is BFSed once, all
+  // later pairs hit — including the disconnected sets that get skipped.
+  EXPECT_GT(cached.oracle_hits, 0);
+  EXPECT_GT(cached.promise_broken, 0);
+  EXPECT_LT(cached.oracle_misses, cached.total);
+}
+
+}  // namespace
+}  // namespace pofl

@@ -183,6 +183,160 @@ TEST(SweepEngine, TouringScenariosTallyAsDeliveries) {
   EXPECT_EQ(stats.promise_broken, 0);
 }
 
+TEST(ExhaustiveFailureSource, StratumWindowCoversExactlyTheRequestedCardinalities) {
+  const Graph g = make_complete(4);  // m = 6
+  ExhaustiveFailureSource stratum(g, 2, 2, {{0, 1}});
+  EXPECT_EQ(stratum.total_scenarios(), 15);  // C(6,2)
+  std::vector<Scenario> all;
+  while (stratum.next_batch(4, all) > 0) {
+  }
+  ASSERT_EQ(all.size(), 15u);
+  for (const Scenario& sc : all) EXPECT_EQ(sc.failures.count(), 2);
+
+  // Concatenating the strata [0,1] and [2,3] replays the full [0,3] stream.
+  ExhaustiveFailureSource low(g, 0, 1, {{0, 1}});
+  ExhaustiveFailureSource high(g, 2, 3, {{0, 1}});
+  ExhaustiveFailureSource full(g, 0, 3, {{0, 1}});
+  std::vector<Scenario> split, whole;
+  while (low.next_batch(8, split) > 0) {
+  }
+  while (high.next_batch(8, split) > 0) {
+  }
+  while (full.next_batch(8, whole) > 0) {
+  }
+  ASSERT_EQ(split.size(), whole.size());
+  for (size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(split[i].failures, whole[i].failures) << i;
+  }
+}
+
+/// Gives up the moment any incident link has failed — guaranteed violations
+/// whenever an off-route failure keeps the promise intact.
+class PanicTowardHigher final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "panic"; }
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId /*inport*/,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    if (!local_failures.empty()) return std::nullopt;  // panic
+    for (EdgeId e : g.incident_edges(at)) {
+      if (g.other_endpoint(e, at) == at + 1 && header.destination > at) return e;
+    }
+    return std::nullopt;
+  }
+};
+
+TEST(SweepEngineEarlyExit, FirstViolationIsIdenticalForOneAndManyThreads) {
+  // The panic pattern violates perfect resilience on a path; whatever the
+  // engine reports first must be bit-identical no matter the thread count.
+  const Graph g = make_path(5);
+  PanicTowardHigher panic;
+  const ForwardingPattern* pattern = &panic;
+
+  auto find_with = [&](int num_threads) {
+    ExhaustiveFailureSource source(g, g.num_edges(), all_ordered_pairs(g));
+    return SweepEngine(threads(num_threads)).find_first_violation(g, *pattern, source);
+  };
+
+  const auto one = find_with(1);
+  ASSERT_TRUE(one.has_value());
+  for (int n : {2, 4, 8}) {
+    const auto many = find_with(n);
+    ASSERT_TRUE(many.has_value()) << n << " threads";
+    EXPECT_EQ(many->index, one->index) << n << " threads";
+    EXPECT_EQ(many->scenario.failures, one->scenario.failures) << n << " threads";
+    EXPECT_EQ(many->scenario.source, one->scenario.source) << n << " threads";
+    EXPECT_EQ(many->scenario.destination, one->scenario.destination) << n << " threads";
+    EXPECT_EQ(many->routing.outcome, one->routing.outcome) << n << " threads";
+  }
+}
+
+TEST(SweepEngineEarlyExit, PerfectPatternYieldsNoFinding) {
+  const Graph k5 = make_complete(5);
+  const auto alg1 = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource source(k5, k5.num_edges(), pairs);
+  EXPECT_FALSE(
+      SweepEngine(threads(4)).find_first_violation(k5, *alg1, source).has_value());
+}
+
+TEST(SweepEngineEarlyExit, FindingIndexIsTheMinimalStreamPosition) {
+  // Plant violations at known stream positions via a fixed source: a
+  // disconnected pair first (promise broken — not a violation), then two
+  // undeliverable scenarios. The earliest violation, index 1, must win.
+  const Graph g = make_path(3);  // edges 0:(0-1), 1:(1-2)
+  IdSet cut = g.empty_edge_set();
+  cut.insert(1);
+  class NeverForward final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+    [[nodiscard]] std::string name() const override { return "never"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph&, VertexId, EdgeId, const IdSet&,
+                                                const Header&) const override {
+      return std::nullopt;
+    }
+  };
+  NeverForward never;
+  FixedScenarioSource source({
+      Scenario{cut, 0, 2},                  // promise broken
+      Scenario{cut, 0, 1},                  // dropped -> violation at index 1
+      Scenario{g.empty_edge_set(), 0, 2},   // also a violation, later
+  });
+  const auto finding = SweepEngine(threads(3)).find_first_violation(g, never, source);
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_EQ(finding->index, 1);
+  EXPECT_EQ(finding->scenario.source, 0);
+  EXPECT_EQ(finding->scenario.destination, 1);
+  EXPECT_EQ(finding->routing.outcome, RoutingOutcome::kDropped);
+}
+
+TEST(SweepReportPerPair, RowsSumToTotalsAndMatchPlainRun) {
+  const Graph g = make_cycle(6);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+
+  ExhaustiveFailureSource source(g, 2, all_ordered_pairs(g));
+  const SweepStats plain = SweepEngine(threads(1)).run(g, *pattern, source);
+
+  auto report_with = [&](int num_threads) {
+    ExhaustiveFailureSource src(g, 2, all_ordered_pairs(g));
+    return SweepEngine(threads(num_threads)).run_report(g, *pattern, src);
+  };
+  const SweepReport one = report_with(1);
+  const SweepReport many = report_with(4);
+
+  EXPECT_EQ(one.per_pair.size(), all_ordered_pairs(g).size());
+  SweepStats sum;
+  for (const PairStats& row : one.per_pair) sum.merge(row.stats);
+  EXPECT_EQ(sum.total, plain.total);
+  EXPECT_EQ(sum.delivered, plain.delivered);
+  EXPECT_EQ(sum.promise_broken, plain.promise_broken);
+  EXPECT_EQ(one.totals.total, plain.total);
+  EXPECT_EQ(one.totals.delivered, plain.delivered);
+
+  ASSERT_EQ(many.per_pair.size(), one.per_pair.size());
+  for (size_t i = 0; i < one.per_pair.size(); ++i) {
+    EXPECT_EQ(many.per_pair[i].source, one.per_pair[i].source);
+    EXPECT_EQ(many.per_pair[i].destination, one.per_pair[i].destination);
+    EXPECT_EQ(many.per_pair[i].stats.total, one.per_pair[i].stats.total);
+    EXPECT_EQ(many.per_pair[i].stats.delivered, one.per_pair[i].stats.delivered);
+    EXPECT_EQ(many.per_pair[i].stats.promise_broken, one.per_pair[i].stats.promise_broken);
+  }
+}
+
+TEST(SweepEngineCustomPromise, PromisePredicateNarrowsTheScenarioSpace) {
+  // A promise that rejects every scenario tallies everything promise_broken.
+  const Graph g = make_cycle(4);
+  const auto pattern = make_id_cyclic_pattern(RoutingModel::kDestinationOnly);
+  ExhaustiveFailureSource source(g, 1, all_ordered_pairs(g));
+  SweepOptions opts = threads(2);
+  opts.promise = [](const Graph&, const Scenario&) { return false; };
+  const SweepStats stats = SweepEngine(opts).run(g, *pattern, source);
+  EXPECT_EQ(stats.promise_broken, stats.total);
+  EXPECT_EQ(stats.delivered, 0);
+}
+
 TEST(AdversarialCorpusSource, MinedDefeatsKeepThePromiseAndDefeatTheirPattern) {
   const Graph g = make_cycle(5);
   AdversarialCorpusSource source(g, RoutingModel::kDestinationOnly, /*max_budget=*/2,
