@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   using namespace pofl;
 
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error) {
+  if (args.error || args.threads_set) {  // classification is minor search: no threaded sweeps
     std::fprintf(stderr, "usage: %s [graphml-dir] [--json <path>]\n", argv[0]);
     return 2;
   }

@@ -75,10 +75,12 @@ int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
   if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
+  VerifyOptions vopts;
+  vopts.num_threads = args.num_threads;
   JsonWriter json;
   json.begin_object();
   json.key("bench").value("fig9_landscape");
@@ -92,13 +94,13 @@ int main(int argc, char** argv) {
   {
     const Graph c8 = make_cycle(8);
     const auto rh = make_outerplanar_touring(c8);
-    const bool ok = !find_touring_violation(c8, *rh).has_value();
+    const bool ok = !find_touring_violation(c8, *rh, vopts).has_value();
     std::printf("  outerplanar (C8 + right-hand rule): %s\n", verified_possible(ok));
     log.possible("touring", "C8", ok);
 
     const Graph mop = make_random_maximal_outerplanar(8, 3);
     const auto rh2 = make_outerplanar_touring(mop);
-    const bool ok2 = !find_touring_violation(mop, *rh2).has_value();
+    const bool ok2 = !find_touring_violation(mop, *rh2, vopts).has_value();
     std::printf("  maximal outerplanar n=8:            %s\n", verified_possible(ok2));
     log.possible("touring", "maximal-outerplanar-8", ok2);
 
@@ -125,12 +127,12 @@ int main(int argc, char** argv) {
   {
     const Graph k5m2 = make_complete_minus(5, 2);
     const auto p1 = make_k5m2_dest_pattern(k5m2);
-    const bool ok1 = p1 && !find_resilience_violation(k5m2, *p1).has_value();
+    const bool ok1 = p1 && !find_resilience_violation(k5m2, *p1, vopts).has_value();
     std::printf("  K5^-2  (Theorem 12 table):          %s\n", verified_possible(ok1));
     log.possible("destination", "K5^-2", ok1);
     const Graph k33m2 = make_complete_bipartite_minus(3, 3, 2);
     const auto p2 = make_k33m2_dest_pattern(k33m2);
-    const bool ok2 = p2 && !find_resilience_violation(k33m2, *p2).has_value();
+    const bool ok2 = p2 && !find_resilience_violation(k33m2, *p2, vopts).has_value();
     std::printf("  K3,3^-2 (Theorem 13 relay):         %s\n", verified_possible(ok2));
     log.possible("destination", "K3,3^-2", ok2);
 
@@ -157,12 +159,12 @@ int main(int argc, char** argv) {
   {
     const Graph k5 = make_complete(5);
     const auto alg1 = make_algorithm1_k5();
-    const bool ok1 = !find_resilience_violation(k5, *alg1).has_value();
+    const bool ok1 = !find_resilience_violation(k5, *alg1, vopts).has_value();
     std::printf("  K5   (Algorithm 1):                 %s\n", verified_possible(ok1));
     log.possible("source-destination", "K5", ok1);
     const Graph k33 = make_complete_bipartite(3, 3);
     const auto tab = make_k33_source_pattern();
-    const bool ok2 = !find_resilience_violation(k33, *tab).has_value();
+    const bool ok2 = !find_resilience_violation(k33, *tab, vopts).has_value();
     std::printf("  K3,3 (Theorem 9 tables):            %s\n", verified_possible(ok2));
     log.possible("source-destination", "K3,3", ok2);
 

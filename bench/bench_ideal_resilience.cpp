@@ -41,10 +41,11 @@ using namespace pofl;
 /// The first step covers |F| in {0, 1} so the failure-free stratum is
 /// checked too.
 int measured_tolerance(const Graph& g, const ForwardingPattern& p, int probe_to,
-                       ConnectivityOracle& oracle) {
+                       ConnectivityOracle& oracle, int num_threads) {
   for (int f = 1; f <= probe_to; ++f) {
     VerifyOptions opts;
     opts.oracle = &oracle;
+    opts.num_threads = num_threads;
     if (g.num_edges() <= 21) {
       opts.max_exhaustive_edges = g.num_edges();
       opts.min_failures = f == 1 ? 0 : f;  // only strata not yet verified clean
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
   if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
@@ -92,9 +93,9 @@ int main(int argc, char** argv) {
     const auto sweep = make_chiesa_complete_pattern();
     const auto sp = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
     const int probe = n;  // beyond k-1 by one
-    const int t_arb = arb ? measured_tolerance(g, *arb, probe, oracle) : -1;
-    const int t_sweep = measured_tolerance(g, *sweep, probe, oracle);
-    const int t_sp = measured_tolerance(g, *sp, probe, oracle);
+    const int t_arb = arb ? measured_tolerance(g, *arb, probe, oracle, args.num_threads) : -1;
+    const int t_sweep = measured_tolerance(g, *sweep, probe, oracle, args.num_threads);
+    const int t_sp = measured_tolerance(g, *sp, probe, oracle, args.num_threads);
     std::printf("%4d %6d | %14d %14d %14d\n", n, n - 2, t_arb, t_sweep, t_sp);
     const std::string name = "K" + std::to_string(n);
     emit_row(name, n - 2, "arborescence", t_arb);
@@ -114,9 +115,9 @@ int main(int argc, char** argv) {
     const auto arb = ArborescenceRoutingPattern::build(g, 4, 9);
     const auto relay = make_chiesa_bipartite_pattern(4, 4);
     const auto sp = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
-    const int t_arb = arb ? measured_tolerance(g, *arb, 4, oracle) : -1;
-    const int t_relay = measured_tolerance(g, *relay, 4, oracle);
-    const int t_sp = measured_tolerance(g, *sp, 4, oracle);
+    const int t_arb = arb ? measured_tolerance(g, *arb, 4, oracle, args.num_threads) : -1;
+    const int t_relay = measured_tolerance(g, *relay, 4, oracle, args.num_threads);
+    const int t_sp = measured_tolerance(g, *sp, 4, oracle, args.num_threads);
     std::printf("arborescence:   %d\n", t_arb);
     std::printf("bipartite-relay:%d\n", t_relay);
     std::printf("shortest-path:  %d\n", t_sp);

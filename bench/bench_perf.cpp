@@ -1,12 +1,29 @@
-// P1 — engineering microbenchmarks (google-benchmark): the primitives the
-// reproduction leans on. Not a paper artifact; tracks the cost of planarity
-// testing, minor search, packet simulation and scenario sweeping. All
-// simulation throughput numbers go through the SweepEngine, including a
-// thread-scaling series.
+// P1 — engineering benchmarks for the primitives the reproduction leans on,
+// centered on packet-simulation throughput. Not a paper artifact.
+//
+// The headline section compares two implementations of the same sweeps:
+//
+//   * baseline — a frozen copy of the pre-fast-path simulator (per-packet
+//     StateIndex construction, per-hop IdSet allocations, linear in-port
+//     lookup) driven by the same scenario streams, single-threaded;
+//   * fast     — the SweepEngine on the zero-allocation path (per-graph
+//     SimContext, per-worker RoutingWorkspace), at 1 and N threads.
+//
+// The driver *asserts* that all three produce bit-identical SweepStats and
+// exits nonzero otherwise, so the speedup numbers can never come from
+// diverging semantics. `--json <path>` writes every number machine-readably
+// (BENCH_perf.json in CI); `--threads <n>` sets the multi-threaded arm.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "attacks/pattern_corpus.hpp"
+#include "classify/zoo.hpp"
 #include "graph/builders.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/minors.hpp"
@@ -15,132 +32,369 @@
 #include "routing/simulator.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
+#include "sim/sweep_json.hpp"
 
 namespace {
 
 using namespace pofl;
+using Clock = std::chrono::steady_clock;
 
-void BM_PlanarityRandomPlanar(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Graph g = make_random_planar(n, 2 * n, 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(is_planar(g));
+// ---- frozen pre-fast-path reference simulator ------------------------------
+// Verbatim behavior of the original route_packet: allocates a StateIndex and
+// a seen vector per packet, two IdSets per hop, and finds the in-port by
+// linear search. Kept here (not in the library) as the honest baseline.
+
+Header reference_masked(const Header& header, RoutingModel model) {
+  Header h = header;
+  switch (model) {
+    case RoutingModel::kSourceDestination:
+      break;
+    case RoutingModel::kDestinationOnly:
+      h.source = kNoVertex;
+      break;
+    case RoutingModel::kTouring:
+      h.source = kNoVertex;
+      h.destination = kNoVertex;
+      break;
+  }
+  return h;
+}
+
+class ReferenceStateIndex {
+ public:
+  explicit ReferenceStateIndex(const Graph& g)
+      : offset_(static_cast<size_t>(g.num_vertices()) + 1) {
+    int running = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      offset_[static_cast<size_t>(v)] = running;
+      running += g.degree(v) + 1;
+    }
+    offset_[static_cast<size_t>(g.num_vertices())] = running;
+  }
+
+  [[nodiscard]] int total() const { return offset_.back(); }
+
+  [[nodiscard]] int id(const Graph& g, VertexId v, EdgeId inport) const {
+    if (inport == kNoEdge) return offset_[static_cast<size_t>(v)];
+    const auto inc = g.incident_edges(v);
+    const auto it = std::find(inc.begin(), inc.end(), inport);
+    return offset_[static_cast<size_t>(v)] + 1 + static_cast<int>(it - inc.begin());
+  }
+
+ private:
+  std::vector<int> offset_;
+};
+
+RoutingResult reference_route_packet(const Graph& g, const ForwardingPattern& pattern,
+                                     const IdSet& failures, VertexId source, Header header) {
+  const Header visible = reference_masked(header, pattern.model());
+  const VertexId destination = header.destination;
+
+  RoutingResult result;
+  result.walk.push_back(source);
+  if (source == destination) {
+    result.outcome = RoutingOutcome::kDelivered;
+    return result;
+  }
+
+  ReferenceStateIndex states(g);
+  std::vector<char> seen(static_cast<size_t>(states.total()), 0);
+
+  VertexId at = source;
+  EdgeId inport = kNoEdge;
+  while (true) {
+    const int sid = states.id(g, at, inport);
+    if (seen[static_cast<size_t>(sid)]) {
+      result.outcome = RoutingOutcome::kLooped;
+      return result;
+    }
+    seen[static_cast<size_t>(sid)] = 1;
+
+    const IdSet local = failures & g.incident_edge_set(at);
+    const auto out = pattern.forward(g, at, inport, local, visible);
+    if (!out.has_value()) {
+      result.outcome = RoutingOutcome::kDropped;
+      return result;
+    }
+    const EdgeId oe = *out;
+    const bool incident =
+        oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
+    if (!incident || failures.contains(oe)) {
+      result.outcome = RoutingOutcome::kInvalidForward;
+      return result;
+    }
+    at = g.other_endpoint(oe, at);
+    inport = oe;
+    ++result.hops;
+    result.walk.push_back(at);
+    if (at == destination) {
+      result.outcome = RoutingOutcome::kDelivered;
+      return result;
+    }
   }
 }
-BENCHMARK(BM_PlanarityRandomPlanar)->Arg(50)->Arg(200)->Arg(754);
 
-void BM_OuterplanarityCheck(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Graph g = make_random_outerplanar(n, 3 * n / 2, 9);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(is_outerplanar(g));
+/// The pre-fast-path sweep loop: same promise discipline and tallies as the
+/// engine (compute_stretch off, no oracle), single-threaded, one allocating
+/// reference_route_packet call per promise-holding scenario.
+SweepStats run_reference_sweep(const Graph& g, const ForwardingPattern& pattern,
+                               ScenarioSource& source) {
+  SweepStats stats;
+  std::vector<Scenario> batch;
+  for (;;) {
+    batch.clear();
+    if (source.next_batch(256, batch) == 0) break;
+    for (const Scenario& sc : batch) {
+      ++stats.total;
+      if (!connected(g, sc.source, sc.destination, sc.failures)) {
+        ++stats.promise_broken;
+        continue;
+      }
+      stats.failures_seen += sc.failures.count();
+      const RoutingResult r = reference_route_packet(g, pattern, sc.failures, sc.source,
+                                                     Header{sc.source, sc.destination});
+      stats.tally_route(r.outcome, r.hops);
+    }
   }
+  return stats;
 }
-BENCHMARK(BM_OuterplanarityCheck)->Arg(50)->Arg(200);
 
-void BM_ExactMinorK4(benchmark::State& state) {
-  const Graph g = make_random_connected(10, 16, 5);
-  const Graph k4 = make_complete(4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(find_minor_exact(g, k4));
-  }
-}
-BENCHMARK(BM_ExactMinorK4);
+// ---- measurement harness ---------------------------------------------------
 
-void BM_HeuristicMinorK5m1(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Graph g = make_random_planar(n, 2 * n, 11);
-  const Graph k5m1 = make_complete_minus(5, 1);
-  uint64_t seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(find_minor_heuristic(g, k5m1, seed++, 4));
-  }
-}
-BENCHMARK(BM_HeuristicMinorK5m1)->Arg(50)->Arg(200);
+struct Measured {
+  double packets_per_sec = 0.0;
+  SweepStats stats;  // from the last run (identical across runs by design)
+};
 
-void BM_EdgeConnectivity(benchmark::State& state) {
-  const Graph g = make_complete(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(edge_connectivity(g, 0, 1, g.empty_edge_set()));
-  }
-}
-BENCHMARK(BM_EdgeConnectivity)->Arg(7)->Arg(13)->Arg(20);
-
-void BM_RoutePacketK5(benchmark::State& state) {
-  const Graph k5 = make_complete(5);
-  const auto pattern = make_algorithm1_k5();
-  const IdSet failures = failures_between(k5, {{0, 4}, {0, 1}, {1, 4}});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(route_packet(k5, *pattern, failures, 0, Header{0, 4}));
-  }
-}
-BENCHMARK(BM_RoutePacketK5);
-
-// Exhaustive perfect-resilience verification of Algorithm 1 on K5, expressed
-// as a full 2^10 x pairs sweep through the engine (replaces the bespoke
-// find_resilience_violation loop benchmark).
-void BM_SweepExhaustiveK5(benchmark::State& state) {
-  const Graph k5 = make_complete(5);
-  const auto pattern = make_algorithm1_k5();
-  std::vector<std::pair<VertexId, VertexId>> pairs;
-  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
-  SweepOptions opts;
-  opts.num_threads = static_cast<int>(state.range(0));
-  const SweepEngine engine(opts);
-  ExhaustiveFailureSource source(k5, k5.num_edges(), pairs);
+/// One timed measurement: runs `sweep_once` (which must reset + drain the
+/// source and return its stats) repeatedly until ~0.25 s has elapsed, after
+/// one warmup run.
+template <typename F>
+Measured measure_sweep_once(F&& sweep_once) {
+  Measured m;
+  m.stats = sweep_once();  // warmup; also captures the stats
   int64_t scenarios = 0;
-  for (auto _ : state) {
-    source.reset();
-    const SweepStats stats = engine.run(k5, *pattern, source);
-    scenarios += stats.total;
-    benchmark::DoNotOptimize(stats);
-  }
-  state.SetItemsProcessed(scenarios);
+  int runs = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    const SweepStats s = sweep_once();
+    scenarios += s.total;
+    ++runs;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.25 || runs < 2);
+  m.packets_per_sec = static_cast<double>(scenarios) / elapsed;
+  return m;
 }
-BENCHMARK(BM_SweepExhaustiveK5)->Arg(1)->Arg(2)->Arg(4);
 
-// Monte Carlo sweep throughput on K8 with the id-cyclic corpus family
-// (replaces the bespoke route_packet throughput loop).
-void BM_SweepRandomK8(benchmark::State& state) {
-  const Graph g = make_complete(8);
-  const auto pattern = make_id_cyclic_pattern(RoutingModel::kSourceDestination);
-  SweepOptions opts;
-  opts.num_threads = static_cast<int>(state.range(0));
-  const SweepEngine engine(opts);
-  auto source = RandomFailureSource::iid(g, 0.15, /*trials_per_pair=*/200, /*seed=*/5,
-                                         all_ordered_pairs(g));
-  int64_t scenarios = 0;
-  for (auto _ : state) {
-    source.reset();
-    const SweepStats stats = engine.run(g, *pattern, source);
-    scenarios += stats.total;
-    benchmark::DoNotOptimize(stats);
-  }
-  state.SetItemsProcessed(scenarios);
+/// Times a thunk in ns/op, repeating until ~0.2 s has elapsed.
+template <typename F>
+double measure_ns(F&& op) {
+  op();  // warmup
+  int64_t ops = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++ops;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.2);
+  return elapsed * 1e9 / static_cast<double>(ops);
 }
-BENCHMARK(BM_SweepRandomK8)->Arg(1)->Arg(2)->Arg(4);
 
-// Stretch-instrumented sweep (adds one BFS per delivered scenario).
-void BM_SweepStretchRing(benchmark::State& state) {
-  const Graph g = make_ring_with_chords(24, 6, 3);
-  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
-  SweepOptions opts;
-  opts.num_threads = static_cast<int>(state.range(0));
-  opts.compute_stretch = true;
-  const SweepEngine engine(opts);
-  auto source = RandomFailureSource::exact_count(g, 2, /*trials_per_pair=*/50, /*seed=*/9,
-                                                 {{0, 12}, {3, 20}, {7, 15}});
-  int64_t scenarios = 0;
-  for (auto _ : state) {
-    source.reset();
-    const SweepStats stats = engine.run(g, *pattern, source);
-    scenarios += stats.total;
-    benchmark::DoNotOptimize(stats);
-  }
-  state.SetItemsProcessed(scenarios);
+bool stats_identical(const SweepStats& a, const SweepStats& b) {
+  return a.total == b.total && a.promise_broken == b.promise_broken &&
+         a.delivered == b.delivered && a.looped == b.looped && a.dropped == b.dropped &&
+         a.invalid == b.invalid && a.failures_seen == b.failures_seen &&
+         a.hops_delivered == b.hops_delivered && a.stretch_samples == b.stretch_samples &&
+         a.stretch_sum == b.stretch_sum && a.max_stretch == b.max_stretch;
 }
-BENCHMARK(BM_SweepStretchRing)->Arg(1)->Arg(2);
+
+struct Workload {
+  std::string name;
+  const Graph* g;
+  const ForwardingPattern* pattern;
+  ScenarioSource* source;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace pofl;
+  const BenchArgs args = parse_bench_args(argc, argv);
+  if (args.error || !args.positional.empty()) {
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
+    return 2;
+  }
+  const int mt_threads = args.num_threads > 0 ? args.num_threads : 4;
+
+  // -- workloads -------------------------------------------------------------
+
+  // Exhaustive K5: Algorithm 1's machine-checked theorem sweep, all 2^10
+  // failure sets x the 4 (s, 4) pairs.
+  const Graph k5 = make_complete(5);
+  const auto k5_pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> k5_pairs;
+  for (VertexId s = 0; s < 4; ++s) k5_pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource k5_source(k5, k5.num_edges(), k5_pairs);
+
+  // Exhaustive K3,3: all 2^9 failure sets x all 30 ordered pairs.
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto k33_pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  ExhaustiveFailureSource k33_source(k33, k33.num_edges(), all_ordered_pairs(k33));
+
+  // Sampled zoo: Monte Carlo failures on a mid-size synthetic Topology Zoo
+  // network (the §VIII regime), a spread of pairs.
+  const auto zoo = make_synthetic_zoo();
+  const NamedGraph* zoo_pick = &zoo.front();
+  for (const NamedGraph& ng : zoo) {
+    if (ng.graph.num_vertices() >= 40 && ng.graph.num_vertices() <= 80) {
+      zoo_pick = &ng;
+      break;
+    }
+  }
+  const Graph& zg = zoo_pick->graph;
+  const auto zoo_pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, zg);
+  std::vector<std::pair<VertexId, VertexId>> zoo_pairs;
+  const int step = std::max(1, zg.num_vertices() / 8);
+  for (VertexId s = 0; s < zg.num_vertices(); s += step) {
+    for (VertexId t = 0; t < zg.num_vertices(); t += step) {
+      if (s != t) zoo_pairs.emplace_back(s, t);
+    }
+  }
+  auto zoo_source = RandomFailureSource::iid(zg, 0.05, /*trials_per_pair=*/40, /*seed=*/7,
+                                             zoo_pairs);
+
+  const Workload workloads[] = {
+      {"k5_exhaustive", &k5, k5_pattern.get(), &k5_source},
+      {"k33_exhaustive", &k33, k33_pattern.get(), &k33_source},
+      {"zoo_sampled", &zg, zoo_pattern.get(), &zoo_source},
+  };
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("perf");
+  json.key("threads_mt").value(mt_threads);
+  json.key("zoo_graph").value(zoo_pick->name);
+  json.key("rows").begin_array();
+
+  std::printf("=== Packet-simulation throughput: baseline vs zero-allocation fast path ===\n");
+  std::printf("(zoo graph: %s, n=%d m=%d; mt arm uses %d threads)\n\n", zoo_pick->name.c_str(),
+              zg.num_vertices(), zg.num_edges(), mt_threads);
+  std::printf("%-16s %12s | %14s %14s %14s | %8s %8s\n", "workload", "scenarios", "baseline/s",
+              "fast 1t/s", "fast mt/s", "x 1t", "x mt");
+
+  bool all_identical = true;
+  for (const Workload& w : workloads) {
+    // The three arms are measured interleaved (A/B/C, three rounds) and
+    // each arm keeps its best round: symmetric best-of defuses the noise a
+    // shared box injects into a single long measurement.
+    SweepOptions opts1;
+    opts1.num_threads = 1;
+    const SweepEngine engine1(opts1);
+    SweepOptions optsN;
+    optsN.num_threads = mt_threads;
+    const SweepEngine engineN(optsN);
+
+    Measured baseline, fast1, fastN;
+    for (int round = 0; round < 3; ++round) {
+      const Measured b = measure_sweep_once([&] {
+        w.source->reset();
+        return run_reference_sweep(*w.g, *w.pattern, *w.source);
+      });
+      const Measured f1 = measure_sweep_once([&] {
+        w.source->reset();
+        return engine1.run(*w.g, *w.pattern, *w.source);
+      });
+      const Measured fN = measure_sweep_once([&] {
+        w.source->reset();
+        return engineN.run(*w.g, *w.pattern, *w.source);
+      });
+      if (b.packets_per_sec > baseline.packets_per_sec) baseline = b;
+      if (f1.packets_per_sec > fast1.packets_per_sec) fast1 = f1;
+      if (fN.packets_per_sec > fastN.packets_per_sec) fastN = fN;
+    }
+
+    const bool identical =
+        stats_identical(baseline.stats, fast1.stats) && stats_identical(fast1.stats, fastN.stats);
+    all_identical = all_identical && identical;
+    const double speedup1 = fast1.packets_per_sec / baseline.packets_per_sec;
+    const double speedupN = fastN.packets_per_sec / baseline.packets_per_sec;
+
+    std::printf("%-16s %12lld | %14.0f %14.0f %14.0f | %7.2fx %7.2fx%s\n", w.name.c_str(),
+                static_cast<long long>(baseline.stats.total), baseline.packets_per_sec,
+                fast1.packets_per_sec, fastN.packets_per_sec, speedup1, speedupN,
+                identical ? "" : "  STATS MISMATCH");
+
+    json.begin_object();
+    json.key("name").value(w.name);
+    json.key("scenarios").value(baseline.stats.total);
+    json.key("baseline_packets_per_sec").value(baseline.packets_per_sec);
+    json.key("fast_packets_per_sec_1t").value(fast1.packets_per_sec);
+    json.key("fast_packets_per_sec_mt").value(fastN.packets_per_sec);
+    json.key("speedup_1t").value(speedup1);
+    json.key("speedup_mt").value(speedupN);
+    json.key("stats_identical").value(identical);
+    json.key("stats");
+    append_json(json, fast1.stats);
+    json.end_object();
+  }
+  json.end_array();
+
+  // -- micro rows (primitive costs the reproduction leans on) ---------------
+
+  std::printf("\n=== Microbenchmarks ===\n");
+  json.key("micro").begin_array();
+  const auto emit_micro = [&](const std::string& name, double ns) {
+    std::printf("%-28s %12.0f ns/op\n", name.c_str(), ns);
+    json.begin_object();
+    json.key("name").value(name);
+    json.key("ns_per_op").value(ns);
+    json.end_object();
+  };
+
+  {
+    const Graph g = make_random_planar(200, 400, 7);
+    emit_micro("planarity_random_n200", measure_ns([&] {
+      volatile bool r = is_planar(g);
+      (void)r;
+    }));
+  }
+  {
+    const Graph g = make_random_connected(10, 16, 5);
+    const Graph k4 = make_complete(4);
+    emit_micro("exact_minor_k4_n10", measure_ns([&] {
+      volatile bool r = find_minor_exact(g, k4).has_value();
+      (void)r;
+    }));
+  }
+  {
+    const Graph g = make_complete(13);
+    emit_micro("edge_connectivity_k13", measure_ns([&] {
+      volatile int r = edge_connectivity(g, 0, 1, g.empty_edge_set());
+      (void)r;
+    }));
+  }
+  {
+    const IdSet failures = failures_between(k5, {{0, 4}, {0, 1}, {1, 4}});
+    emit_micro("route_packet_k5_legacy", measure_ns([&] {
+      volatile int r = route_packet(k5, *k5_pattern, failures, 0, Header{0, 4}).hops;
+      (void)r;
+    }));
+    const SimContext ctx(k5);
+    RoutingWorkspace ws;
+    emit_micro("route_packet_k5_fast", measure_ns([&] {
+      volatile int r = route_packet_fast(ctx, *k5_pattern, failures, 0, Header{0, 4}, ws).hops;
+      (void)r;
+    }));
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!args.json_path.empty() && !write_json_file(args.json_path, json.str())) return 1;
+  if (!all_identical) {
+    std::fprintf(stderr, "error: fast-path SweepStats diverged from the baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
   if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
     const auto baseline = make_chiesa_complete_pattern();
     VerifyOptions opts;
     opts.max_exhaustive_edges = kn.num_edges();
+    opts.num_threads = args.num_threads;
     const bool ok = !find_bounded_failure_violation(kn, *baseline, n - 2, opts).has_value();
     std::printf("K_%d, f = n-2 = %d, sweep baseline:      %s (paper: possible, [48 B.2])\n", n,
                 n - 2, ok ? "survives all failure sets" : "VIOLATION");
@@ -107,6 +108,7 @@ int main(int argc, char** argv) {
     const auto baseline = make_chiesa_bipartite_pattern(a, a);
     VerifyOptions opts;
     opts.max_exhaustive_edges = kab.num_edges();
+    opts.num_threads = args.num_threads;
     const bool ok = !find_bounded_failure_violation(kab, *baseline, a - 2, opts).has_value();
     std::printf("K_{%d,%d}, f = min-2 = %d, relay baseline: %s (paper: possible, [48 B.3])\n", a,
                 a, a - 2, ok ? "survives all failure sets" : "VIOLATION");

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
   if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
     if (rh != nullptr) {
       VerifyOptions opts;
       opts.max_exhaustive_edges = g.num_edges();
+      opts.num_threads = args.num_threads;
       rh_ok = !find_touring_violation(g, *rh, opts).has_value();
     }
     int defeated = 0, corpus_size = 0;
@@ -93,10 +94,11 @@ int main(int argc, char** argv) {
   // Stratified probe on the engine: stratum f is toured only once (the first
   // step covers |F| in {0, 1}), and the first stratum containing a failed
   // tour ends the probe at f - 1.
-  const auto max_tolerated = [](const Graph& g, const ForwardingPattern& p, int probe_to) {
+  const auto max_tolerated = [&args](const Graph& g, const ForwardingPattern& p, int probe_to) {
     for (int f = 1; f <= probe_to; ++f) {
       VerifyOptions opts;
       opts.samples = 4000;
+      opts.num_threads = args.num_threads;
       opts.max_failures = f;
       if (g.num_edges() <= 21) {
         opts.max_exhaustive_edges = g.num_edges();

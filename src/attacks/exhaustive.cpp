@@ -13,16 +13,22 @@ std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPatter
                                           ConnectivityOracle* oracle) {
   assert(g.num_edges() <= 30 && "exhaustive defeat search is for small graphs");
   std::optional<Defeat> found;
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
       const bool alive = oracle != nullptr ? oracle->connected(source, destination, failures)
                                            : connected(g, source, destination, failures);
       if (!alive) return false;
-      const RoutingResult result =
-          route_packet(g, pattern, failures, source, Header{source, destination});
-      if (result.outcome == RoutingOutcome::kDelivered) return false;
-      found = Defeat{failures, source, destination, result};
+      const Header header{source, destination};
+      if (route_packet_fast(ctx, pattern, failures, source, header, ws).outcome ==
+          RoutingOutcome::kDelivered) {
+        return false;
+      }
+      // Defeated: re-simulate just this packet to record the witness walk.
+      found = Defeat{failures, source, destination,
+                     route_packet(ctx, pattern, failures, source, header, ws)};
       return true;
     });
   }
@@ -33,6 +39,8 @@ std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
                                                    const ForwardingPattern& pattern,
                                                    int max_budget, ConnectivityOracle* oracle) {
   std::optional<Defeat> found;
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
@@ -47,9 +55,10 @@ std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
       for (VertexId s = 0; s < g.num_vertices(); ++s) {
         for (VertexId t = 0; t < g.num_vertices(); ++t) {
           if (s == t || comp[static_cast<size_t>(s)] != comp[static_cast<size_t>(t)]) continue;
-          const RoutingResult result = route_packet(g, pattern, failures, s, Header{s, t});
-          if (result.outcome != RoutingOutcome::kDelivered) {
-            found = Defeat{failures, s, t, result};
+          if (route_packet_fast(ctx, pattern, failures, s, Header{s, t}, ws).outcome !=
+              RoutingOutcome::kDelivered) {
+            found = Defeat{failures, s, t,
+                           route_packet(ctx, pattern, failures, s, Header{s, t}, ws)};
             return true;
           }
         }
@@ -64,12 +73,13 @@ std::optional<Defeat> find_minimum_touring_defeat(const Graph& g,
                                                   const ForwardingPattern& pattern,
                                                   int max_budget) {
   std::optional<Defeat> found;
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
     for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        const TourResult result = tour_packet(g, pattern, failures, v);
-        if (!result.success) {
+        if (!tour_packet_fast(ctx, pattern, failures, v, ws).success) {
           found = Defeat{failures, v, kNoVertex, {}};
           return true;
         }

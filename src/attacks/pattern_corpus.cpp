@@ -98,10 +98,33 @@ class ShortestPathPattern final : public ForwardingPattern {
  public:
   ShortestPathPattern(RoutingModel model, const Graph& g, bool bounce_shy)
       : model_(model), bounce_shy_(bounce_shy) {
-    // rank_[t][v] = BFS distance to t, used to sort ports by progress.
-    rank_.resize(static_cast<size_t>(g.num_vertices()));
+    // The port order at v toward t — (distance of far end to t, id) — is a
+    // pure function of the failure-free graph, so it is precomputed here
+    // once instead of sorted on every forwarding call (forward() sits in
+    // the innermost loop of the sweeps). Storage is flat: one 2m-entry
+    // array per destination, segmented by the shared per-vertex offsets —
+    // not n^2 little vectors, which would thrash the allocator on the
+    // larger zoo graphs.
+    offset_.resize(static_cast<size_t>(g.num_vertices()) + 1);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      offset_[static_cast<size_t>(v) + 1] = offset_[static_cast<size_t>(v)] + g.degree(v);
+    }
+    order_.resize(static_cast<size_t>(g.num_vertices()));
     for (VertexId t = 0; t < g.num_vertices(); ++t) {
-      rank_[static_cast<size_t>(t)] = bfs_distances(g, t, g.empty_edge_set());
+      const std::vector<int> rank = bfs_distances(g, t, g.empty_edge_set());
+      auto& flat = order_[static_cast<size_t>(t)];
+      flat.resize(static_cast<size_t>(offset_.back()));
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto inc = g.incident_edges(v);
+        const auto begin = flat.begin() + offset_[static_cast<size_t>(v)];
+        std::copy(inc.begin(), inc.end(), begin);
+        std::sort(begin, begin + g.degree(v), [&](EdgeId a, EdgeId b) {
+          const int ra = rank[static_cast<size_t>(g.other_endpoint(a, v))];
+          const int rb = rank[static_cast<size_t>(g.other_endpoint(b, v))];
+          if (ra != rb) return ra < rb;
+          return a < b;
+        });
+      }
     }
   }
 
@@ -115,19 +138,15 @@ class ShortestPathPattern final : public ForwardingPattern {
                                               const Header& header) const override {
     if (auto d = try_deliver(g, at, local_failures, header)) return d;
     const VertexId t = header.destination;
-    // Ports sorted by (distance of far end to t, id); on failure rotate to
-    // the next one after the in-port in this order.
-    std::vector<EdgeId> order;
-    for (EdgeId e : g.incident_edges(at)) order.push_back(e);
-    if (t != kNoVertex) {
-      const auto& rank = rank_[static_cast<size_t>(t)];
-      std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
-        const int ra = rank[static_cast<size_t>(g.other_endpoint(a, at))];
-        const int rb = rank[static_cast<size_t>(g.other_endpoint(b, at))];
-        if (ra != rb) return ra < rb;
-        return a < b;
-      });
-    }
+    // Ports sorted by (distance of far end to t, id) — precomputed; with no
+    // destination the insertion (port) order stands. On failure rotate to
+    // the next port after the in-port in this order.
+    const std::span<const EdgeId> order =
+        t != kNoVertex
+            ? std::span<const EdgeId>(order_[static_cast<size_t>(t)])
+                  .subspan(static_cast<size_t>(offset_[static_cast<size_t>(at)]),
+                           static_cast<size_t>(g.degree(at)))
+            : g.incident_edges(at);
     size_t start = 0;
     if (inport != kNoEdge) {
       for (size_t i = 0; i < order.size(); ++i) {
@@ -153,7 +172,10 @@ class ShortestPathPattern final : public ForwardingPattern {
  private:
   RoutingModel model_;
   bool bounce_shy_;
-  std::vector<std::vector<int>> rank_;
+  /// order_[t] is one flat array of every vertex's incident edges sorted
+  /// toward t; offset_[v] is where v's segment (of length degree(v)) starts.
+  std::vector<int> offset_;
+  std::vector<std::vector<EdgeId>> order_;
 };
 
 class RandomStatelessPattern final : public ForwardingPattern {

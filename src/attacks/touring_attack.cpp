@@ -129,12 +129,14 @@ TouringProverResult prove_touring_impossible(const Graph& g) {
 
   TouringProverResult result;
   bool survivor = false;
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
   while (true) {
     ++result.patterns_enumerated;
     bool defeated = false;
     for (const IdSet& f : failure_sets) {
       for (VertexId v = 0; v < n && !defeated; ++v) {
-        if (!tour_packet(g, pattern, f, v).success) defeated = true;
+        if (!tour_packet_fast(ctx, pattern, f, v, ws).success) defeated = true;
       }
       if (defeated) break;
     }

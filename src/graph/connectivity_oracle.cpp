@@ -27,7 +27,8 @@ std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const 
     const auto it = shard.map.find(failures);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      it->second.referenced = true;
+      return it->second.labels;
     }
   }
   // Compute outside the lock: a concurrent miss on the same F duplicates the
@@ -36,9 +37,31 @@ std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const 
   auto labels = std::make_shared<const std::vector<int>>(components(*g_, failures));
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(failures);
+    if (it != shard.map.end()) return it->second.labels;  // lost an insert race
     if (shard.map.size() < max_entries_per_shard_) {
-      const auto [it, inserted] = shard.map.emplace(failures, labels);
-      return it->second;  // keep the first writer's copy on a lost race
+      shard.map.emplace(failures, Entry{labels, false});
+      shard.ring.push_back(failures);
+      return labels;
+    }
+    // At capacity: second-chance (clock) eviction. The hand clears
+    // referenced bits until it finds a cold entry to displace; bounded by
+    // two revolutions (after one full pass every bit is clear).
+    const size_t ring_size = shard.ring.size();
+    for (size_t step = 0; step < 2 * ring_size; ++step) {
+      IdSet& slot = shard.ring[shard.hand];
+      const auto victim = shard.map.find(slot);
+      if (victim != shard.map.end() && victim->second.referenced) {
+        victim->second.referenced = false;
+        shard.hand = (shard.hand + 1) % ring_size;
+        continue;
+      }
+      if (victim != shard.map.end()) shard.map.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      slot = failures;
+      shard.hand = (shard.hand + 1) % ring_size;
+      shard.map.emplace(failures, Entry{labels, false});
+      break;
     }
   }
   return labels;
@@ -63,9 +86,12 @@ void ConnectivityOracle::clear() {
   for (size_t i = 0; i < kNumShards; ++i) {
     const std::lock_guard<std::mutex> lock(shards_[i].mu);
     shards_[i].map.clear();
+    shards_[i].ring.clear();
+    shards_[i].hand = 0;
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pofl

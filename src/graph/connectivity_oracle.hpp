@@ -12,10 +12,13 @@
 //
 // The oracle is thread-safe (sharded maps under mutexes; label vectors are
 // handed out as shared_ptr so a concurrent rehash cannot invalidate a
-// reader) and bounded: past `max_entries` it degrades to compute-without-
-// insert instead of growing without limit. Hit/miss counters expose how many
-// BFS traversals the cache saved; the sweep engine surfaces them in
-// SweepStats.
+// reader) and bounded: once a shard reaches its share of `max_entries`, a
+// second-chance (clock) policy evicts a cold entry to admit the new one —
+// each cached entry carries a referenced bit set on every hit, and the
+// clock hand skips (and clears) referenced entries before evicting, so hot
+// failure sets survive cap pressure while one-shot sets rotate out.
+// Hit/miss/eviction counters expose the cache behavior; the sweep engine
+// surfaces them in SweepStats.
 
 #include <atomic>
 #include <cstdint>
@@ -43,6 +46,8 @@ class ConnectivityOracle {
   [[nodiscard]] int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   /// Queries that had to run the BFS.
   [[nodiscard]] int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Cached entries displaced by the second-chance policy at capacity.
+  [[nodiscard]] int64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
   /// Distinct failure sets currently cached.
   [[nodiscard]] size_t size() const;
 
@@ -54,9 +59,15 @@ class ConnectivityOracle {
   struct IdSetHash {
     size_t operator()(const IdSet& s) const { return static_cast<size_t>(s.hash()); }
   };
+  struct Entry {
+    std::shared_ptr<const std::vector<int>> labels;
+    bool referenced = false;  // second chance: set on hit, cleared by the hand
+  };
   struct Shard {
     std::mutex mu;
-    std::unordered_map<IdSet, std::shared_ptr<const std::vector<int>>, IdSetHash> map;
+    std::unordered_map<IdSet, Entry, IdSetHash> map;
+    std::vector<IdSet> ring;  // clock ring over the cached keys
+    size_t hand = 0;
   };
   static constexpr size_t kNumShards = 16;
 
@@ -66,6 +77,7 @@ class ConnectivityOracle {
   size_t max_entries_per_shard_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
   std::unique_ptr<Shard[]> shards_;
 };
 

@@ -15,12 +15,6 @@ VertexId Graph::add_vertex() {
   return static_cast<VertexId>(incident_.size()) - 1;
 }
 
-uint64_t Graph::key(VertexId u, VertexId v) {
-  const auto lo = static_cast<uint64_t>(std::min(u, v));
-  const auto hi = static_cast<uint64_t>(std::max(u, v));
-  return (hi << 32) | lo;
-}
-
 EdgeId Graph::add_edge(VertexId u, VertexId v) {
   assert(u >= 0 && u < num_vertices());
   assert(v >= 0 && v < num_vertices());
@@ -28,17 +22,31 @@ EdgeId Graph::add_edge(VertexId u, VertexId v) {
   if (auto existing = edge_between(u, v)) return *existing;
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v});
+  edge_ports_.push_back(EdgePorts{static_cast<int>(incident_[static_cast<size_t>(u)].size()),
+                                  static_cast<int>(incident_[static_cast<size_t>(v)].size())});
   incident_[static_cast<size_t>(u)].push_back(id);
   incident_[static_cast<size_t>(v)].push_back(id);
-  edge_index_.emplace(key(u, v), id);
   return id;
 }
 
 std::optional<EdgeId> Graph::edge_between(VertexId u, VertexId v) const {
-  if (u == v) return std::nullopt;
-  const auto it = edge_index_.find(key(u, v));
-  if (it == edge_index_.end()) return std::nullopt;
-  return it->second;
+  // Forwarding patterns probe speculative neighbors (e.g. "at + 1"), so
+  // out-of-range ids answer "no edge" rather than assert.
+  if (u == v || u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return std::nullopt;
+  }
+  // Scan the smaller incidence list: degrees in this domain are tiny, which
+  // makes the scan faster than the hash lookup it replaced — and called from
+  // the patterns' deliver checks, this sits in the simulation hot path.
+  const auto& iu = incident_[static_cast<size_t>(u)];
+  const auto& iv = incident_[static_cast<size_t>(v)];
+  const VertexId a = iu.size() <= iv.size() ? u : v;
+  const VertexId b = a == u ? v : u;
+  for (const EdgeId e : incident_[static_cast<size_t>(a)]) {
+    const Edge& ed = edges_[static_cast<size_t>(e)];
+    if ((ed.u == a ? ed.v : ed.u) == b) return e;
+  }
+  return std::nullopt;
 }
 
 VertexId Graph::other_endpoint(EdgeId e, VertexId at) const {

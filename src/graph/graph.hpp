@@ -9,10 +9,10 @@
 // together with id mappings, which keeps every graph immutable once built and
 // makes the adversarial constructions easy to reason about.
 
+#include <cassert>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/id_set.hpp"
@@ -73,6 +73,17 @@ class Graph {
     return incident_[static_cast<size_t>(v)];
   }
 
+  /// Port index of e at endpoint `at`: the position of e in
+  /// incident_edges(at). O(1) — the table is maintained by add_edge — so the
+  /// packet simulator's state indexing needs no per-hop search.
+  /// Precondition: `at` is an endpoint of e.
+  [[nodiscard]] int port_of(EdgeId e, VertexId at) const {
+    const Edge& ed = edges_[static_cast<size_t>(e)];
+    assert(ed.u == at || ed.v == at);
+    const auto& ports = edge_ports_[static_cast<size_t>(e)];
+    return ed.u == at ? ports.at_u : ports.at_v;
+  }
+
   [[nodiscard]] int degree(VertexId v) const {
     return static_cast<int>(incident_[static_cast<size_t>(v)].size());
   }
@@ -85,6 +96,15 @@ class Graph {
 
   /// Incident edge ids of v that are not in `failed`.
   [[nodiscard]] std::vector<EdgeId> alive_incident_edges(VertexId v, const IdSet& failed) const;
+
+  /// True iff v has at least one non-failed incident edge. Allocation-free
+  /// equivalent of `!alive_incident_edges(v, failed).empty()`.
+  [[nodiscard]] bool has_alive_incident_edge(VertexId v, const IdSet& failed) const {
+    for (EdgeId e : incident_[static_cast<size_t>(v)]) {
+      if (!failed.contains(e)) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] IdSet empty_edge_set() const { return IdSet(num_edges()); }
   [[nodiscard]] IdSet empty_vertex_set() const { return IdSet(num_vertices()); }
@@ -111,11 +131,15 @@ class Graph {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  static uint64_t key(VertexId u, VertexId v);
+  /// Position of an edge in each endpoint's incident list (its port number).
+  struct EdgePorts {
+    int at_u = 0;
+    int at_v = 0;
+  };
 
   std::vector<Edge> edges_;
+  std::vector<EdgePorts> edge_ports_;
   std::vector<std::vector<EdgeId>> incident_;
-  std::unordered_map<uint64_t, EdgeId> edge_index_;
 };
 
 }  // namespace pofl

@@ -3,49 +3,104 @@
 // Dense bitset over small integer ids (vertex ids, edge ids). Used pervasively
 // for failure sets and visited sets; tuned for the sizes this library deals
 // with (graphs up to ~1000 edges) rather than for generality.
+//
+// Storage is small-buffer optimized: universes up to kInlineWords * 64 ids
+// (128 — which covers every graph the exhaustive machinery can touch, and
+// most of the synthetic zoo) live entirely inline, so copying failure sets
+// into scenario batches, hashing them as cache keys, and destroying them
+// never touches the heap. Larger universes spill to a heap block that is
+// reused on shrinking re-assignment.
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pofl {
 
 class IdSet {
+  static constexpr uint32_t kInlineWords = 2;
+
  public:
   IdSet() = default;
-  explicit IdSet(int universe_size)
-      : universe_(universe_size), words_((universe_size + 63) / 64, 0) {}
+  explicit IdSet(int universe_size) : universe_(universe_size) {
+    assert(universe_size >= 0);
+    set_word_count(words_needed(universe_size));
+    std::fill_n(words(), num_words_, uint64_t{0});
+  }
+
+  IdSet(const IdSet& other) : universe_(other.universe_) {
+    set_word_count(other.num_words_);
+    std::copy_n(other.words(), num_words_, words());
+  }
+  IdSet& operator=(const IdSet& other) {
+    if (this == &other) return *this;
+    universe_ = other.universe_;
+    set_word_count(other.num_words_);
+    std::copy_n(other.words(), num_words_, words());
+    return *this;
+  }
+  IdSet(IdSet&& other) noexcept
+      : universe_(other.universe_), num_words_(other.num_words_), cap_words_(other.cap_words_) {
+    if (other.cap_words_ > kInlineWords) {
+      heap_ = std::move(other.heap_);
+    } else {
+      std::copy_n(other.inline_, kInlineWords, inline_);
+    }
+    other.universe_ = 0;
+    other.num_words_ = 0;
+    other.cap_words_ = kInlineWords;
+  }
+  IdSet& operator=(IdSet&& other) noexcept {
+    if (this == &other) return *this;
+    universe_ = other.universe_;
+    num_words_ = other.num_words_;
+    if (other.cap_words_ > kInlineWords) {
+      heap_ = std::move(other.heap_);
+      cap_words_ = other.cap_words_;
+    } else {
+      // Copy into whichever storage is active here (we may have spilled to
+      // heap earlier; capacity never shrinks, so it always fits).
+      std::copy_n(other.inline_, other.num_words_, words());
+    }
+    other.universe_ = 0;
+    other.num_words_ = 0;
+    other.cap_words_ = kInlineWords;
+    return *this;
+  }
+  ~IdSet() = default;
 
   [[nodiscard]] int universe_size() const { return universe_; }
 
   [[nodiscard]] bool contains(int id) const {
     assert(id >= 0 && id < universe_);
-    return (words_[static_cast<size_t>(id) >> 6] >> (id & 63)) & 1u;
+    return (words()[static_cast<size_t>(id) >> 6] >> (id & 63)) & 1u;
   }
 
   void insert(int id) {
     assert(id >= 0 && id < universe_);
-    words_[static_cast<size_t>(id) >> 6] |= (uint64_t{1} << (id & 63));
+    words()[static_cast<size_t>(id) >> 6] |= (uint64_t{1} << (id & 63));
   }
 
   void erase(int id) {
     assert(id >= 0 && id < universe_);
-    words_[static_cast<size_t>(id) >> 6] &= ~(uint64_t{1} << (id & 63));
+    words()[static_cast<size_t>(id) >> 6] &= ~(uint64_t{1} << (id & 63));
   }
 
-  void clear() {
-    for (auto& w : words_) w = 0;
-  }
+  void clear() { std::fill_n(words(), num_words_, uint64_t{0}); }
 
   [[nodiscard]] int count() const {
     int total = 0;
-    for (auto w : words_) total += __builtin_popcountll(w);
+    const uint64_t* w = words();
+    for (uint32_t i = 0; i < num_words_; ++i) total += __builtin_popcountll(w[i]);
     return total;
   }
 
   [[nodiscard]] bool empty() const {
-    for (auto w : words_) {
-      if (w != 0) return false;
+    const uint64_t* w = words();
+    for (uint32_t i = 0; i < num_words_; ++i) {
+      if (w[i] != 0) return false;
     }
     return true;
   }
@@ -54,8 +109,9 @@ class IdSet {
   [[nodiscard]] std::vector<int> to_vector() const {
     std::vector<int> out;
     out.reserve(static_cast<size_t>(count()));
-    for (size_t wi = 0; wi < words_.size(); ++wi) {
-      uint64_t w = words_[wi];
+    const uint64_t* wp = words();
+    for (uint32_t wi = 0; wi < num_words_; ++wi) {
+      uint64_t w = wp[wi];
       while (w != 0) {
         const int bit = __builtin_ctzll(w);
         out.push_back(static_cast<int>(wi * 64) + bit);
@@ -68,52 +124,105 @@ class IdSet {
   /// Set union / intersection / difference, in place. Universes must match.
   IdSet& operator|=(const IdSet& other) {
     assert(universe_ == other.universe_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    uint64_t* w = words();
+    const uint64_t* o = other.words();
+    for (uint32_t i = 0; i < num_words_; ++i) w[i] |= o[i];
     return *this;
   }
   IdSet& operator&=(const IdSet& other) {
     assert(universe_ == other.universe_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    uint64_t* w = words();
+    const uint64_t* o = other.words();
+    for (uint32_t i = 0; i < num_words_; ++i) w[i] &= o[i];
     return *this;
   }
   IdSet& operator-=(const IdSet& other) {
     assert(universe_ == other.universe_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    uint64_t* w = words();
+    const uint64_t* o = other.words();
+    for (uint32_t i = 0; i < num_words_; ++i) w[i] &= ~o[i];
     return *this;
+  }
+
+  /// Makes *this the intersection a & b without allocating (beyond growing a
+  /// reused buffer once): the hot-path replacement for `IdSet c = a & b;`.
+  /// a and b must share a universe; *this may have any prior universe
+  /// (scratch sets are reused across graphs of different sizes).
+  void assign_and(const IdSet& a, const IdSet& b) {
+    assert(a.universe_ == b.universe_);
+    universe_ = a.universe_;
+    set_word_count(a.num_words_);
+    uint64_t* w = words();
+    const uint64_t* wa = a.words();
+    const uint64_t* wb = b.words();
+    for (uint32_t i = 0; i < num_words_; ++i) w[i] = wa[i] & wb[i];
   }
 
   [[nodiscard]] bool intersects(const IdSet& other) const {
     assert(universe_ == other.universe_);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & other.words_[i]) != 0) return true;
+    const uint64_t* w = words();
+    const uint64_t* o = other.words();
+    for (uint32_t i = 0; i < num_words_; ++i) {
+      if ((w[i] & o[i]) != 0) return true;
     }
     return false;
   }
 
   [[nodiscard]] bool is_subset_of(const IdSet& other) const {
     assert(universe_ == other.universe_);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    const uint64_t* w = words();
+    const uint64_t* o = other.words();
+    for (uint32_t i = 0; i < num_words_; ++i) {
+      if ((w[i] & ~o[i]) != 0) return false;
     }
     return true;
   }
 
   friend bool operator==(const IdSet& a, const IdSet& b) {
-    return a.universe_ == b.universe_ && a.words_ == b.words_;
+    if (a.universe_ != b.universe_) return false;
+    const uint64_t* wa = a.words();
+    const uint64_t* wb = b.words();
+    for (uint32_t i = 0; i < a.num_words_; ++i) {
+      if (wa[i] != wb[i]) return false;
+    }
+    return true;
   }
 
   /// Stable hash, for use in unordered containers of visited states.
   [[nodiscard]] uint64_t hash() const {
     uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (auto w : words_) {
-      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    const uint64_t* w = words();
+    for (uint32_t i = 0; i < num_words_; ++i) {
+      h ^= w[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     }
     return h;
   }
 
  private:
+  static uint32_t words_needed(int universe) {
+    return static_cast<uint32_t>((universe + 63) / 64);
+  }
+
+  /// Sets the active word count, growing the heap block if it exceeds the
+  /// current capacity. Contents are unspecified afterwards; callers fill.
+  void set_word_count(uint32_t n) {
+    if (n > cap_words_) {
+      heap_.reset(new uint64_t[n]);
+      cap_words_ = n;
+    }
+    num_words_ = n;
+  }
+
+  [[nodiscard]] uint64_t* words() { return cap_words_ <= kInlineWords ? inline_ : heap_.get(); }
+  [[nodiscard]] const uint64_t* words() const {
+    return cap_words_ <= kInlineWords ? inline_ : heap_.get();
+  }
+
   int universe_ = 0;
-  std::vector<uint64_t> words_;
+  uint32_t num_words_ = 0;
+  uint32_t cap_words_ = kInlineWords;
+  uint64_t inline_[kInlineWords] = {0, 0};
+  std::unique_ptr<uint64_t[]> heap_;
 };
 
 [[nodiscard]] inline IdSet operator|(IdSet a, const IdSet& b) { return a |= b; }

@@ -12,24 +12,40 @@ std::optional<EdgeId> Algorithm1K5Pattern::forward(const Graph& g, VertexId at, 
   const VertexId t = header.destination;
   assert(s != kNoVertex && t != kNoVertex && "Algorithm 1 matches source and destination");
 
-  // Line 1-2: a live link to the destination always wins.
-  if (const auto direct = g.edge_between(at, t)) {
-    if (!local_failures.contains(*direct)) return *direct;
-  }
-
-  // Alive neighbors of `at`, sorted by id. The link to t (if any) is failed
-  // at this point, so t never appears below.
-  std::vector<VertexId> alive;
-  std::vector<EdgeId> alive_edge;
+  // One pass over the ports: a live link to the destination always wins
+  // (lines 1-2); otherwise collect the alive neighbors — t cannot be among
+  // them (its link, if any, just proved failed). forward() is the innermost
+  // loop of every K5 sweep, so the scratch vectors are thread-local (one
+  // TLS slot): reused across calls, never reallocated in steady state.
+  struct Scratch {
+    std::vector<VertexId> alive;
+    std::vector<EdgeId> alive_edge;
+  };
+  thread_local Scratch scratch;
+  std::vector<VertexId>& alive = scratch.alive;
+  std::vector<EdgeId>& alive_edge = scratch.alive_edge;
+  alive.clear();
+  alive_edge.clear();
   for (EdgeId e : g.incident_edges(at)) {
     if (local_failures.contains(e)) continue;
-    alive.push_back(g.other_endpoint(e, at));
+    const VertexId w = g.other_endpoint(e, at);
+    if (w == t) return e;
+    alive.push_back(w);
     alive_edge.push_back(e);
   }
-  std::vector<size_t> order(alive.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return alive[a] < alive[b]; });
+  // Tandem insertion sort by neighbor id (at most 4 entries on K5), so the
+  // arrays below are in increasing-neighbor order.
+  for (size_t i = 1; i < alive.size(); ++i) {
+    const VertexId va = alive[i];
+    const EdgeId ea = alive_edge[i];
+    size_t j = i;
+    for (; j > 0 && alive[j - 1] > va; --j) {
+      alive[j] = alive[j - 1];
+      alive_edge[j] = alive_edge[j - 1];
+    }
+    alive[j] = va;
+    alive_edge[j] = ea;
+  }
   const auto edge_to = [&](VertexId target) -> std::optional<EdgeId> {
     for (size_t i = 0; i < alive.size(); ++i) {
       if (alive[i] == target) return alive_edge[i];
@@ -43,33 +59,31 @@ std::optional<EdgeId> Algorithm1K5Pattern::forward(const Graph& g, VertexId at, 
 
   if (at == s) {
     // Lines 3-12.
-    if (alive.size() == 1) return alive_edge[order[0]];
+    if (alive.size() == 1) return alive_edge[0];
     if (alive.size() == 2) {
       // origin -> u; any in-port -> v (ignore which).
-      return inport == kNoEdge ? alive_edge[order[0]] : alive_edge[order[1]];
+      return inport == kNoEdge ? alive_edge[0] : alive_edge[1];
     }
     // Three alive neighbors u < v < w (four is impossible on 5 nodes once
     // the t-link is gone; if it happens on malformed input, treat the extra
     // ones as w-like by using the sorted top three semantics).
-    const VertexId u = alive[order[0]];
-    const VertexId v = alive[order[1]];
-    const VertexId w = alive[order[alive.size() - 1]];
-    if (inport == kNoEdge) return edge_to(u).value();
-    if (from == w) return edge_to(v).value();
-    return edge_to(w).value();
+    const VertexId w = alive[alive.size() - 1];
+    if (inport == kNoEdge) return alive_edge[0];
+    if (from == w) return alive_edge[1];
+    return alive_edge[alive.size() - 1];
   }
 
   // Lines 13-17: at != s (and at != t: the destination never forwards).
   if (from == s) {
     // Lowest-id alive neighbor that is not s, else bounce back to s.
-    for (size_t k : order) {
+    for (size_t k = 0; k < alive.size(); ++k) {
       if (alive[k] != s) return alive_edge[k];
     }
     return inport;  // only s remains
   }
   // From a non-s neighbor (or the packet originated here in a model misuse):
   // the alive neighbor x with x != s and x != from, if any.
-  for (size_t k : order) {
+  for (size_t k = 0; k < alive.size(); ++k) {
     if (alive[k] != s && alive[k] != from) return alive_edge[k];
   }
   if (const auto to_s = edge_to(s)) return *to_s;  // s still reachable

@@ -27,12 +27,14 @@ RandomFailureStats estimate_delivery_rate(const Graph& g, const ForwardingPatter
   RandomFailureStats stats;
   long long failures_total = 0;
   long long hops_total = 0;
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
   for (int i = 0; i < trials; ++i) {
     const IdSet f = draw_failures(g, p, rng);
     if (!connected(g, s, t, f)) continue;
     ++stats.trials_with_promise;
     failures_total += f.count();
-    const RoutingResult r = route_packet(g, pattern, f, s, Header{s, t});
+    const FastRouteResult r = route_packet_fast(ctx, pattern, f, s, Header{s, t}, ws);
     if (r.outcome == RoutingOutcome::kDelivered) {
       ++stats.delivered;
       hops_total += r.hops;
@@ -54,11 +56,13 @@ RandomFailureStats estimate_touring_rate(const Graph& g, const ForwardingPattern
   RandomFailureStats stats;
   long long failures_total = 0;
   long long hops_total = 0;
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
   for (int i = 0; i < trials; ++i) {
     const IdSet f = draw_failures(g, p, rng);
     ++stats.trials_with_promise;  // touring's promise is unconditional
     failures_total += f.count();
-    const TourResult r = tour_packet(g, pattern, f, start);
+    const FastTourResult r = tour_packet_fast(ctx, pattern, f, start, ws);
     if (r.success) {
       ++stats.delivered;
       hops_total += r.steps_walked;

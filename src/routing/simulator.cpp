@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "graph/connectivity.hpp"
-
 namespace pofl {
 
 namespace {
@@ -26,124 +24,96 @@ Header masked(const Header& header, RoutingModel model) {
   return h;
 }
 
-/// Dense id of the (node, in-port) state: in-ports are the node's incident
-/// edges plus the virtual start port.
-class StateIndex {
- public:
-  explicit StateIndex(const Graph& g) : offset_(static_cast<size_t>(g.num_vertices()) + 1) {
-    int running = 0;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      offset_[static_cast<size_t>(v)] = running;
-      running += g.degree(v) + 1;  // +1 for the bottom in-port
-    }
-    offset_[static_cast<size_t>(g.num_vertices())] = running;
-  }
-
-  [[nodiscard]] int total() const { return offset_.back(); }
-
-  [[nodiscard]] int id(const Graph& g, VertexId v, EdgeId inport) const {
-    if (inport == kNoEdge) return offset_[static_cast<size_t>(v)];
-    const auto inc = g.incident_edges(v);
-    const auto it = std::find(inc.begin(), inc.end(), inport);
-    assert(it != inc.end());
-    return offset_[static_cast<size_t>(v)] + 1 + static_cast<int>(it - inc.begin());
-  }
-
- private:
-  std::vector<int> offset_;
-};
-
-}  // namespace
-
-RoutingResult route_packet(const Graph& g, const ForwardingPattern& pattern, const IdSet& failures,
-                           VertexId source, Header header) {
+/// The shared routing core. `walk` is optional: the fast path passes nullptr
+/// and skips all recording; the classic path passes the result vector. Both
+/// run the exact same control flow, so outcomes and hop counts agree bit for
+/// bit.
+RoutingOutcome route_core(const SimContext& ctx, const ForwardingPattern& pattern,
+                          const IdSet& failures, VertexId source, const Header& header,
+                          RoutingWorkspace& ws, int& hops, std::vector<VertexId>* walk) {
+  const Graph& g = ctx.graph();
   const Header visible = masked(header, pattern.model());
   const VertexId destination = header.destination;
   assert(destination != kNoVertex && "route_packet needs a destination to detect delivery");
 
-  RoutingResult result;
-  result.walk.push_back(source);
-  if (source == destination) {
-    result.outcome = RoutingOutcome::kDelivered;
-    return result;
-  }
+  hops = 0;
+  if (walk != nullptr) walk->push_back(source);
+  if (source == destination) return RoutingOutcome::kDelivered;
 
-  StateIndex states(g);
-  std::vector<char> seen(static_cast<size_t>(states.total()), 0);
+  ws.begin_packet(ctx);
+  IdSet& local = ws.local_failures();
 
   VertexId at = source;
   EdgeId inport = kNoEdge;
   while (true) {
-    const int sid = states.id(g, at, inport);
-    if (seen[static_cast<size_t>(sid)]) {
-      result.outcome = RoutingOutcome::kLooped;
-      return result;
-    }
-    seen[static_cast<size_t>(sid)] = 1;
+    if (ws.mark_seen(ctx.state_id(at, inport))) return RoutingOutcome::kLooped;
 
-    const IdSet local = failures & g.incident_edge_set(at);
+    local.assign_and(failures, ctx.incident_mask(at));
     const auto out = pattern.forward(g, at, inport, local, visible);
-    if (!out.has_value()) {
-      result.outcome = RoutingOutcome::kDropped;
-      return result;
-    }
+    if (!out.has_value()) return RoutingOutcome::kDropped;
     const EdgeId oe = *out;
-    const bool incident = oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
-    if (!incident || failures.contains(oe)) {
-      result.outcome = RoutingOutcome::kInvalidForward;
-      return result;
-    }
+    const bool incident =
+        oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
+    if (!incident || failures.contains(oe)) return RoutingOutcome::kInvalidForward;
     at = g.other_endpoint(oe, at);
     inport = oe;
-    ++result.hops;
-    result.walk.push_back(at);
-    if (at == destination) {
-      result.outcome = RoutingOutcome::kDelivered;
-      return result;
-    }
+    ++hops;
+    if (walk != nullptr) walk->push_back(at);
+    if (at == destination) return RoutingOutcome::kDelivered;
   }
 }
 
-TourResult tour_packet(const Graph& g, const ForwardingPattern& pattern, const IdSet& failures,
-                       VertexId start) {
-  TourResult result;
-  result.walk.push_back(start);
+/// The shared touring core. The walk is always recorded — tour success is a
+/// property of the whole walk — but into `walk`'s reused storage; the fast
+/// path hands in the workspace scratch buffer so steady state allocates
+/// nothing. `missed` is only filled when requested (the classic API).
+void tour_core(const SimContext& ctx, const ForwardingPattern& pattern, const IdSet& failures,
+               VertexId start, RoutingWorkspace& ws, FastTourResult& out,
+               std::vector<VertexId>& walk, std::vector<VertexId>* missed) {
+  const Graph& g = ctx.graph();
+  ws.begin_packet(ctx);
+  IdSet& local = ws.local_failures();
 
-  StateIndex states(g);
-  // first_step[sid] = walk index at which the state was first entered; the
+  walk.clear();
+  walk.push_back(start);
+  out.success = false;
+  out.dropped = false;
+  out.steps_walked = 0;
+
+  // first_step(sid) = walk index at which the state was first entered; the
   // walk from that index onward is the periodic orbit once a state repeats.
-  std::vector<int> first_step(static_cast<size_t>(states.total()), -1);
   int orbit_start = -1;
   const Header none;  // touring sees no header
 
   VertexId at = start;
   EdgeId inport = kNoEdge;
   while (true) {
-    const int sid = states.id(g, at, inport);
-    if (first_step[static_cast<size_t>(sid)] >= 0) {
-      orbit_start = first_step[static_cast<size_t>(sid)];
+    const int sid = ctx.state_id(at, inport);
+    const int prev = ws.first_step(sid);
+    if (prev >= 0) {
+      orbit_start = prev;
       break;  // walk is provably periodic now
     }
-    first_step[static_cast<size_t>(sid)] = static_cast<int>(result.walk.size()) - 1;
+    ws.set_first_step(sid, static_cast<int>(walk.size()) - 1);
 
-    const IdSet local = failures & g.incident_edge_set(at);
-    const auto out = pattern.forward(g, at, inport, local, none);
-    if (!out.has_value()) {
+    local.assign_and(failures, ctx.incident_mask(at));
+    const auto fwd = pattern.forward(g, at, inport, local, none);
+    if (!fwd.has_value()) {
       // A degree-0 start trivially tours its singleton component.
-      result.dropped = g.alive_incident_edges(at, failures).size() > 0 || at != start;
+      out.dropped = g.has_alive_incident_edge(at, failures) || at != start;
       break;
     }
-    const EdgeId oe = *out;
+    const EdgeId oe = *fwd;
     const bool incident =
         oe >= 0 && oe < g.num_edges() && (g.edge(oe).u == at || g.edge(oe).v == at);
     if (!incident || failures.contains(oe)) {
-      result.dropped = true;
+      out.dropped = true;
       break;
     }
     at = g.other_endpoint(oe, at);
     inport = oe;
-    ++result.steps_walked;
-    result.walk.push_back(at);
+    ++out.steps_walked;
+    walk.push_back(at);
   }
 
   // Success: the packet visits the whole surviving component and returns to
@@ -151,36 +121,154 @@ TourResult tour_packet(const Graph& g, const ForwardingPattern& pattern, const I
   // decided within the recorded walk; the return to the start happens either
   // inside the recorded prefix (after coverage completed) or — since the
   // walk replays its periodic orbit forever — whenever the start lies on the
-  // orbit at all.
-  const auto component = component_of(g, start, failures);
-  IdSet covered(g.num_vertices());
-  IdSet needed(g.num_vertices());
-  for (VertexId v : component) needed.insert(v);
-  const int needed_count = static_cast<int>(component.size());
-  int covered_count = 0;
-  bool success = false;
-  bool start_on_orbit = false;
-  if (orbit_start >= 0) {
-    for (size_t i = static_cast<size_t>(orbit_start); i < result.walk.size(); ++i) {
-      if (result.walk[i] == start) start_on_orbit = true;
+  // orbit at all. The component membership comes from an epoch-stamped BFS
+  // (same vertices as component_of(g, start, failures)).
+  std::vector<VertexId>& queue = ws.queue_scratch();
+  queue.clear();
+  (void)ws.mark_component(start);
+  queue.push_back(start);
+  int needed_count = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (EdgeId e : g.incident_edges(v)) {
+      if (failures.contains(e)) continue;
+      const VertexId w = g.other_endpoint(e, v);
+      if (!ws.mark_component(w)) {
+        ++needed_count;
+        queue.push_back(w);
+      }
     }
   }
-  for (size_t i = 0; i < result.walk.size(); ++i) {
-    const VertexId v = result.walk[i];
-    if (needed.contains(v) && !covered.contains(v)) {
-      covered.insert(v);
-      ++covered_count;
+
+  bool start_on_orbit = false;
+  if (orbit_start >= 0) {
+    for (size_t i = static_cast<size_t>(orbit_start); i < walk.size(); ++i) {
+      if (walk[i] == start) start_on_orbit = true;
     }
+  }
+  int covered_count = 0;
+  bool success = false;
+  for (const VertexId v : walk) {
+    if (ws.in_component(v) && !ws.mark_covered(v)) ++covered_count;
     if (covered_count == needed_count && (v == start || start_on_orbit)) {
       success = true;
       break;
     }
   }
-  result.success = success && !result.dropped;
-  for (VertexId v : component) {
-    if (!covered.contains(v)) result.missed.push_back(v);
+  out.success = success && !out.dropped;
+  if (missed != nullptr) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (ws.in_component(v) && !ws.is_covered(v)) missed->push_back(v);
+    }
   }
+}
+
+}  // namespace
+
+SimContext::SimContext(const Graph& g)
+    : g_(&g), state_offset_(static_cast<size_t>(g.num_vertices())) {
+  int running = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    state_offset_[static_cast<size_t>(v)] = running;
+    running += g.degree(v) + 1;  // +1 for the bottom in-port
+  }
+  total_states_ = running;
+  incident_masks_.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    incident_masks_.push_back(g.incident_edge_set(v));
+  }
+}
+
+void RoutingWorkspace::begin_packet(const SimContext& ctx) {
+  const auto states = static_cast<size_t>(ctx.num_states());
+  const auto vertices = static_cast<size_t>(ctx.graph().num_vertices());
+  if (seen_.size() < states) {
+    seen_.resize(states, 0);
+    first_step_.resize(states, 0);
+  }
+  if (comp_stamp_.size() < vertices) {
+    comp_stamp_.resize(vertices, 0);
+    cov_stamp_.resize(vertices, 0);
+  }
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Stamp wrap-around after 2^32 packets: stale stamps could collide with
+    // the fresh epoch, so wipe them once and restart at 1.
+    std::fill(seen_.begin(), seen_.end(), 0u);
+    std::fill(comp_stamp_.begin(), comp_stamp_.end(), 0u);
+    std::fill(cov_stamp_.begin(), cov_stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+RoutingResult route_packet(const Graph& g, const ForwardingPattern& pattern, const IdSet& failures,
+                           VertexId source, Header header) {
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
+  return route_packet(ctx, pattern, failures, source, header, ws);
+}
+
+RoutingResult route_packet(const SimContext& ctx, const ForwardingPattern& pattern,
+                           const IdSet& failures, VertexId source, Header header,
+                           RoutingWorkspace& ws) {
+  RoutingResult result;
+  result.outcome = route_core(ctx, pattern, failures, source, header, ws, result.hops,
+                              &result.walk);
   return result;
+}
+
+FastRouteResult route_packet_fast(const SimContext& ctx, const ForwardingPattern& pattern,
+                                  const IdSet& failures, VertexId source, Header header,
+                                  RoutingWorkspace& ws) {
+  FastRouteResult result;
+  result.outcome = route_core(ctx, pattern, failures, source, header, ws, result.hops, nullptr);
+  return result;
+}
+
+TourResult tour_packet(const Graph& g, const ForwardingPattern& pattern, const IdSet& failures,
+                       VertexId start) {
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
+  return tour_packet(ctx, pattern, failures, start, ws);
+}
+
+TourResult tour_packet(const SimContext& ctx, const ForwardingPattern& pattern,
+                       const IdSet& failures, VertexId start, RoutingWorkspace& ws) {
+  TourResult result;
+  FastTourResult fast;
+  tour_core(ctx, pattern, failures, start, ws, fast, result.walk, &result.missed);
+  result.success = fast.success;
+  result.dropped = fast.dropped;
+  result.steps_walked = fast.steps_walked;
+  return result;
+}
+
+FastTourResult tour_packet_fast(const SimContext& ctx, const ForwardingPattern& pattern,
+                                const IdSet& failures, VertexId start, RoutingWorkspace& ws) {
+  FastTourResult result;
+  tour_core(ctx, pattern, failures, start, ws, result, ws.walk_scratch(), nullptr);
+  return result;
+}
+
+bool connected_fast(const SimContext& ctx, const IdSet& failures, VertexId u, VertexId v,
+                    RoutingWorkspace& ws) {
+  if (u == v) return true;
+  const Graph& g = ctx.graph();
+  ws.begin_packet(ctx);
+  std::vector<VertexId>& queue = ws.queue_scratch();
+  queue.clear();
+  (void)ws.mark_component(u);
+  queue.push_back(u);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId at = queue[head];
+    for (EdgeId e : g.incident_edges(at)) {
+      if (failures.contains(e)) continue;
+      const VertexId w = g.other_endpoint(e, at);
+      if (w == v) return true;
+      if (!ws.mark_component(w)) queue.push_back(w);
+    }
+  }
+  return false;
 }
 
 }  // namespace pofl

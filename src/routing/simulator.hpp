@@ -3,7 +3,22 @@
 // Deterministic packet-walk simulation. Forwarding is static and memoryless,
 // so the packet's trajectory is fully determined by (node, in-port) given a
 // fixed failure set: revisiting a state means the packet loops forever.
+//
+// Two tiers of API:
+//
+//   * The classic entry points route_packet / tour_packet take just a Graph
+//     and return full results including the recorded walk. Convenient, but
+//     each call builds its per-graph tables and scratch buffers from scratch.
+//   * The fast path splits that cost out: a SimContext holds the per-graph
+//     immutable tables (built once per graph), a RoutingWorkspace holds the
+//     reusable scratch buffers (reset in O(1) via epoch stamps), and
+//     route_packet_fast / tour_packet_fast return outcome-only results
+//     without recording the walk. In steady state — one context per graph,
+//     one workspace per thread — a simulated packet performs zero heap
+//     allocations. Both tiers run the identical core, so outcomes, hop
+//     counts and walks are bit-identical between them.
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,6 +47,111 @@ enum class RoutingOutcome {
   return "?";
 }
 
+/// Immutable per-graph simulation tables: the dense (node, in-port) state
+/// indexing (in-ports are the node's incident edges plus the virtual start
+/// port) and the per-vertex incident-edge masks used to compute the locally
+/// visible failure set with word operations. Built once per graph, shared
+/// freely across threads — construction is the only mutation.
+class SimContext {
+ public:
+  explicit SimContext(const Graph& g);
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  /// Total number of distinct (node, in-port) states.
+  [[nodiscard]] int num_states() const { return total_states_; }
+
+  /// Dense id of the (v, inport) state, O(1) via the graph's port table.
+  [[nodiscard]] int state_id(VertexId v, EdgeId inport) const {
+    const int base = state_offset_[static_cast<size_t>(v)];
+    return inport == kNoEdge ? base : base + 1 + g_->port_of(inport, v);
+  }
+
+  /// Edge set of all edges incident to v (same bits as
+  /// g.incident_edge_set(v), precomputed).
+  [[nodiscard]] const IdSet& incident_mask(VertexId v) const {
+    return incident_masks_[static_cast<size_t>(v)];
+  }
+
+ private:
+  const Graph* g_;
+  std::vector<int> state_offset_;
+  std::vector<IdSet> incident_masks_;
+  int total_states_ = 0;
+};
+
+/// Reusable scratch state for the simulator core. All buffers reset in O(1)
+/// by bumping an epoch stamp instead of reallocating or zero-filling, and
+/// grow monotonically, so one workspace serves packets on graphs of any
+/// (and varying) size. Not thread-safe: use one workspace per thread.
+///
+/// The accessors below are the contract between the workspace and the
+/// simulator core (and its tests); callers of the routing API never need
+/// them — they just construct a workspace and pass it around.
+class RoutingWorkspace {
+ public:
+  RoutingWorkspace() = default;
+  RoutingWorkspace(const RoutingWorkspace&) = delete;
+  RoutingWorkspace& operator=(const RoutingWorkspace&) = delete;
+
+  /// Starts a new packet on ctx's graph: O(1) apart from one-time buffer
+  /// growth (and an O(buffers) stamp wipe every 2^32 packets).
+  void begin_packet(const SimContext& ctx);
+
+  /// Marks the state seen; returns true iff it was already seen this packet.
+  [[nodiscard]] bool mark_seen(int sid) {
+    if (seen_[static_cast<size_t>(sid)] == epoch_) return true;
+    seen_[static_cast<size_t>(sid)] = epoch_;
+    return false;
+  }
+
+  /// Walk index at which sid was first entered this packet, -1 if never.
+  [[nodiscard]] int first_step(int sid) const {
+    return seen_[static_cast<size_t>(sid)] == epoch_ ? first_step_[static_cast<size_t>(sid)] : -1;
+  }
+  void set_first_step(int sid, int step) {
+    seen_[static_cast<size_t>(sid)] = epoch_;
+    first_step_[static_cast<size_t>(sid)] = step;
+  }
+
+  /// Marks v as a member of the surviving component / as covered by the
+  /// walk; returns true iff it was already marked this packet.
+  [[nodiscard]] bool mark_component(VertexId v) {
+    if (comp_stamp_[static_cast<size_t>(v)] == epoch_) return true;
+    comp_stamp_[static_cast<size_t>(v)] = epoch_;
+    return false;
+  }
+  [[nodiscard]] bool in_component(VertexId v) const {
+    return comp_stamp_[static_cast<size_t>(v)] == epoch_;
+  }
+  [[nodiscard]] bool mark_covered(VertexId v) {
+    if (cov_stamp_[static_cast<size_t>(v)] == epoch_) return true;
+    cov_stamp_[static_cast<size_t>(v)] = epoch_;
+    return false;
+  }
+  [[nodiscard]] bool is_covered(VertexId v) const {
+    return cov_stamp_[static_cast<size_t>(v)] == epoch_;
+  }
+
+  /// Scratch for the locally visible failure set (failures & incident mask).
+  [[nodiscard]] IdSet& local_failures() { return local_; }
+  /// Scratch walk buffer (touring records its walk here when the caller does
+  /// not want one back).
+  [[nodiscard]] std::vector<VertexId>& walk_scratch() { return walk_; }
+  /// Scratch BFS queue for the component sweep of tour evaluation.
+  [[nodiscard]] std::vector<VertexId>& queue_scratch() { return queue_; }
+
+ private:
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> seen_;        // per state: seen iff stamp == epoch_
+  std::vector<int> first_step_;       // valid iff seen_[sid] == epoch_
+  std::vector<uint32_t> comp_stamp_;  // per vertex: in surviving component
+  std::vector<uint32_t> cov_stamp_;   // per vertex: visited by the walk
+  IdSet local_;
+  std::vector<VertexId> walk_;
+  std::vector<VertexId> queue_;
+};
+
 struct RoutingResult {
   RoutingOutcome outcome = RoutingOutcome::kLooped;
   int hops = 0;
@@ -40,12 +160,32 @@ struct RoutingResult {
   std::vector<VertexId> walk;
 };
 
+/// Outcome-only routing result: what the sweep tallies need, nothing that
+/// would force the core to record the walk.
+struct FastRouteResult {
+  RoutingOutcome outcome = RoutingOutcome::kLooped;
+  int hops = 0;
+};
+
 /// Routes one packet from `source` toward `header.destination` under the
 /// (global) failure set; the pattern only ever sees failures incident to the
 /// current node. The header is masked according to the pattern's model
 /// before every forwarding call.
 [[nodiscard]] RoutingResult route_packet(const Graph& g, const ForwardingPattern& pattern,
                                          const IdSet& failures, VertexId source, Header header);
+
+/// Same walk-recording simulation with caller-provided context/workspace
+/// (one allocation for the returned walk, nothing else).
+[[nodiscard]] RoutingResult route_packet(const SimContext& ctx, const ForwardingPattern& pattern,
+                                         const IdSet& failures, VertexId source, Header header,
+                                         RoutingWorkspace& ws);
+
+/// Zero-allocation outcome-only variant: bit-identical outcome and hop count
+/// to route_packet, no walk recorded.
+[[nodiscard]] FastRouteResult route_packet_fast(const SimContext& ctx,
+                                                const ForwardingPattern& pattern,
+                                                const IdSet& failures, VertexId source,
+                                                Header header, RoutingWorkspace& ws);
 
 struct TourResult {
   /// True iff some prefix of the walk returns to the start after having
@@ -58,9 +198,34 @@ struct TourResult {
   std::vector<VertexId> missed;  // component nodes never visited
 };
 
+/// Outcome-only tour result (see TourResult for the semantics).
+struct FastTourResult {
+  bool success = false;
+  bool dropped = false;
+  int steps_walked = 0;
+};
+
 /// Simulates the touring pattern from `start` until the walk provably cycles
 /// (state repetition), then evaluates tour success.
 [[nodiscard]] TourResult tour_packet(const Graph& g, const ForwardingPattern& pattern,
                                      const IdSet& failures, VertexId start);
+
+/// Walk-recording tour with caller-provided context/workspace.
+[[nodiscard]] TourResult tour_packet(const SimContext& ctx, const ForwardingPattern& pattern,
+                                     const IdSet& failures, VertexId start, RoutingWorkspace& ws);
+
+/// Zero-allocation outcome-only variant: bit-identical success/dropped/steps
+/// to tour_packet, no walk or missed list returned.
+[[nodiscard]] FastTourResult tour_packet_fast(const SimContext& ctx,
+                                              const ForwardingPattern& pattern,
+                                              const IdSet& failures, VertexId start,
+                                              RoutingWorkspace& ws);
+
+/// Allocation-free equivalent of connected(g, u, v, failures): BFS over the
+/// surviving graph on the workspace's epoch-stamped buffers, with early exit
+/// on reaching v. Same answer as the connectivity primitive; this is the
+/// sweep engine's default promise check when no oracle is attached.
+[[nodiscard]] bool connected_fast(const SimContext& ctx, const IdSet& failures, VertexId u,
+                                  VertexId v, RoutingWorkspace& ws);
 
 }  // namespace pofl

@@ -17,13 +17,20 @@ StretchStats measure_stretch(const Graph& g, const ForwardingPattern& pattern, V
   std::vector<EdgeId> edges(static_cast<size_t>(g.num_edges()));
   for (size_t i = 0; i < edges.size(); ++i) edges[i] = static_cast<EdgeId>(i);
 
+  // One context/workspace for all trials: the walk is never inspected here,
+  // so every trial rides the outcome-only fast path.
+  const SimContext ctx(g);
+  RoutingWorkspace ws;
+
   for (int trial = 0; trial < trials; ++trial) {
     std::shuffle(edges.begin(), edges.end(), rng);
     IdSet failures = g.empty_edge_set();
-    for (int i = 0; i < num_failures && i < g.num_edges(); ++i) failures.insert(edges[static_cast<size_t>(i)]);
+    for (int i = 0; i < num_failures && i < g.num_edges(); ++i) {
+      failures.insert(edges[static_cast<size_t>(i)]);
+    }
     const auto d = distance(g, s, t, failures);
     if (!d.has_value() || *d == 0) continue;  // promise broken (or s == t)
-    const RoutingResult r = route_packet(g, pattern, failures, s, Header{s, t});
+    const FastRouteResult r = route_packet_fast(ctx, pattern, failures, s, Header{s, t}, ws);
     if (r.outcome != RoutingOutcome::kDelivered) {
       ++stats.failed_deliveries;
       continue;

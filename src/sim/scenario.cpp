@@ -79,8 +79,10 @@ bool ExhaustiveFailureSource::advance_mask() {
 int ExhaustiveFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
   int appended = 0;
   while (appended < max_batch && !exhausted_) {
-    out.push_back(Scenario{edge_mask_to_set(*g_, mask_), pairs_[pair_index_].first,
-                           pairs_[pair_index_].second});
+    // The failure set is shared by every pair of this mask: build it on the
+    // first pair, copy it for the rest.
+    if (pair_index_ == 0) current_ = edge_mask_to_set(*g_, mask_);
+    out.push_back(Scenario{current_, pairs_[pair_index_].first, pairs_[pair_index_].second});
     ++appended;
     if (++pair_index_ == pairs_.size()) {
       pair_index_ = 0;

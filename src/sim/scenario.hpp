@@ -98,6 +98,7 @@ class ExhaustiveFailureSource final : public ScenarioSource {
   std::vector<std::pair<VertexId, VertexId>> pairs_;
   int size_ = 0;
   uint64_t mask_ = 0;
+  IdSet current_;  // failure set of mask_, built once per mask
   size_t pair_index_ = 0;
   bool exhausted_ = false;
 };

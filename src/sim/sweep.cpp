@@ -28,16 +28,90 @@ void SweepStats::merge(const SweepStats& other) {
   max_stretch = std::max(max_stretch, other.max_stretch);
   oracle_hits += other.oracle_hits;
   oracle_misses += other.oracle_misses;
+  oracle_evictions += other.oracle_evictions;
 }
 
 namespace {
 
+/// Worker-local one-entry memo for the default connectivity promise.
+/// Scenario streams are failure-set-major (every pair is asked under F
+/// before the next F appears), so consecutive scenarios usually share their
+/// failure set: one full component labeling then answers every pair under F
+/// with two array lookups. The memo starts lazy (first query per F by
+/// early-exit BFS, labeling only on a second query) and labels eagerly
+/// exactly while the previous F proved to repeat — a failure-set-major
+/// stream pays one labeling per F, while a pair-major stream (where a
+/// repeat is a coincidence, e.g. two identical Monte Carlo draws) falls
+/// back to the cheaper single-query BFS on the very next F. All methods
+/// give the same answer, and the buffers are reused, so steady state stays
+/// allocation-free.
+struct PromiseMemo {
+  IdSet failures;
+  bool have_failures = false;
+  bool labels_valid = false;
+  bool current_repeated = false;  // the memoized F received a second query
+  std::vector<int> labels;
+  std::vector<VertexId> queue;
+};
+
+/// Labels the components of g minus memo.failures into memo.labels (same
+/// labels as components(g, F)), reusing the memo buffers.
+void memo_label_components(const Graph& g, PromiseMemo& memo) {
+  const int n = g.num_vertices();
+  memo.labels.assign(static_cast<size_t>(n), -1);
+  int label = 0;
+  for (VertexId start = 0; start < n; ++start) {
+    if (memo.labels[static_cast<size_t>(start)] != -1) continue;
+    memo.queue.clear();
+    memo.queue.push_back(start);
+    memo.labels[static_cast<size_t>(start)] = label;
+    for (size_t head = 0; head < memo.queue.size(); ++head) {
+      const VertexId v = memo.queue[head];
+      for (EdgeId e : g.incident_edges(v)) {
+        if (memo.failures.contains(e)) continue;
+        const VertexId w = g.other_endpoint(e, v);
+        if (memo.labels[static_cast<size_t>(w)] == -1) {
+          memo.labels[static_cast<size_t>(w)] = label;
+          memo.queue.push_back(w);
+        }
+      }
+    }
+    ++label;
+  }
+  memo.labels_valid = true;
+}
+
+bool promise_connected(const SimContext& ctx, const Scenario& sc, RoutingWorkspace& ws,
+                       PromiseMemo& memo) {
+  if (sc.source == sc.destination) return true;
+  if (memo.have_failures && memo.failures == sc.failures) {
+    memo.current_repeated = true;
+    if (!memo.labels_valid) memo_label_components(ctx.graph(), memo);
+    return memo.labels[static_cast<size_t>(sc.source)] ==
+           memo.labels[static_cast<size_t>(sc.destination)];
+  }
+  const bool eager = memo.current_repeated;
+  memo.failures = sc.failures;
+  memo.have_failures = true;
+  memo.labels_valid = false;
+  memo.current_repeated = false;
+  if (eager) {
+    memo_label_components(ctx.graph(), memo);
+    return memo.labels[static_cast<size_t>(sc.source)] ==
+           memo.labels[static_cast<size_t>(sc.destination)];
+  }
+  return connected_fast(ctx, sc.failures, sc.source, sc.destination, ws);
+}
+
 /// Tallies one scenario into stats and reports whether it is a resilience
-/// violation (promise held, but not delivered / tour incomplete). The
-/// optional result captures feed find_first_violation's witness.
-bool process_scenario(const Graph& g, const ForwardingPattern& pattern, const Scenario& sc,
-                      const SweepOptions& opts, SweepStats& stats,
-                      RoutingResult* routing_out, TourResult* tour_out) {
+/// violation (promise held, but not delivered / tour incomplete). Runs the
+/// zero-allocation simulator fast path against the per-run SimContext and
+/// the worker's RoutingWorkspace — callers that need a witness walk
+/// re-simulate the one scenario they care about.
+bool process_scenario(const SimContext& ctx, const ForwardingPattern& pattern, const Scenario& sc,
+                      const SweepOptions& opts, SweepStats& stats, RoutingWorkspace& ws,
+                      PromiseMemo& memo) {
+  const Graph& g = ctx.graph();
   ++stats.total;
 
   if (sc.destination == kNoVertex) {
@@ -48,16 +122,8 @@ bool process_scenario(const Graph& g, const ForwardingPattern& pattern, const Sc
       return false;
     }
     stats.failures_seen += sc.failures.count();
-    const TourResult r = tour_packet(g, pattern, sc.failures, sc.source);
-    if (r.success) {
-      ++stats.delivered;
-      stats.hops_delivered += r.steps_walked;
-    } else if (r.dropped) {
-      ++stats.dropped;
-    } else {
-      ++stats.looped;
-    }
-    if (tour_out != nullptr) *tour_out = r;
+    const FastTourResult r = tour_packet_fast(ctx, pattern, sc.failures, sc.source, ws);
+    stats.tally_tour(r.success, r.dropped, r.steps_walked);
     return !r.success;
   }
 
@@ -67,7 +133,7 @@ bool process_scenario(const Graph& g, const ForwardingPattern& pattern, const Sc
   } else if (opts.oracle != nullptr) {
     held = opts.oracle->connected(sc.source, sc.destination, sc.failures);
   } else {
-    held = connected(g, sc.source, sc.destination, sc.failures);
+    held = promise_connected(ctx, sc, ws, memo);
   }
   if (!held) {
     ++stats.promise_broken;
@@ -75,36 +141,20 @@ bool process_scenario(const Graph& g, const ForwardingPattern& pattern, const Sc
   }
 
   stats.failures_seen += sc.failures.count();
-  const RoutingResult r = route_packet(g, pattern, sc.failures, sc.source,
-                                       Header{sc.source, sc.destination});
-  switch (r.outcome) {
-    case RoutingOutcome::kDelivered: {
-      ++stats.delivered;
-      stats.hops_delivered += r.hops;
-      if (opts.compute_stretch) {
-        // BFS only on delivery: undelivered and promise-broken scenarios
-        // never need the distance.
-        const auto dist = distance(g, sc.source, sc.destination, sc.failures);
-        if (dist.has_value() && *dist >= 1) {
-          const double stretch = static_cast<double>(r.hops) / *dist;
-          ++stats.stretch_samples;
-          stats.stretch_sum += stretch;
-          stats.max_stretch = std::max(stats.max_stretch, stretch);
-        }
-      }
-      break;
+  const FastRouteResult r = route_packet_fast(ctx, pattern, sc.failures, sc.source,
+                                              Header{sc.source, sc.destination}, ws);
+  stats.tally_route(r.outcome, r.hops);
+  if (r.outcome == RoutingOutcome::kDelivered && opts.compute_stretch) {
+    // BFS only on delivery: undelivered and promise-broken scenarios never
+    // need the distance.
+    const auto dist = distance(g, sc.source, sc.destination, sc.failures);
+    if (dist.has_value() && *dist >= 1) {
+      const double stretch = static_cast<double>(r.hops) / *dist;
+      ++stats.stretch_samples;
+      stats.stretch_sum += stretch;
+      stats.max_stretch = std::max(stats.max_stretch, stretch);
     }
-    case RoutingOutcome::kLooped:
-      ++stats.looped;
-      break;
-    case RoutingOutcome::kDropped:
-      ++stats.dropped;
-      break;
-    case RoutingOutcome::kInvalidForward:
-      ++stats.invalid;
-      break;
   }
-  if (routing_out != nullptr) *routing_out = r;
   return r.outcome != RoutingOutcome::kDelivered;
 }
 
@@ -163,6 +213,11 @@ SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& patte
 
   const int64_t oracle_hits_before = opts_.oracle != nullptr ? opts_.oracle->hits() : 0;
   const int64_t oracle_misses_before = opts_.oracle != nullptr ? opts_.oracle->misses() : 0;
+  const int64_t oracle_evictions_before = opts_.oracle != nullptr ? opts_.oracle->evictions() : 0;
+
+  // One immutable context per run (per graph), one workspace per worker:
+  // steady-state scenarios allocate nothing.
+  const SimContext ctx(g);
 
   SweepReport report;
   std::unordered_map<uint64_t, SweepStats> global_pairs;
@@ -171,6 +226,8 @@ SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& patte
 
   auto worker = [&]() {
     SweepStats local;
+    RoutingWorkspace ws;
+    PromiseMemo memo;
     std::unordered_map<uint64_t, SweepStats> local_pairs;
     std::vector<Scenario> batch;
     for (;;) {
@@ -182,7 +239,7 @@ SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& patte
       for (const Scenario& sc : batch) {
         SweepStats& target =
             collect_per_pair ? local_pairs[pair_key(sc.source, sc.destination)] : local;
-        process_scenario(g, pattern, sc, opts_, target, nullptr, nullptr);
+        process_scenario(ctx, pattern, sc, opts_, target, ws, memo);
       }
     }
     const std::lock_guard<std::mutex> lock(stats_mutex);
@@ -203,6 +260,7 @@ SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& patte
   if (opts_.oracle != nullptr) {
     report.totals.oracle_hits = opts_.oracle->hits() - oracle_hits_before;
     report.totals.oracle_misses = opts_.oracle->misses() - oracle_misses_before;
+    report.totals.oracle_evictions = opts_.oracle->evictions() - oracle_evictions_before;
   }
 
   if (collect_per_pair) {
@@ -234,6 +292,7 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
   // cannot improve the minimum. The final `best` is therefore the global
   // minimum violating index, independent of thread count and timing.
   constexpr int64_t kNoViolation = std::numeric_limits<int64_t>::max();
+  const SimContext ctx(g);
   std::atomic<int64_t> best{kNoViolation};
   std::optional<SweepFinding> finding;
   std::mutex source_mutex;
@@ -242,6 +301,8 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
 
   auto worker = [&]() {
     SweepStats scratch;
+    RoutingWorkspace ws;
+    PromiseMemo memo;
     std::vector<Scenario> batch;
     for (;;) {
       int64_t start = 0;
@@ -261,16 +322,26 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
       for (int i = 0; i < n; ++i) {
         const int64_t index = start + i;
         if (index >= best.load(std::memory_order_relaxed)) break;
-        RoutingResult routing;
-        TourResult tour;
-        if (!process_scenario(g, pattern, batch[static_cast<size_t>(i)], opts_, scratch,
-                              &routing, &tour)) {
+        const Scenario& sc = batch[static_cast<size_t>(i)];
+        if (!process_scenario(ctx, pattern, sc, opts_, scratch, ws, memo)) {
           continue;
         }
         const std::lock_guard<std::mutex> lock(best_mutex);
         if (index < best.load(std::memory_order_relaxed)) {
           best.store(index, std::memory_order_release);
-          finding = SweepFinding{index, batch[static_cast<size_t>(i)], routing, tour};
+          // Re-simulate only the winning candidate with walk recording: the
+          // simulation is deterministic, so the witness is identical, and
+          // the hot loop above stays on the zero-allocation path.
+          SweepFinding f;
+          f.index = index;
+          f.scenario = sc;
+          if (sc.destination == kNoVertex) {
+            f.tour = tour_packet(ctx, pattern, sc.failures, sc.source, ws);
+          } else {
+            f.routing = route_packet(ctx, pattern, sc.failures, sc.source,
+                                     Header{sc.source, sc.destination}, ws);
+          }
+          finding = std::move(f);
         }
         break;  // later scenarios in this batch have larger indices
       }

@@ -83,9 +83,11 @@ struct SweepStats {
   // Connectivity-oracle accounting for this sweep (zero when no oracle is
   // attached): hits are promise checks answered from the cache — i.e.
   // disconnected scenarios skipped, and connected ones admitted, without
-  // repeating the BFS.
+  // repeating the BFS. Evictions count cached label vectors displaced by the
+  // oracle's second-chance policy once its capacity is reached.
   int64_t oracle_hits = 0;
   int64_t oracle_misses = 0;
+  int64_t oracle_evictions = 0;
 
   [[nodiscard]] int64_t promise_held() const { return total - promise_broken; }
   [[nodiscard]] double delivery_rate() const { return rate(delivered); }
@@ -103,6 +105,40 @@ struct SweepStats {
   }
 
   void merge(const SweepStats& other);
+
+  /// Tallies one promise-holding routing outcome (hops count only on
+  /// delivery). Shared by the engine, the legacy-loop cross-checks in the
+  /// tests, and the frozen bench baseline so the switch lives once.
+  void tally_route(RoutingOutcome outcome, int hops) {
+    switch (outcome) {
+      case RoutingOutcome::kDelivered:
+        ++delivered;
+        hops_delivered += hops;
+        break;
+      case RoutingOutcome::kLooped:
+        ++looped;
+        break;
+      case RoutingOutcome::kDropped:
+        ++dropped;
+        break;
+      case RoutingOutcome::kInvalidForward:
+        ++invalid;
+        break;
+    }
+  }
+
+  /// Tallies one touring outcome (a successful tour counts as delivered,
+  /// its steps as hops; a failed tour is a drop or a loop).
+  void tally_tour(bool success, bool was_dropped, int steps_walked) {
+    if (success) {
+      ++delivered;
+      hops_delivered += steps_walked;
+    } else if (was_dropped) {
+      ++dropped;
+    } else {
+      ++looped;
+    }
+  }
 
  private:
   [[nodiscard]] double rate(int64_t numerator) const {

@@ -1,6 +1,7 @@
 #include "sim/sweep_json.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -15,6 +16,18 @@ BenchArgs parse_bench_args(int argc, char** argv) {
         return args;
       }
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        args.error = true;
+        return args;
+      }
+      char* end = nullptr;
+      args.num_threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      args.threads_set = true;
+      if (end == argv[i] || *end != '\0' || args.num_threads < 0) {
+        args.error = true;
+        return args;
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // Unknown flags (misspellings, --json=path) must fail loudly, not
       // silently become positionals.
@@ -153,6 +166,7 @@ void append_json(JsonWriter& w, const SweepStats& stats) {
   w.key("max_stretch").value(stats.max_stretch);
   w.key("oracle_hits").value(stats.oracle_hits);
   w.key("oracle_misses").value(stats.oracle_misses);
+  w.key("oracle_evictions").value(stats.oracle_evictions);
   w.key("delivery_rate").value(stats.delivery_rate());
   w.key("loop_rate").value(stats.loop_rate());
   w.key("drop_rate").value(stats.drop_rate());

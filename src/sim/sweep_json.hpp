@@ -19,13 +19,18 @@
 namespace pofl {
 
 /// Shared command-line convention for the bench drivers:
-/// `<bench> [positional...] [--json <path>]`. One parser instead of six
-/// hand-rolled copies, with one behavior: a `--json` flag without a path is
-/// an error (reported on stderr by the caller), never a positional.
+/// `<bench> [positional...] [--json <path>] [--threads <n>]`. One parser
+/// instead of seven hand-rolled copies, with one behavior: a flag without
+/// its value (or an unknown --flag, or a non-numeric thread count) is an
+/// error (reported on stderr by the caller), never a positional. Drivers
+/// without any threaded sweep reject `--threads` via `threads_set` so the
+/// flag never silently does nothing.
 struct BenchArgs {
   std::string json_path;                 // empty when --json absent
+  int num_threads = 0;                   // --threads; 0 = engine default
+  bool threads_set = false;              // --threads appeared on the command line
   std::vector<std::string> positional;   // everything that is not a flag
-  bool error = false;                    // --json without a path, or an unknown --flag
+  bool error = false;                    // missing flag value or unknown --flag
 };
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
 

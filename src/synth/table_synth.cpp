@@ -89,6 +89,8 @@ class Synthesizer {
 
   [[nodiscard]] int violations(const PriorityTablePattern& pattern) const {
     int bad = 0;
+    const SimContext ctx(g_);
+    RoutingWorkspace ws;
     const uint32_t limit = uint32_t{1} << g_.num_edges();
     for (uint32_t mask = 0; mask < limit; ++mask) {
       IdSet failures = g_.empty_edge_set();
@@ -97,7 +99,7 @@ class Synthesizer {
       }
       if (with_source_) {
         if (!connected(g_, s_, t_, failures)) continue;
-        if (route_packet(g_, pattern, failures, s_, Header{s_, t_}).outcome !=
+        if (route_packet_fast(ctx, pattern, failures, s_, Header{s_, t_}, ws).outcome !=
             RoutingOutcome::kDelivered) {
           ++bad;
         }
@@ -105,7 +107,7 @@ class Synthesizer {
         const auto comp = components(g_, failures);
         for (VertexId v = 0; v < g_.num_vertices(); ++v) {
           if (v == t_ || comp[static_cast<size_t>(v)] != comp[static_cast<size_t>(t_)]) continue;
-          if (route_packet(g_, pattern, failures, v, Header{v, t_}).outcome !=
+          if (route_packet_fast(ctx, pattern, failures, v, Header{v, t_}, ws).outcome !=
               RoutingOutcome::kDelivered) {
             ++bad;
           }

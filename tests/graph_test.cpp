@@ -222,5 +222,83 @@ TEST(Builders, FailuresBetween) {
   EXPECT_TRUE(f.contains(*g.edge_between(2, 3)));
 }
 
+TEST(IdSet, AssignAndMatchesOperatorAndAcrossUniverses) {
+  // Small (inline) universe, then a heap-backed one (> 128 ids), reusing the
+  // same scratch set — the workspace usage pattern.
+  IdSet scratch;
+  for (const int universe : {10, 100, 200, 64, 300}) {
+    IdSet a(universe), b(universe);
+    for (int i = 0; i < universe; i += 3) a.insert(i);
+    for (int i = 0; i < universe; i += 2) b.insert(i);
+    scratch.assign_and(a, b);
+    EXPECT_EQ(scratch, a & b) << "universe=" << universe;
+    EXPECT_EQ(scratch.universe_size(), universe);
+  }
+}
+
+TEST(IdSet, CopyAndMoveAcrossInlineAndHeapStorage) {
+  IdSet small(100);
+  small.insert(7);
+  small.insert(99);
+  IdSet big(500);
+  big.insert(0);
+  big.insert(450);
+
+  IdSet copy_small = small;
+  IdSet copy_big = big;
+  EXPECT_EQ(copy_small, small);
+  EXPECT_EQ(copy_big, big);
+
+  // Assign a small set over a heap-backed one and vice versa.
+  IdSet x = big;
+  x = small;
+  EXPECT_EQ(x, small);
+  IdSet y = small;
+  y = big;
+  EXPECT_EQ(y, big);
+
+  // Moves preserve contents.
+  IdSet moved_small(std::move(copy_small));
+  IdSet moved_big(std::move(copy_big));
+  EXPECT_EQ(moved_small, small);
+  EXPECT_EQ(moved_big, big);
+  IdSet z = big;
+  z = std::move(moved_small);
+  EXPECT_EQ(z, small);
+}
+
+TEST(Graph, PortTableMatchesIncidenceOrder) {
+  const Graph g = make_ring_with_chords(12, 4, 3);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const VertexId end : {g.edge(e).u, g.edge(e).v}) {
+      const int port = g.port_of(e, end);
+      ASSERT_GE(port, 0);
+      ASSERT_LT(port, g.degree(end));
+      EXPECT_EQ(g.incident_edges(end)[static_cast<size_t>(port)], e);
+    }
+  }
+}
+
+TEST(Graph, HasAliveIncidentEdgeMatchesAliveList) {
+  const Graph g = make_wheel(6);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << g.num_edges()); mask += 7) {
+    IdSet f = g.empty_edge_set();
+    for (int b = 0; b < g.num_edges(); ++b) {
+      if (mask >> b & 1) f.insert(b);
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(g.has_alive_incident_edge(v, f), !g.alive_incident_edges(v, f).empty());
+    }
+  }
+}
+
+TEST(Graph, EdgeBetweenRejectsOutOfRangeIds) {
+  const Graph g = make_path(3);
+  EXPECT_FALSE(g.edge_between(2, 3).has_value());  // one past the last vertex
+  EXPECT_FALSE(g.edge_between(-1, 0).has_value());
+  EXPECT_TRUE(g.edge_between(0, 1).has_value());
+  EXPECT_TRUE(g.edge_between(1, 0).has_value());
+}
+
 }  // namespace
 }  // namespace pofl

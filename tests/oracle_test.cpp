@@ -90,6 +90,89 @@ TEST(ConnectivityOracle, ClearResetsCountersAndEntries) {
   EXPECT_EQ(oracle.size(), size_t{0});
 }
 
+TEST(ConnectivityOracle, EvictsAtCapacityInsteadOfRejecting) {
+  // Pre-eviction the oracle degraded to compute-without-insert at the cap;
+  // now the second-chance policy keeps admitting new sets. Size must stay
+  // bounded, evictions must be counted, and answers must stay correct.
+  const Graph g = make_complete(4);  // 64 failure sets >> 32-entry ceiling
+  ConnectivityOracle oracle(g, /*max_entries=*/16);
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t mask = 0; mask < limit; ++mask) {
+      const IdSet failures = edge_mask_to_set(g, mask);
+      const auto cached = oracle.components_of(failures);
+      ASSERT_EQ(*cached, components(g, failures)) << "pass=" << pass << " mask=" << mask;
+    }
+  }
+  EXPECT_GT(oracle.evictions(), 0);
+  EXPECT_LE(oracle.size(), size_t{32});  // 16/16+1 = 2 entries per shard ceiling
+  EXPECT_EQ(oracle.hits() + oracle.misses(), static_cast<int64_t>(2 * limit));
+}
+
+TEST(ConnectivityOracle, SecondChanceKeepsAHotEntryUnderPressure) {
+  // A set that is touched between every cold insertion has its referenced
+  // bit set each round, so the clock hand passes over it: the hot set keeps
+  // hitting even though the cache is at capacity and evicting.
+  const Graph g = make_complete(4);
+  ConnectivityOracle oracle(g, /*max_entries=*/16);
+  const IdSet hot = edge_mask_to_set(g, 0b111);
+  (void)oracle.components_of(hot);
+  const int64_t miss_after_insert = oracle.misses();
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  for (uint64_t mask = 8; mask < limit; ++mask) {
+    (void)oracle.components_of(edge_mask_to_set(g, mask));  // cold pressure
+    (void)oracle.components_of(hot);                        // keep it referenced
+  }
+  EXPECT_GT(oracle.evictions(), 0);
+  // The hot set never misses again: every one of its queries after the
+  // first was a hit.
+  EXPECT_EQ(oracle.misses(), miss_after_insert + static_cast<int64_t>(limit - 8));
+}
+
+TEST(ConnectivityOracle, ClearResetsEvictionCounter) {
+  const Graph g = make_complete(4);
+  ConnectivityOracle oracle(g, /*max_entries=*/16);
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    (void)oracle.components_of(edge_mask_to_set(g, mask));
+  }
+  EXPECT_GT(oracle.evictions(), 0);
+  oracle.clear();
+  EXPECT_EQ(oracle.evictions(), 0);
+  EXPECT_EQ(oracle.size(), size_t{0});
+  // And the oracle keeps working after the reset.
+  EXPECT_EQ(*oracle.components_of(g.empty_edge_set()), components(g, g.empty_edge_set()));
+}
+
+TEST(ConnectivityOracle, SweepSurfacesEvictionsInStats) {
+  // A tiny-cap oracle on an exhaustive sweep must evict, and the engine
+  // must report exactly the delta of the oracle's counter.
+  const Graph g = make_complete(5);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+  ConnectivityOracle oracle(g, /*max_entries=*/16);
+  const int64_t evictions_before = oracle.evictions();
+  ExhaustiveFailureSource source(g, 4, all_ordered_pairs(g));
+  SweepOptions opts;
+  opts.num_threads = 2;
+  opts.oracle = &oracle;
+  const SweepStats stats = SweepEngine(opts).run(g, *pattern, source);
+  EXPECT_GT(stats.oracle_evictions, 0);
+  EXPECT_EQ(stats.oracle_evictions, oracle.evictions() - evictions_before);
+  EXPECT_EQ(stats.oracle_hits + stats.oracle_misses, stats.total);
+
+  // The tiny-cap cached sweep still tallies identically to an uncached one.
+  ExhaustiveFailureSource plain_source(g, 4, all_ordered_pairs(g));
+  SweepOptions plain;
+  plain.num_threads = 2;
+  const SweepStats uncached = SweepEngine(plain).run(g, *pattern, plain_source);
+  EXPECT_EQ(stats.total, uncached.total);
+  EXPECT_EQ(stats.promise_broken, uncached.promise_broken);
+  EXPECT_EQ(stats.delivered, uncached.delivered);
+  EXPECT_EQ(stats.looped, uncached.looped);
+  EXPECT_EQ(stats.dropped, uncached.dropped);
+  EXPECT_EQ(stats.invalid, uncached.invalid);
+}
+
 TEST(ConnectivityOracle, EngineSweepWithOracleMatchesWithout) {
   // The oracle is a pure cache: attaching it must not change a single
   // counter of a multi-threaded sweep, and the sweep must record its
