@@ -11,7 +11,12 @@
 //
 // The driver *asserts* that all three produce bit-identical SweepStats and
 // exits nonzero otherwise, so the speedup numbers can never come from
-// diverging semantics. `--json <path>` writes every number machine-readably
+// diverging semantics. The baseline arm pulls scenarios through the legacy
+// per-Scenario wrapper while the engine arms ride the zero-copy batches, so
+// the assertion also pins wrapper == batch-path semantics on every stream.
+// A separate source-only column drains each source into a ScenarioBatch
+// with no simulation at all, so scenario-production regressions show up in
+// isolation. `--json <path>` writes every number machine-readably
 // (BENCH_perf.json in CI); `--threads <n>` sets the multi-threaded arm.
 
 #include <algorithm>
@@ -187,6 +192,31 @@ Measured measure_sweep_once(F&& sweep_once) {
   return m;
 }
 
+/// Scenario-production throughput alone: drains the source into a reused
+/// ScenarioBatch without simulating anything. Isolates the source-side cost
+/// (Monte Carlo draws, Gosper decoding, batch refills) so a regression in
+/// scenario production is visible even when simulation dominates end to end.
+double measure_source_rate(ScenarioSource& source) {
+  ScenarioBatch batch;
+  const auto drain = [&] {
+    source.reset();
+    int64_t total = 0;
+    while (const int n = source.next_batch(256, batch)) total += n;
+    return total;
+  };
+  drain();  // warmup
+  int64_t scenarios = 0;
+  int runs = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    scenarios += drain();
+    ++runs;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.25 || runs < 2);
+  return static_cast<double>(scenarios) / elapsed;
+}
+
 /// Times a thunk in ns/op, repeating until ~0.2 s has elapsed.
 template <typename F>
 double measure_ns(F&& op) {
@@ -281,8 +311,8 @@ int main(int argc, char** argv) {
   std::printf("=== Packet-simulation throughput: baseline vs zero-allocation fast path ===\n");
   std::printf("(zoo graph: %s, n=%d m=%d; mt arm uses %d threads)\n\n", zoo_pick->name.c_str(),
               zg.num_vertices(), zg.num_edges(), mt_threads);
-  std::printf("%-16s %12s | %14s %14s %14s | %8s %8s\n", "workload", "scenarios", "baseline/s",
-              "fast 1t/s", "fast mt/s", "x 1t", "x mt");
+  std::printf("%-16s %12s | %14s %14s %14s %14s | %8s %8s\n", "workload", "scenarios",
+              "source-only/s", "baseline/s", "fast 1t/s", "fast mt/s", "x 1t", "x mt");
 
   bool all_identical = true;
   for (const Workload& w : workloads) {
@@ -315,20 +345,23 @@ int main(int argc, char** argv) {
       if (fN.packets_per_sec > fastN.packets_per_sec) fastN = fN;
     }
 
+    const double source_rate = measure_source_rate(*w.source);
+
     const bool identical =
         stats_identical(baseline.stats, fast1.stats) && stats_identical(fast1.stats, fastN.stats);
     all_identical = all_identical && identical;
     const double speedup1 = fast1.packets_per_sec / baseline.packets_per_sec;
     const double speedupN = fastN.packets_per_sec / baseline.packets_per_sec;
 
-    std::printf("%-16s %12lld | %14.0f %14.0f %14.0f | %7.2fx %7.2fx%s\n", w.name.c_str(),
-                static_cast<long long>(baseline.stats.total), baseline.packets_per_sec,
-                fast1.packets_per_sec, fastN.packets_per_sec, speedup1, speedupN,
-                identical ? "" : "  STATS MISMATCH");
+    std::printf("%-16s %12lld | %14.0f %14.0f %14.0f %14.0f | %7.2fx %7.2fx%s\n", w.name.c_str(),
+                static_cast<long long>(baseline.stats.total), source_rate,
+                baseline.packets_per_sec, fast1.packets_per_sec, fastN.packets_per_sec, speedup1,
+                speedupN, identical ? "" : "  STATS MISMATCH");
 
     json.begin_object();
     json.key("name").value(w.name);
     json.key("scenarios").value(baseline.stats.total);
+    json.key("source_packets_per_sec").value(source_rate);
     json.key("baseline_packets_per_sec").value(baseline.packets_per_sec);
     json.key("fast_packets_per_sec_1t").value(fast1.packets_per_sec);
     json.key("fast_packets_per_sec_mt").value(fastN.packets_per_sec);

@@ -9,18 +9,26 @@
 //   pofl_cli export-zoo <directory>           write the synthetic zoo as
 //                                             GraphML for external tools
 //   pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] [--per-pair]
+//                  [--check <baseline.json>]
 //                                             parallel Monte Carlo sweep of
 //                                             the natural failover pattern
 //                                             over all pairs under i.i.d.
 //                                             link failures; --json writes
 //                                             SweepStats (+ per-pair rows)
-//                                             machine-readably
+//                                             machine-readably; --check
+//                                             replays the sweep and diffs
+//                                             its JSON bit-for-bit against a
+//                                             previously recorded --json
+//                                             file (exit 1 on divergence) —
+//                                             the golden-baseline workflow
+//                                             from the command line
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "attacks/exhaustive.hpp"
@@ -47,7 +55,7 @@ int usage() {
                "       pofl_cli attack <file.graphml> <s> <t>\n"
                "       pofl_cli export-zoo <directory>\n"
                "       pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] "
-               "[--per-pair]\n");
+               "[--per-pair] [--check <baseline.json>]\n");
   return 2;
 }
 
@@ -128,7 +136,7 @@ int cmd_attack(const std::string& path, VertexId s, VertexId t) {
 }
 
 int cmd_sweep(const std::string& path, double p, int trials, const std::string& json_path,
-              bool per_pair) {
+              bool per_pair, const std::string& check_path) {
   const auto net = load(path);
   if (!net.has_value()) return 1;
   const Graph& g = net->graph;
@@ -143,9 +151,13 @@ int cmd_sweep(const std::string& path, double p, int trials, const std::string& 
   SweepOptions opts;
   opts.compute_stretch = true;
   opts.oracle = &oracle;
+  // Recorded/replayed trajectories must be bit-reproducible, but the
+  // floating stretch sums are worker-merge-order-sensitive in the last ulp:
+  // pin trajectory runs to one worker. Interactive sweeps stay parallel.
+  if (!json_path.empty() || !check_path.empty()) opts.num_threads = 1;
   const SweepEngine engine(opts);
   SweepReport report;
-  if (per_pair || !json_path.empty()) {
+  if (per_pair || !json_path.empty() || !check_path.empty()) {
     report = engine.run_report(g, *pattern, source);
   } else {
     report.totals = engine.run(g, *pattern, source);
@@ -180,6 +192,25 @@ int cmd_sweep(const std::string& path, double p, int trials, const std::string& 
     }
   }
   if (!json_path.empty() && !write_json_file(json_path, to_json(report))) return 1;
+  if (!check_path.empty()) {
+    // Golden replay: the sweep is deterministic (fixed seed, portable
+    // fast-rand draws, thread-count-invariant counters), so the serialized
+    // report must reproduce a previously recorded --json file bit for bit.
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read baseline %s\n", check_path.c_str());
+      return 1;
+    }
+    std::string golden((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (golden != to_json(report) + "\n") {
+      std::fprintf(stderr,
+                   "error: sweep diverged from baseline %s (re-record it with --json if the "
+                   "change is intentional)\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::printf("baseline check:   OK (%s reproduced bit-for-bit)\n", check_path.c_str());
+  }
   return 0;
 }
 
@@ -212,17 +243,21 @@ int main(int argc, char** argv) {
   if (cmd == "export-zoo") return cmd_export_zoo(argv[2]);
   if (cmd == "sweep" && argc >= 5) {
     std::string json_path;
+    std::string check_path;
     bool per_pair = false;
     for (int i = 5; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
         json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+        check_path = argv[++i];
       } else if (std::strcmp(argv[i], "--per-pair") == 0) {
         per_pair = true;
       } else {
         return usage();
       }
     }
-    return cmd_sweep(argv[2], std::atof(argv[3]), std::atoi(argv[4]), json_path, per_pair);
+    return cmd_sweep(argv[2], std::atof(argv[3]), std::atoi(argv[4]), json_path, per_pair,
+                     check_path);
   }
   return usage();
 }

@@ -12,14 +12,21 @@
 
 namespace pofl {
 
-/// Decodes an edge-id bitmask into a failure IdSet over g's edges.
-[[nodiscard]] inline IdSet edge_mask_to_set(const Graph& g, uint64_t mask) {
-  IdSet f = g.empty_edge_set();
+/// Decodes an edge-id bitmask into `out` in place, reusing its storage —
+/// the zero-copy batching counterpart of edge_mask_to_set.
+inline void edge_mask_write(const Graph& g, uint64_t mask, IdSet& out) {
+  out.reset_universe(g.num_edges());
   while (mask != 0) {
     const int bit = __builtin_ctzll(mask);
     mask &= mask - 1;
-    f.insert(bit);
+    out.insert(bit);
   }
+}
+
+/// Decodes an edge-id bitmask into a failure IdSet over g's edges.
+[[nodiscard]] inline IdSet edge_mask_to_set(const Graph& g, uint64_t mask) {
+  IdSet f = g.empty_edge_set();
+  edge_mask_write(g, mask, f);
   return f;
 }
 

@@ -24,11 +24,7 @@ class IdSet {
 
  public:
   IdSet() = default;
-  explicit IdSet(int universe_size) : universe_(universe_size) {
-    assert(universe_size >= 0);
-    set_word_count(words_needed(universe_size));
-    std::fill_n(words(), num_words_, uint64_t{0});
-  }
+  explicit IdSet(int universe_size) { reset_universe(universe_size); }
 
   IdSet(const IdSet& other) : universe_(other.universe_) {
     set_word_count(other.num_words_);
@@ -89,6 +85,17 @@ class IdSet {
   }
 
   void clear() { std::fill_n(words(), num_words_, uint64_t{0}); }
+
+  /// Re-initializes to an empty set over `universe` ids, reusing the current
+  /// storage — the in-place alternative to assigning a fresh IdSet(universe).
+  /// Batch producers call this once per refill, so steady-state scenario
+  /// production never allocates.
+  void reset_universe(int universe) {
+    assert(universe >= 0);
+    universe_ = universe;
+    set_word_count(words_needed(universe));
+    std::fill_n(words(), num_words_, uint64_t{0});
+  }
 
   [[nodiscard]] int count() const {
     int total = 0;

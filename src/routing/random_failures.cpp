@@ -1,36 +1,29 @@
 #include "routing/random_failures.hpp"
 
-#include <random>
-
 #include "graph/connectivity.hpp"
+#include "graph/fast_rand.hpp"
 #include "routing/simulator.hpp"
 
 namespace pofl {
 
-namespace {
-
-IdSet draw_failures(const Graph& g, double p, std::mt19937_64& rng) {
-  std::bernoulli_distribution coin(p);
-  IdSet f = g.empty_edge_set();
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (coin(rng)) f.insert(e);
-  }
-  return f;
-}
-
-}  // namespace
+// Both estimators draw with the shared fast Monte Carlo primitives, one
+// i.i.d. draw per trial into a reused mask — the identical call sequence as
+// RandomFailureSource::iid, so the sweep engine reproduces these legacy
+// aggregates bit for bit at equal seeds (pinned in random_failures_test).
 
 RandomFailureStats estimate_delivery_rate(const Graph& g, const ForwardingPattern& pattern,
                                           VertexId s, VertexId t, double p, int trials,
                                           uint64_t seed) {
-  std::mt19937_64 rng(seed);
+  FastRng rng(seed);
+  const uint64_t threshold = coin_threshold(p);
   RandomFailureStats stats;
   long long failures_total = 0;
   long long hops_total = 0;
   const SimContext ctx(g);
   RoutingWorkspace ws;
+  IdSet f;
   for (int i = 0; i < trials; ++i) {
-    const IdSet f = draw_failures(g, p, rng);
+    iid_sample(rng, g.num_edges(), threshold, f);
     if (!connected(g, s, t, f)) continue;
     ++stats.trials_with_promise;
     failures_total += f.count();
@@ -52,14 +45,16 @@ RandomFailureStats estimate_delivery_rate(const Graph& g, const ForwardingPatter
 
 RandomFailureStats estimate_touring_rate(const Graph& g, const ForwardingPattern& pattern,
                                          VertexId start, double p, int trials, uint64_t seed) {
-  std::mt19937_64 rng(seed);
+  FastRng rng(seed);
+  const uint64_t threshold = coin_threshold(p);
   RandomFailureStats stats;
   long long failures_total = 0;
   long long hops_total = 0;
   const SimContext ctx(g);
   RoutingWorkspace ws;
+  IdSet f;
   for (int i = 0; i < trials; ++i) {
-    const IdSet f = draw_failures(g, p, rng);
+    iid_sample(rng, g.num_edges(), threshold, f);
     ++stats.trials_with_promise;  // touring's promise is unconditional
     failures_total += f.count();
     const FastTourResult r = tour_packet_fast(ctx, pattern, f, start, ws);

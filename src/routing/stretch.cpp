@@ -1,33 +1,31 @@
 #include "routing/stretch.hpp"
 
 #include <algorithm>
-#include <random>
 
 #include "graph/connectivity.hpp"
+#include "graph/fast_rand.hpp"
 #include "routing/simulator.hpp"
 
 namespace pofl {
 
 StretchStats measure_stretch(const Graph& g, const ForwardingPattern& pattern, VertexId s,
                              VertexId t, int num_failures, int trials, uint64_t seed) {
-  std::mt19937_64 rng(seed);
+  FastRng rng(seed);
   StretchStats stats;
   double stretch_sum = 0.0;
   long long hops_sum = 0;
-  std::vector<EdgeId> edges(static_cast<size_t>(g.num_edges()));
-  for (size_t i = 0; i < edges.size(); ++i) edges[i] = static_cast<EdgeId>(i);
 
-  // One context/workspace for all trials: the walk is never inspected here,
-  // so every trial rides the outcome-only fast path.
+  // One context/workspace/mask for all trials: the walk is never inspected
+  // here, so every trial rides the outcome-only fast path, and the draws
+  // (one Floyd exact-count sample per trial) match
+  // RandomFailureSource::exact_count call for call — equal seeds keep the
+  // engine and this estimator on identical failure sets.
   const SimContext ctx(g);
   RoutingWorkspace ws;
+  IdSet failures;
 
   for (int trial = 0; trial < trials; ++trial) {
-    std::shuffle(edges.begin(), edges.end(), rng);
-    IdSet failures = g.empty_edge_set();
-    for (int i = 0; i < num_failures && i < g.num_edges(); ++i) {
-      failures.insert(edges[static_cast<size_t>(i)]);
-    }
+    floyd_sample(rng, g.num_edges(), std::min(num_failures, g.num_edges()), failures);
     const auto d = distance(g, s, t, failures);
     if (!d.has_value() || *d == 0) continue;  // promise broken (or s == t)
     const FastRouteResult r = route_packet_fast(ctx, pattern, failures, s, Header{s, t}, ws);

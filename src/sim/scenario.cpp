@@ -11,6 +11,13 @@
 
 namespace pofl {
 
+int ScenarioSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+  const int n = next_batch(max_batch, compat_batch_);
+  out.reserve(out.size() + static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(compat_batch_.scenario(i));
+  return n;
+}
+
 std::vector<std::pair<VertexId, VertexId>> all_ordered_pairs(const Graph& g) {
   std::vector<std::pair<VertexId, VertexId>> pairs;
   pairs.reserve(static_cast<size_t>(g.num_vertices()) * (g.num_vertices() - 1));
@@ -76,13 +83,16 @@ bool ExhaustiveFailureSource::advance_mask() {
   return mask_ < limit;
 }
 
-int ExhaustiveFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+int ExhaustiveFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
+  out.clear();
   int appended = 0;
   while (appended < max_batch && !exhausted_) {
-    // The failure set is shared by every pair of this mask: build it on the
-    // first pair, copy it for the rest.
-    if (pair_index_ == 0) current_ = edge_mask_to_set(*g_, mask_);
-    out.push_back(Scenario{current_, pairs_[pair_index_].first, pairs_[pair_index_].second});
+    // One group per mask, decoded straight into the batch; a batch boundary
+    // in the middle of a pair block re-opens the group for the same mask.
+    if (appended == 0 || pair_index_ == 0) {
+      edge_mask_write(*g_, mask_, out.start_group());
+    }
+    out.push(pairs_[pair_index_].first, pairs_[pair_index_].second, mask_);
     ++appended;
     if (++pair_index_ == pairs_.size()) {
       pair_index_ = 0;
@@ -125,11 +135,11 @@ RandomFailureSource::RandomFailureSource(const Graph& g, bool exact, double p, i
     : g_(&g),
       exact_(exact),
       p_(p),
+      coin_threshold_(coin_threshold(p)),
       num_failures_(num_failures),
       trials_per_pair_(trials_per_pair),
       seed_(seed),
       pairs_(std::move(pairs)),
-      edge_scratch_(static_cast<size_t>(g.num_edges())),
       rng_(seed) {
   reset();
 }
@@ -140,36 +150,30 @@ std::string RandomFailureSource::name() const {
 }
 
 void RandomFailureSource::reset() {
-  rng_.seed(seed_);
-  // The exact-count shuffles permute edge_scratch_ cumulatively; restore the
-  // identity order so a reset stream replays the identical draws.
-  for (size_t i = 0; i < edge_scratch_.size(); ++i) edge_scratch_[i] = static_cast<EdgeId>(i);
+  rng_ = FastRng(seed_);
   pair_index_ = 0;
   trial_ = 0;
 }
 
-IdSet RandomFailureSource::draw() {
+void RandomFailureSource::draw_into(IdSet& out) {
   if (exact_) {
-    std::shuffle(edge_scratch_.begin(), edge_scratch_.end(), rng_);
-    IdSet f = g_->empty_edge_set();
-    for (int i = 0; i < num_failures_ && i < g_->num_edges(); ++i) {
-      f.insert(edge_scratch_[static_cast<size_t>(i)]);
-    }
-    return f;
+    floyd_sample(rng_, g_->num_edges(), std::min(num_failures_, g_->num_edges()), out);
+  } else {
+    iid_sample(rng_, g_->num_edges(), coin_threshold_, out);
   }
-  std::bernoulli_distribution coin(p_);
-  IdSet f = g_->empty_edge_set();
-  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
-    if (coin(rng_)) f.insert(e);
-  }
-  return f;
 }
 
-int RandomFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+int RandomFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
+  out.clear();
   if (trials_per_pair_ <= 0) return 0;  // empty stream, not an infinite one
   int appended = 0;
   while (appended < max_batch && pair_index_ < pairs_.size()) {
-    out.push_back(Scenario{draw(), pairs_[pair_index_].first, pairs_[pair_index_].second});
+    // Every draw is fresh, so every scenario is its own group; the tag is
+    // the draw ordinal (stable across batch sizes and resets).
+    draw_into(out.start_group());
+    out.push(pairs_[pair_index_].first, pairs_[pair_index_].second,
+             static_cast<uint64_t>(pair_index_) * static_cast<uint64_t>(trials_per_pair_) +
+                 static_cast<uint64_t>(trial_));
     ++appended;
     if (++trial_ == trials_per_pair_) {
       trial_ = 0;
@@ -196,36 +200,36 @@ std::string SampledFailureSource::name() const {
   return "sampled<=" + std::to_string(max_failures_) + " x" + std::to_string(samples_);
 }
 
+void SampledFailureSource::draw_current() {
+  // Legacy draw: uniform size k in [0, cap], then k edge ids with
+  // replacement — same RNG call sequence as the pre-engine verifier.
+  std::uniform_int_distribution<int> size_dist(0, max_failures_);
+  std::uniform_int_distribution<int> edge_dist(0, g_->num_edges() - 1);
+  current_.reset_universe(g_->num_edges());
+  const int k = size_dist(rng_);
+  for (int j = 0; j < k; ++j) current_.insert(edge_dist(rng_));
+}
+
 void SampledFailureSource::reset() {
   rng_.seed(seed_);
   sample_index_ = 0;
   pair_index_ = 0;
-  if (samples_ > 0 && !pairs_.empty()) {
-    // Legacy draw: uniform size k in [0, cap], then k edge ids with
-    // replacement — same RNG call sequence as the pre-engine verifier.
-    std::uniform_int_distribution<int> size_dist(0, max_failures_);
-    std::uniform_int_distribution<int> edge_dist(0, g_->num_edges() - 1);
-    current_ = g_->empty_edge_set();
-    const int k = size_dist(rng_);
-    for (int j = 0; j < k; ++j) current_.insert(edge_dist(rng_));
-  }
+  if (samples_ > 0 && !pairs_.empty()) draw_current();
 }
 
-int SampledFailureSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+int SampledFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
+  out.clear();
   int appended = 0;
   while (appended < max_batch && sample_index_ < samples_ && !pairs_.empty()) {
-    out.push_back(
-        Scenario{current_, pairs_[pair_index_].first, pairs_[pair_index_].second});
+    // One group per sample; a batch boundary inside a pair block re-opens
+    // the group with the current draw.
+    if (appended == 0 || pair_index_ == 0) out.start_group(current_);
+    out.push(pairs_[pair_index_].first, pairs_[pair_index_].second,
+             static_cast<uint64_t>(sample_index_));
     ++appended;
     if (++pair_index_ == pairs_.size()) {
       pair_index_ = 0;
-      if (++sample_index_ < samples_) {
-        std::uniform_int_distribution<int> size_dist(0, max_failures_);
-        std::uniform_int_distribution<int> edge_dist(0, g_->num_edges() - 1);
-        current_ = g_->empty_edge_set();
-        const int k = size_dist(rng_);
-        for (int j = 0; j < k; ++j) current_.insert(edge_dist(rng_));
-      }
+      if (++sample_index_ < samples_) draw_current();
     }
   }
   return appended;
@@ -260,11 +264,13 @@ const std::vector<std::string>& AdversarialCorpusSource::defeated_patterns() {
   return defeated_;
 }
 
-int AdversarialCorpusSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+int AdversarialCorpusSource::next_batch(int max_batch, ScenarioBatch& out) {
   mine();
+  out.clear();
   int appended = 0;
   while (appended < max_batch && index_ < scenarios_.size()) {
-    out.push_back(scenarios_[index_++]);
+    out.push_scenario(scenarios_[index_], index_);
+    ++index_;
     ++appended;
   }
   return appended;
@@ -275,10 +281,12 @@ void AdversarialCorpusSource::reset() { index_ = 0; }
 FixedScenarioSource::FixedScenarioSource(std::vector<Scenario> scenarios, std::string name)
     : scenarios_(std::move(scenarios)), name_(std::move(name)) {}
 
-int FixedScenarioSource::next_batch(int max_batch, std::vector<Scenario>& out) {
+int FixedScenarioSource::next_batch(int max_batch, ScenarioBatch& out) {
+  out.clear();
   int appended = 0;
   while (appended < max_batch && index_ < scenarios_.size()) {
-    out.push_back(scenarios_[index_++]);
+    out.push_scenario(scenarios_[index_], index_);
+    ++index_;
     ++appended;
   }
   return appended;

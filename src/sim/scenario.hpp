@@ -8,6 +8,16 @@
 // a source may keep simple sequential state (Gosper masks, a PRNG) and still
 // yield the same scenario sequence regardless of how many workers consume it.
 //
+// Streaming is zero-copy: sources fill a reusable ScenarioBatch in place — a
+// structure-of-arrays of (failure-set group, source, destination, replay tag)
+// columns — and the engine reads straight out of it. Scenarios that share a
+// failure set share one IdSet in the batch instead of each carrying a copy,
+// and consecutive entries are grouped by failure set, so failure-set-major
+// streams stay failure-set-major all the way into the workers' promise memo
+// and the ConnectivityOracle. The legacy per-Scenario API survives as a thin
+// wrapper (ScenarioSource::next_batch over std::vector<Scenario>) that
+// materializes copies from the same batched production.
+//
 // Three families cover the experiments in the paper and its §IX outlook:
 //
 //   * ExhaustiveFailureSource — every failure set with |F| <= k, crossed with
@@ -15,7 +25,8 @@
 //   * RandomFailureSource     — Monte Carlo draws, either i.i.d. per-link
 //     probability p (the §IX random-failure regime, matching
 //     routing/random_failures) or uniform exactly-k sets (the stretch
-//     experiments);
+//     experiments), both on the graph/fast_rand draw (xoshiro256** state,
+//     Floyd's algorithm for exact-count sampling, no per-draw heap);
 //   * AdversarialCorpusSource — the minimum defeats mined from the
 //     attacks/pattern_corpus families: a library of known-hostile failure
 //     sets to replay against any pattern.
@@ -27,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/fast_rand.hpp"
 #include "graph/graph.hpp"
 #include "routing/forwarding.hpp"
 
@@ -40,6 +52,93 @@ struct Scenario {
   VertexId destination = kNoVertex;
 };
 
+/// Reusable structure-of-arrays scenario storage. Sources refill it in place
+/// (clear() keeps every buffer, including the group IdSets' heap blocks, so
+/// steady-state production allocates nothing); consumers index columns
+/// directly and borrow failure sets by reference instead of copying them.
+///
+/// Scenarios are partitioned into consecutive *groups* that share one
+/// failure set: group_of() is non-decreasing over the batch and every group
+/// is non-empty. The per-scenario `tag` is an opaque replay marker chosen by
+/// the source (Gosper mask, draw ordinal, corpus index, ...) — it never
+/// affects simulation, but pins streams in the replay/determinism tests.
+class ScenarioBatch {
+ public:
+  [[nodiscard]] int size() const { return static_cast<int>(src_.size()); }
+  [[nodiscard]] bool empty() const { return src_.empty(); }
+  [[nodiscard]] int num_groups() const { return num_groups_; }
+
+  /// Drops all scenarios and groups but keeps every buffer's capacity.
+  void clear() {
+    src_.clear();
+    dst_.clear();
+    tag_.clear();
+    group_.clear();
+    num_groups_ = 0;
+  }
+
+  // -- producer side ---------------------------------------------------------
+
+  /// Opens a new failure-set group and returns its IdSet to fill in place.
+  /// The returned set holds stale contents from a previous refill; the
+  /// caller must overwrite it (reset_universe(), assignment, ...).
+  IdSet& start_group() {
+    if (static_cast<size_t>(num_groups_) == group_failures_.size()) {
+      group_failures_.emplace_back();
+    }
+    return group_failures_[static_cast<size_t>(num_groups_++)];
+  }
+
+  /// Opens a new group holding a copy of `failures` (the copy reuses the
+  /// slot's existing storage).
+  void start_group(const IdSet& failures) { start_group() = failures; }
+
+  /// Appends one scenario to the currently open group.
+  void push(VertexId source, VertexId destination, uint64_t tag = 0) {
+    assert(num_groups_ > 0);
+    group_.push_back(num_groups_ - 1);
+    src_.push_back(source);
+    dst_.push_back(destination);
+    tag_.push_back(tag);
+  }
+
+  /// Appends a materialized Scenario, reusing the open group when its
+  /// failure set matches — so replayed failure-set-major streams (corpus
+  /// defeats, fixed lists) regroup automatically.
+  void push_scenario(const Scenario& sc, uint64_t tag = 0) {
+    if (num_groups_ == 0 ||
+        !(group_failures_[static_cast<size_t>(num_groups_ - 1)] == sc.failures)) {
+      start_group(sc.failures);
+    }
+    push(sc.source, sc.destination, tag);
+  }
+
+  // -- consumer side ---------------------------------------------------------
+
+  [[nodiscard]] const IdSet& group_failures(int group) const {
+    return group_failures_[static_cast<size_t>(group)];
+  }
+  [[nodiscard]] int group_of(int i) const { return group_[static_cast<size_t>(i)]; }
+  [[nodiscard]] const IdSet& failures(int i) const { return group_failures(group_of(i)); }
+  [[nodiscard]] VertexId source(int i) const { return src_[static_cast<size_t>(i)]; }
+  [[nodiscard]] VertexId destination(int i) const { return dst_[static_cast<size_t>(i)]; }
+  [[nodiscard]] uint64_t tag(int i) const { return tag_[static_cast<size_t>(i)]; }
+
+  /// Materializes scenario i as a standalone Scenario (copies the failure
+  /// set) — the compatibility/witness path, not the hot one.
+  [[nodiscard]] Scenario scenario(int i) const {
+    return Scenario{failures(i), source(i), destination(i)};
+  }
+
+ private:
+  std::vector<IdSet> group_failures_;  // slots outlive clear(); active prefix = num_groups_
+  int num_groups_ = 0;
+  std::vector<int32_t> group_;  // per-scenario group index, non-decreasing
+  std::vector<VertexId> src_;
+  std::vector<VertexId> dst_;
+  std::vector<uint64_t> tag_;
+};
+
 /// Deterministic stream of scenarios. next_batch is always called serially
 /// (the engine holds a producer lock), so implementations need no internal
 /// synchronization; they must yield the same sequence after each reset().
@@ -49,9 +148,14 @@ class ScenarioSource {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Appends up to max_batch scenarios to out and returns how many were
+  /// Clears `out` and refills it in place with up to max_batch scenarios;
+  /// returns how many were produced, 0 meaning the stream is exhausted.
+  virtual int next_batch(int max_batch, ScenarioBatch& out) = 0;
+
+  /// Legacy adapter: appends up to max_batch scenarios to out (materialized
+  /// copies of the batched production above) and returns how many were
   /// appended; 0 means the stream is exhausted.
-  virtual int next_batch(int max_batch, std::vector<Scenario>& out) = 0;
+  int next_batch(int max_batch, std::vector<Scenario>& out);
 
   /// Rewinds the stream to the beginning (same sequence again).
   virtual void reset() = 0;
@@ -60,6 +164,9 @@ class ScenarioSource {
   /// — the engine uses it to avoid spawning more workers than there are
   /// batches; it never affects results.
   [[nodiscard]] virtual int64_t total_hint() const { return -1; }
+
+ private:
+  ScenarioBatch compat_batch_;  // reused by the legacy vector adapter
 };
 
 /// All ordered (s, t) pairs with s != t — the default pair universe.
@@ -73,7 +180,8 @@ class ScenarioSource {
 /// increasing cardinality (Gosper's hack), crossed with the given
 /// (source, destination) pairs. Requires m <= 62 edges. A nonzero
 /// min_failures selects a stratum window, so incremental budget probes can
-/// sweep each cardinality exactly once.
+/// sweep each cardinality exactly once. Batch groups are per mask (replay
+/// tag: the mask), decoded once into the batch, shared by every pair.
 class ExhaustiveFailureSource final : public ScenarioSource {
  public:
   ExhaustiveFailureSource(const Graph& g, int max_failures,
@@ -82,7 +190,8 @@ class ExhaustiveFailureSource final : public ScenarioSource {
                           std::vector<std::pair<VertexId, VertexId>> pairs);
 
   [[nodiscard]] std::string name() const override;
-  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  using ScenarioSource::next_batch;
+  int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
   [[nodiscard]] int64_t total_hint() const override { return total_scenarios(); }
 
@@ -98,7 +207,6 @@ class ExhaustiveFailureSource final : public ScenarioSource {
   std::vector<std::pair<VertexId, VertexId>> pairs_;
   int size_ = 0;
   uint64_t mask_ = 0;
-  IdSet current_;  // failure set of mask_, built once per mask
   size_t pair_index_ = 0;
   bool exhausted_ = false;
 };
@@ -106,6 +214,13 @@ class ExhaustiveFailureSource final : public ScenarioSource {
 /// Monte Carlo failure draws crossed with a pair list. Two modes:
 /// iid(p) draws every link independently with probability p;
 /// exact_count(k) draws a uniform failure set of exactly k links.
+/// Draws ride graph/fast_rand (xoshiro256** per-source state, integer coin,
+/// Floyd's exact-count sampling) straight into the batch's group IdSets —
+/// no per-draw heap, and sequences that are identical across platforms for
+/// a fixed seed. estimate_delivery_rate and measure_stretch consume the
+/// same primitives in the same order, so equal seeds still yield equal
+/// failure sets between the engine and the legacy estimators. Each draw is
+/// its own batch group (replay tag: the draw ordinal).
 class RandomFailureSource final : public ScenarioSource {
  public:
   [[nodiscard]] static RandomFailureSource iid(const Graph& g, double p, int trials_per_pair,
@@ -116,7 +231,8 @@ class RandomFailureSource final : public ScenarioSource {
       std::vector<std::pair<VertexId, VertexId>> pairs);
 
   [[nodiscard]] std::string name() const override;
-  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  using ScenarioSource::next_batch;
+  int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
   [[nodiscard]] int64_t total_hint() const override {
     return trials_per_pair_ > 0
@@ -129,17 +245,17 @@ class RandomFailureSource final : public ScenarioSource {
                       int trials_per_pair, uint64_t seed,
                       std::vector<std::pair<VertexId, VertexId>> pairs);
 
-  [[nodiscard]] IdSet draw();
+  void draw_into(IdSet& out);
 
   const Graph* g_;
   bool exact_;
   double p_;
+  uint64_t coin_threshold_;
   int num_failures_;
   int trials_per_pair_;
   uint64_t seed_;
   std::vector<std::pair<VertexId, VertexId>> pairs_;
-  std::vector<EdgeId> edge_scratch_;
-  std::mt19937_64 rng_;
+  FastRng rng_;
   size_t pair_index_ = 0;
   int trial_ = 0;
 };
@@ -149,14 +265,16 @@ class RandomFailureSource final : public ScenarioSource {
 /// replacement, crossed with the pair list failure-set-major (every pair sees
 /// draw i before draw i+1 is made). Matches the legacy verifier's RNG
 /// sequence exactly for a given seed, so sampled refutations stay
-/// reproducible across the engine migration.
+/// reproducible across the engine migration. Batch groups are per sample
+/// (replay tag: the sample index).
 class SampledFailureSource final : public ScenarioSource {
  public:
   SampledFailureSource(const Graph& g, int max_failures, int samples, uint64_t seed,
                        std::vector<std::pair<VertexId, VertexId>> pairs);
 
   [[nodiscard]] std::string name() const override;
-  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  using ScenarioSource::next_batch;
+  int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
   [[nodiscard]] int64_t total_hint() const override {
     return samples_ > 0 ? static_cast<int64_t>(samples_) * static_cast<int64_t>(pairs_.size())
@@ -164,6 +282,8 @@ class SampledFailureSource final : public ScenarioSource {
   }
 
  private:
+  void draw_current();
+
   const Graph* g_;
   int max_failures_;
   int samples_;
@@ -180,14 +300,16 @@ class SampledFailureSource final : public ScenarioSource {
 /// max_budget) and the resulting (F, s, t) triples become the scenario
 /// stream. Mining is lazy (first next_batch) and cached across resets, so
 /// replaying the adversarial library against many patterns pays the attack
-/// cost once.
+/// cost once. Consecutive defeats sharing a failure set share a batch group
+/// (replay tag: the defeat's corpus index).
 class AdversarialCorpusSource final : public ScenarioSource {
  public:
   AdversarialCorpusSource(const Graph& g, RoutingModel model, int max_budget,
                           int random_variants = 2, uint64_t seed = 1);
 
   [[nodiscard]] std::string name() const override;
-  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  using ScenarioSource::next_batch;
+  int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
   [[nodiscard]] int64_t total_hint() const override {
     return mined_ ? static_cast<int64_t>(scenarios_.size()) : -1;
@@ -212,12 +334,15 @@ class AdversarialCorpusSource final : public ScenarioSource {
 };
 
 /// A fixed, caller-provided scenario list (tests, replaying stored defeats).
+/// Consecutive scenarios sharing a failure set share a batch group (replay
+/// tag: the list position).
 class FixedScenarioSource final : public ScenarioSource {
  public:
   explicit FixedScenarioSource(std::vector<Scenario> scenarios, std::string name = "fixed");
 
   [[nodiscard]] std::string name() const override { return name_; }
-  int next_batch(int max_batch, std::vector<Scenario>& out) override;
+  using ScenarioSource::next_batch;
+  int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override { index_ = 0; }
   [[nodiscard]] int64_t total_hint() const override {
     return static_cast<int64_t>(scenarios_.size());

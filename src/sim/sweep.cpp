@@ -81,73 +81,84 @@ void memo_label_components(const Graph& g, PromiseMemo& memo) {
   memo.labels_valid = true;
 }
 
-bool promise_connected(const SimContext& ctx, const Scenario& sc, RoutingWorkspace& ws,
-                       PromiseMemo& memo) {
-  if (sc.source == sc.destination) return true;
-  if (memo.have_failures && memo.failures == sc.failures) {
+bool promise_connected(const SimContext& ctx, const IdSet& failures, VertexId source,
+                       VertexId destination, RoutingWorkspace& ws, PromiseMemo& memo) {
+  if (source == destination) return true;
+  if (memo.have_failures && memo.failures == failures) {
     memo.current_repeated = true;
     if (!memo.labels_valid) memo_label_components(ctx.graph(), memo);
-    return memo.labels[static_cast<size_t>(sc.source)] ==
-           memo.labels[static_cast<size_t>(sc.destination)];
+    return memo.labels[static_cast<size_t>(source)] ==
+           memo.labels[static_cast<size_t>(destination)];
   }
   const bool eager = memo.current_repeated;
-  memo.failures = sc.failures;
+  memo.failures = failures;
   memo.have_failures = true;
   memo.labels_valid = false;
   memo.current_repeated = false;
   if (eager) {
     memo_label_components(ctx.graph(), memo);
-    return memo.labels[static_cast<size_t>(sc.source)] ==
-           memo.labels[static_cast<size_t>(sc.destination)];
+    return memo.labels[static_cast<size_t>(source)] ==
+           memo.labels[static_cast<size_t>(destination)];
   }
-  return connected_fast(ctx, sc.failures, sc.source, sc.destination, ws);
+  return connected_fast(ctx, failures, source, destination, ws);
 }
 
 /// Tallies one scenario into stats and reports whether it is a resilience
-/// violation (promise held, but not delivered / tour incomplete). Runs the
-/// zero-allocation simulator fast path against the per-run SimContext and
-/// the worker's RoutingWorkspace — callers that need a witness walk
-/// re-simulate the one scenario they care about.
-bool process_scenario(const SimContext& ctx, const ForwardingPattern& pattern, const Scenario& sc,
+/// violation (promise held, but not delivered / tour incomplete). The
+/// failure set is borrowed from the batch's group storage — nothing here
+/// copies it. Runs the zero-allocation simulator fast path against the
+/// per-run SimContext and the worker's RoutingWorkspace — callers that need
+/// a witness walk re-simulate the one scenario they care about.
+/// `promise_scratch` is a worker-reused Scenario, materialized only when a
+/// custom promise predicate needs the legacy (Graph, Scenario) signature.
+bool process_scenario(const SimContext& ctx, const ForwardingPattern& pattern,
+                      const IdSet& failures, VertexId source, VertexId destination,
                       const SweepOptions& opts, SweepStats& stats, RoutingWorkspace& ws,
-                      PromiseMemo& memo) {
+                      PromiseMemo& memo, Scenario& promise_scratch) {
   const Graph& g = ctx.graph();
   ++stats.total;
 
-  if (sc.destination == kNoVertex) {
+  const auto custom_promise_holds = [&]() {
+    promise_scratch.failures = failures;  // assignment reuses its storage
+    promise_scratch.source = source;
+    promise_scratch.destination = destination;
+    return opts.promise(g, promise_scratch);
+  };
+
+  if (destination == kNoVertex) {
     // Touring: the promise holds unconditionally (§VII) unless a custom
     // promise narrows it.
-    if (opts.promise && !opts.promise(g, sc)) {
+    if (opts.promise && !custom_promise_holds()) {
       ++stats.promise_broken;
       return false;
     }
-    stats.failures_seen += sc.failures.count();
-    const FastTourResult r = tour_packet_fast(ctx, pattern, sc.failures, sc.source, ws);
+    stats.failures_seen += failures.count();
+    const FastTourResult r = tour_packet_fast(ctx, pattern, failures, source, ws);
     stats.tally_tour(r.success, r.dropped, r.steps_walked);
     return !r.success;
   }
 
   bool held;
   if (opts.promise) {
-    held = opts.promise(g, sc);
+    held = custom_promise_holds();
   } else if (opts.oracle != nullptr) {
-    held = opts.oracle->connected(sc.source, sc.destination, sc.failures);
+    held = opts.oracle->connected(source, destination, failures);
   } else {
-    held = promise_connected(ctx, sc, ws, memo);
+    held = promise_connected(ctx, failures, source, destination, ws, memo);
   }
   if (!held) {
     ++stats.promise_broken;
     return false;
   }
 
-  stats.failures_seen += sc.failures.count();
-  const FastRouteResult r = route_packet_fast(ctx, pattern, sc.failures, sc.source,
-                                              Header{sc.source, sc.destination}, ws);
+  stats.failures_seen += failures.count();
+  const FastRouteResult r =
+      route_packet_fast(ctx, pattern, failures, source, Header{source, destination}, ws);
   stats.tally_route(r.outcome, r.hops);
   if (r.outcome == RoutingOutcome::kDelivered && opts.compute_stretch) {
     // BFS only on delivery: undelivered and promise-broken scenarios never
     // need the distance.
-    const auto dist = distance(g, sc.source, sc.destination, sc.failures);
+    const auto dist = distance(g, source, destination, failures);
     if (dist.has_value() && *dist >= 1) {
       const double stretch = static_cast<double>(r.hops) / *dist;
       ++stats.stretch_samples;
@@ -228,18 +239,22 @@ SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& patte
     SweepStats local;
     RoutingWorkspace ws;
     PromiseMemo memo;
+    Scenario promise_scratch;
     std::unordered_map<uint64_t, SweepStats> local_pairs;
-    std::vector<Scenario> batch;
+    ScenarioBatch batch;
     for (;;) {
-      batch.clear();
+      int n = 0;
       {
         const std::lock_guard<std::mutex> lock(source_mutex);
-        if (source.next_batch(batch_size, batch) == 0) break;
+        n = source.next_batch(batch_size, batch);
       }
-      for (const Scenario& sc : batch) {
-        SweepStats& target =
-            collect_per_pair ? local_pairs[pair_key(sc.source, sc.destination)] : local;
-        process_scenario(ctx, pattern, sc, opts_, target, ws, memo);
+      if (n == 0) break;
+      for (int i = 0; i < n; ++i) {
+        SweepStats& target = collect_per_pair
+                                 ? local_pairs[pair_key(batch.source(i), batch.destination(i))]
+                                 : local;
+        process_scenario(ctx, pattern, batch.failures(i), batch.source(i),
+                         batch.destination(i), opts_, target, ws, memo, promise_scratch);
       }
     }
     const std::lock_guard<std::mutex> lock(stats_mutex);
@@ -303,11 +318,11 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
     SweepStats scratch;
     RoutingWorkspace ws;
     PromiseMemo memo;
-    std::vector<Scenario> batch;
+    Scenario promise_scratch;
+    ScenarioBatch batch;
     for (;;) {
       int64_t start = 0;
       int n = 0;
-      batch.clear();
       {
         const std::lock_guard<std::mutex> lock(source_mutex);
         const int64_t remaining = best.load(std::memory_order_acquire) - produced;
@@ -322,8 +337,9 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
       for (int i = 0; i < n; ++i) {
         const int64_t index = start + i;
         if (index >= best.load(std::memory_order_relaxed)) break;
-        const Scenario& sc = batch[static_cast<size_t>(i)];
-        if (!process_scenario(ctx, pattern, sc, opts_, scratch, ws, memo)) {
+        if (!process_scenario(ctx, pattern, batch.failures(i), batch.source(i),
+                              batch.destination(i), opts_, scratch, ws, memo,
+                              promise_scratch)) {
           continue;
         }
         const std::lock_guard<std::mutex> lock(best_mutex);
@@ -334,12 +350,12 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
           // the hot loop above stays on the zero-allocation path.
           SweepFinding f;
           f.index = index;
-          f.scenario = sc;
-          if (sc.destination == kNoVertex) {
-            f.tour = tour_packet(ctx, pattern, sc.failures, sc.source, ws);
+          f.scenario = batch.scenario(i);
+          if (f.scenario.destination == kNoVertex) {
+            f.tour = tour_packet(ctx, pattern, f.scenario.failures, f.scenario.source, ws);
           } else {
-            f.routing = route_packet(ctx, pattern, sc.failures, sc.source,
-                                     Header{sc.source, sc.destination}, ws);
+            f.routing = route_packet(ctx, pattern, f.scenario.failures, f.scenario.source,
+                                     Header{f.scenario.source, f.scenario.destination}, ws);
           }
           finding = std::move(f);
         }

@@ -10,6 +10,12 @@
 // sums, so the aggregate is identical for 1 and N threads; the floating
 // stretch sums are order-sensitive only in the last ulp.
 //
+// Workers pull zero-copy ScenarioBatches: each worker owns one reusable
+// batch that the source refills in place under the producer lock, and the
+// hot loop borrows failure sets from the batch's group storage — no
+// per-scenario Scenario construction, no IdSet copies, no allocation in
+// steady state on either side of the producer/consumer boundary.
+//
 // The promise discipline matches the paper: a scenario whose failure set
 // disconnects s from t breaks the promise and is tallied separately — rates
 // are always conditioned on the promise holding (touring scenarios hold

@@ -1,0 +1,128 @@
+// Golden sweep-replay regression tests.
+//
+// Each test re-runs one of the bench_perf scenario streams end to end and
+// diffs the full SweepReport JSON (totals + per-pair rows, every counter and
+// derived rate) bit-for-bit against a baseline checked into
+// tests/baselines/. The sweeps are fully deterministic — exhaustive Gosper
+// enumeration, and Monte Carlo on the graph/fast_rand primitives whose
+// sequences are pinned across platforms — so any diff is a real behavior
+// change, not noise. Every sweep is replayed at 1 and at 4 worker threads
+// and both serializations must match the baseline, which also pins the
+// engine's thread-count invariance at full JSON precision.
+//
+// Refreshing after an intentional change:
+//   POFL_UPDATE_BASELINES=1 ./build/pofl_tests --gtest_filter='SweepReplay.*'
+// then commit the rewritten files under tests/baselines/ with a note on why
+// the trajectories moved.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "attacks/pattern_corpus.hpp"
+#include "classify/zoo.hpp"
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "sim/sweep_json.hpp"
+
+namespace pofl {
+namespace {
+
+std::string baseline_path(const std::string& name) {
+  return std::string(POFL_BASELINE_DIR) + "/" + name;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Serializes one run of `source` through `pattern` at the given thread
+/// count. per-pair rows included: the baselines pin the full breakdown.
+std::string replay_json(const Graph& g, const ForwardingPattern& pattern,
+                        ScenarioSource& source, int num_threads) {
+  source.reset();
+  SweepOptions opts;
+  opts.num_threads = num_threads;
+  const SweepReport report = SweepEngine(opts).run_report(g, pattern, source);
+  return to_json(report) + "\n";
+}
+
+void check_against_baseline(const std::string& name, const Graph& g,
+                            const ForwardingPattern& pattern, ScenarioSource& source) {
+  const std::string one_thread = replay_json(g, pattern, source, 1);
+  const std::string four_threads = replay_json(g, pattern, source, 4);
+  EXPECT_EQ(one_thread, four_threads) << name << ": sweep JSON depends on the thread count";
+
+  const std::string path = baseline_path(name);
+  if (std::getenv("POFL_UPDATE_BASELINES") != nullptr) {
+    ASSERT_TRUE(write_json_file(path, one_thread.substr(0, one_thread.size() - 1)))
+        << "cannot record " << path;
+    return;
+  }
+  std::string golden;
+  ASSERT_TRUE(read_file(path, golden))
+      << "missing baseline " << path
+      << " — record it with POFL_UPDATE_BASELINES=1 ./pofl_tests "
+         "--gtest_filter='SweepReplay.*'";
+  EXPECT_EQ(golden, one_thread)
+      << name << ": sweep trajectory diverged from the checked-in baseline. If the change "
+      << "is intentional, refresh with POFL_UPDATE_BASELINES=1 and commit the new file.";
+}
+
+TEST(SweepReplay, ExhaustiveK5MatchesGoldenBaseline) {
+  // Algorithm 1's machine-checked theorem sweep: all 2^10 failure sets
+  // crossed with the four (s, 4) pairs.
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource source(k5, k5.num_edges(), pairs);
+  check_against_baseline("sweep_k5_exhaustive.json", k5, *pattern, source);
+}
+
+TEST(SweepReplay, ExhaustiveK33MatchesGoldenBaseline) {
+  // All 2^9 failure sets of K3,3 crossed with all 30 ordered pairs under
+  // destination-only shortest-path forwarding.
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  ExhaustiveFailureSource source(k33, k33.num_edges(), all_ordered_pairs(k33));
+  check_against_baseline("sweep_k33_exhaustive.json", k33, *pattern, source);
+}
+
+TEST(SweepReplay, SampledZooMatchesGoldenBaseline) {
+  // The bench_perf sampled-zoo stream (same graph pick and pair grid, fewer
+  // trials): i.i.d. Monte Carlo on a mid-size synthetic Topology Zoo
+  // network, pinned by the fixed seed and the portable fast-rand draws.
+  const auto zoo = make_synthetic_zoo();
+  const NamedGraph* pick = &zoo.front();
+  for (const NamedGraph& ng : zoo) {
+    if (ng.graph.num_vertices() >= 40 && ng.graph.num_vertices() <= 80) {
+      pick = &ng;
+      break;
+    }
+  }
+  const Graph& g = pick->graph;
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  const int step = std::max(1, g.num_vertices() / 8);
+  for (VertexId s = 0; s < g.num_vertices(); s += step) {
+    for (VertexId t = 0; t < g.num_vertices(); t += step) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  auto source = RandomFailureSource::iid(g, 0.05, /*trials_per_pair=*/10, /*seed=*/7, pairs);
+  check_against_baseline("sweep_zoo_sampled.json", g, *pattern, source);
+}
+
+}  // namespace
+}  // namespace pofl
