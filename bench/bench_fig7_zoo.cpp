@@ -12,6 +12,9 @@
 // Pass a directory of .graphml files to run on the real dataset instead.
 // `--json <path>` writes the per-network classifications machine-readably
 // (resilience checks behind classify_topology run on the sweep engine).
+// `--shard i/N` classifies only every N-th network (ordinal i mod N) for
+// multi-host runs: the per-network JSON rows of all N shards union to the
+// full dataset, while the printed aggregates cover this shard's slice only.
 
 #include <cstdio>
 #include <map>
@@ -25,8 +28,8 @@ int main(int argc, char** argv) {
   using namespace pofl;
 
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error || args.threads_set) {  // classification is minor search: no threaded sweeps
-    std::fprintf(stderr, "usage: %s [graphml-dir] [--json <path>]\n", argv[0]);
+  if (args.error || args.threads_set || args.procs_set) {  // minor search: no threaded sweeps
+    std::fprintf(stderr, "usage: %s [graphml-dir] [--json <path>] [--shard i/N]\n", argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
@@ -40,6 +43,11 @@ int main(int argc, char** argv) {
   json.key("networks").begin_array();
   std::printf("=== Figure 7: perfect-resilience classification of %zu %s networks ===\n\n",
               zoo.size(), synthetic ? "synthetic zoo" : "GraphML");
+  if (args.shard_set) {
+    std::printf("(shard %d/%d: classifying every %d-th network; aggregates cover this "
+                "slice only)\n\n",
+                args.shard_index, args.shard_count, args.shard_count);
+  }
 
   struct Counts {
     std::map<Verdict, int> by_verdict;
@@ -47,13 +55,17 @@ int main(int argc, char** argv) {
   // per planarity class (0 outer, 1 planar-only, 2 nonplanar) and model
   Counts touring[3], dest[3], sd[3];
   int class_totals[3] = {0, 0, 0};
+  int classified = 0;
   int planar_not_outer = 0;
   int planar_dest_impossible = 0;
   double sometimes_fraction_sum = 0;
   int sometimes_count = 0;
 
-  for (const auto& net : zoo) {
+  for (size_t net_ordinal = 0; net_ordinal < zoo.size(); ++net_ordinal) {
+    const auto& net = zoo[net_ordinal];
+    if (!args.owns(static_cast<int64_t>(net_ordinal))) continue;
     const Classification c = classify_topology(net.graph);
+    ++classified;
     json.begin_object();
     json.key("name").value(net.name);
     json.key("n").value(net.graph.num_vertices());
@@ -104,7 +116,7 @@ int main(int argc, char** argv) {
       unknown += counts[cls].by_verdict[Verdict::kUnknown];
       impossible += counts[cls].by_verdict[Verdict::kImpossible];
     }
-    const double total = static_cast<double>(zoo.size());
+    const double total = static_cast<double>(std::max(1, classified));
     std::printf("%-13s %8.1f%% %8.1f%% %8.1f%% %9.1f%%\n\n", "ALL",
                 100 * possible / total, 100 * sometimes / total, 100 * unknown / total,
                 100 * impossible / total);
@@ -113,7 +125,7 @@ int main(int argc, char** argv) {
   print_block("Destination Only", dest);
   print_block("Source-Destination", sd);
 
-  const double total = static_cast<double>(zoo.size());
+  const double total = static_cast<double>(std::max(1, classified));
   std::printf("=== In-text statistics (paper values in parentheses) ===\n");
   std::printf("planar but not outerplanar:      %5.1f%%  (55.8%%)\n",
               100 * planar_not_outer / total);

@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
   using namespace pofl;
 
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error || args.threads_set) {  // classification is minor search: no threaded sweeps
-    std::fprintf(stderr, "usage: %s [graphml-dir] [--json <path>]\n", argv[0]);
+  if (args.error || args.threads_set || args.procs_set) {  // minor search: no threaded sweeps
+    std::fprintf(stderr, "usage: %s [graphml-dir] [--json <path>] [--shard i/N]\n", argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   std::printf("name,n,m,density,model,verdict\n");
   // density-band (x0.5) -> verdict histogram, per model
   std::map<int, std::map<Verdict, int>> dest_bands, sd_bands;
-  for (const auto& net : zoo) {
+  for (size_t net_ordinal = 0; net_ordinal < zoo.size(); ++net_ordinal) {
+    const auto& net = zoo[net_ordinal];
+    if (!args.owns(static_cast<int64_t>(net_ordinal))) continue;
     const Classification c = classify_topology(net.graph);
     const double density =
         static_cast<double>(net.graph.num_edges()) / std::max(1, net.graph.num_vertices());

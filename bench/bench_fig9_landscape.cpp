@@ -10,7 +10,10 @@
 //   destination only:    possible up to K5^-2/K3,3^-2; impossible from K5^-1 / K3,3^-1
 //   source-destination:  possible up to K5 / K3,3;     impossible from K7^-1 / K4,4^-1
 //
-// `--json <path>` writes every cell machine-readably.
+// `--json <path>` writes every cell machine-readably. `--shard i/N`
+// computes every N-th cell (cell ordinal i mod N) so the landscape's
+// expensive corpus-defeat cells can spread across hosts; the JSON cell
+// lists of all N shards union to the full figure.
 
 #include <cstdio>
 #include <functional>
@@ -74,11 +77,16 @@ std::string defeat_cell(const Graph& g, RoutingModel model,
 int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
+  if (args.error || !args.positional.empty() || args.procs_set) {
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>] [--shard i/N]\n",
+                 argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
+  // Work-item sharding: each landscape cell gets an ordinal; --shard i/N
+  // computes the cells with ordinal congruent to i mod N and skips the rest.
+  int64_t next_cell = 0;
+  const auto owns_cell = [&]() { return args.owns(next_cell++); };
   VerifyOptions vopts;
   vopts.num_threads = args.num_threads;
   JsonWriter json;
@@ -92,53 +100,65 @@ int main(int argc, char** argv) {
   // ---- Touring row ---------------------------------------------------------
   std::printf("[touring]\n");
   {
-    const Graph c8 = make_cycle(8);
-    const auto rh = make_outerplanar_touring(c8);
-    const bool ok = !find_touring_violation(c8, *rh, vopts).has_value();
-    std::printf("  outerplanar (C8 + right-hand rule): %s\n", verified_possible(ok));
-    log.possible("touring", "C8", ok);
+    if (owns_cell()) {
+      const Graph c8 = make_cycle(8);
+      const auto rh = make_outerplanar_touring(c8);
+      const bool ok = !find_touring_violation(c8, *rh, vopts).has_value();
+      std::printf("  outerplanar (C8 + right-hand rule): %s\n", verified_possible(ok));
+      log.possible("touring", "C8", ok);
+    }
 
-    const Graph mop = make_random_maximal_outerplanar(8, 3);
-    const auto rh2 = make_outerplanar_touring(mop);
-    const bool ok2 = !find_touring_violation(mop, *rh2, vopts).has_value();
-    std::printf("  maximal outerplanar n=8:            %s\n", verified_possible(ok2));
-    log.possible("touring", "maximal-outerplanar-8", ok2);
+    if (owns_cell()) {
+      const Graph mop = make_random_maximal_outerplanar(8, 3);
+      const auto rh2 = make_outerplanar_touring(mop);
+      const bool ok2 = !find_touring_violation(mop, *rh2, vopts).has_value();
+      std::printf("  maximal outerplanar n=8:            %s\n", verified_possible(ok2));
+      log.possible("touring", "maximal-outerplanar-8", ok2);
+    }
 
     for (const auto& [name, g] :
          {std::pair<const char*, Graph>{"K4", make_complete(4)},
           std::pair<const char*, Graph>{"K2,3", make_complete_bipartite(2, 3)}}) {
+      if (!owns_cell()) continue;
       const auto cell = defeat_cell(
           g, RoutingModel::kTouring,
           [&](const ForwardingPattern& p) { return attack_touring(g, p).has_value(); }, log,
           "touring", name);
       std::printf("  %-35s %s\n", name, cell.c_str());
     }
-    const auto prover_k4 = prove_touring_impossible(make_complete(4));
-    const auto prover_k23 = prove_touring_impossible(make_complete_bipartite(2, 3));
-    std::printf("  exhaustive prover: K4 %s over %lld cyclic patterns; K2,3 %s over %lld\n",
-                prover_k4.impossibility_established ? "impossible" : "POSSIBLE?!",
-                prover_k4.patterns_enumerated,
-                prover_k23.impossibility_established ? "impossible" : "POSSIBLE?!",
-                prover_k23.patterns_enumerated);
+    if (owns_cell()) {
+      const auto prover_k4 = prove_touring_impossible(make_complete(4));
+      const auto prover_k23 = prove_touring_impossible(make_complete_bipartite(2, 3));
+      std::printf("  exhaustive prover: K4 %s over %lld cyclic patterns; K2,3 %s over %lld\n",
+                  prover_k4.impossibility_established ? "impossible" : "POSSIBLE?!",
+                  prover_k4.patterns_enumerated,
+                  prover_k23.impossibility_established ? "impossible" : "POSSIBLE?!",
+                  prover_k23.patterns_enumerated);
+    }
   }
 
   // ---- Destination-only row ------------------------------------------------
   std::printf("\n[destination only]\n");
   {
-    const Graph k5m2 = make_complete_minus(5, 2);
-    const auto p1 = make_k5m2_dest_pattern(k5m2);
-    const bool ok1 = p1 && !find_resilience_violation(k5m2, *p1, vopts).has_value();
-    std::printf("  K5^-2  (Theorem 12 table):          %s\n", verified_possible(ok1));
-    log.possible("destination", "K5^-2", ok1);
-    const Graph k33m2 = make_complete_bipartite_minus(3, 3, 2);
-    const auto p2 = make_k33m2_dest_pattern(k33m2);
-    const bool ok2 = p2 && !find_resilience_violation(k33m2, *p2, vopts).has_value();
-    std::printf("  K3,3^-2 (Theorem 13 relay):         %s\n", verified_possible(ok2));
-    log.possible("destination", "K3,3^-2", ok2);
+    if (owns_cell()) {
+      const Graph k5m2 = make_complete_minus(5, 2);
+      const auto p1 = make_k5m2_dest_pattern(k5m2);
+      const bool ok1 = p1 && !find_resilience_violation(k5m2, *p1, vopts).has_value();
+      std::printf("  K5^-2  (Theorem 12 table):          %s\n", verified_possible(ok1));
+      log.possible("destination", "K5^-2", ok1);
+    }
+    if (owns_cell()) {
+      const Graph k33m2 = make_complete_bipartite_minus(3, 3, 2);
+      const auto p2 = make_k33m2_dest_pattern(k33m2);
+      const bool ok2 = p2 && !find_resilience_violation(k33m2, *p2, vopts).has_value();
+      std::printf("  K3,3^-2 (Theorem 13 relay):         %s\n", verified_possible(ok2));
+      log.possible("destination", "K3,3^-2", ok2);
+    }
 
     for (const auto& [name, g] :
          {std::pair<const char*, Graph>{"K5^-1", make_complete_minus(5, 1)},
           std::pair<const char*, Graph>{"K3,3^-1", make_complete_bipartite_minus(3, 3, 1)}}) {
+      if (!owns_cell()) continue;
       const Graph& graph = g;
       // One oracle across the whole corpus: every pattern's defeat search
       // enumerates the same failure sets.
@@ -157,18 +177,22 @@ int main(int argc, char** argv) {
   // ---- Source-destination row ------------------------------------------------
   std::printf("\n[source + destination]\n");
   {
-    const Graph k5 = make_complete(5);
-    const auto alg1 = make_algorithm1_k5();
-    const bool ok1 = !find_resilience_violation(k5, *alg1, vopts).has_value();
-    std::printf("  K5   (Algorithm 1):                 %s\n", verified_possible(ok1));
-    log.possible("source-destination", "K5", ok1);
-    const Graph k33 = make_complete_bipartite(3, 3);
-    const auto tab = make_k33_source_pattern();
-    const bool ok2 = !find_resilience_violation(k33, *tab, vopts).has_value();
-    std::printf("  K3,3 (Theorem 9 tables):            %s\n", verified_possible(ok2));
-    log.possible("source-destination", "K3,3", ok2);
+    if (owns_cell()) {
+      const Graph k5 = make_complete(5);
+      const auto alg1 = make_algorithm1_k5();
+      const bool ok1 = !find_resilience_violation(k5, *alg1, vopts).has_value();
+      std::printf("  K5   (Algorithm 1):                 %s\n", verified_possible(ok1));
+      log.possible("source-destination", "K5", ok1);
+    }
+    if (owns_cell()) {
+      const Graph k33 = make_complete_bipartite(3, 3);
+      const auto tab = make_k33_source_pattern();
+      const bool ok2 = !find_resilience_violation(k33, *tab, vopts).has_value();
+      std::printf("  K3,3 (Theorem 9 tables):            %s\n", verified_possible(ok2));
+      log.possible("source-destination", "K3,3", ok2);
+    }
 
-    {
+    if (owns_cell()) {
       const Graph k7 = make_complete(7);
       ConnectivityOracle oracle(k7);
       const auto cell = defeat_cell(
@@ -179,7 +203,7 @@ int main(int argc, char** argv) {
           log, "source-destination", "K7");
       std::printf("  %-35s %s\n", "K7 (<=15 failures, Cor. 3)", cell.c_str());
     }
-    {
+    if (owns_cell()) {
       const Graph k44 = make_complete_bipartite(4, 4);
       ConnectivityOracle oracle(k44);
       const auto cell = defeat_cell(

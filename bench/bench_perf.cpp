@@ -18,6 +18,17 @@
 // with no simulation at all, so scenario-production regressions show up in
 // isolation. `--json <path>` writes every number machine-readably
 // (BENCH_perf.json in CI); `--threads <n>` sets the multi-threaded arm.
+//
+// `--procs <N>` adds a multi-process scaling row: the sampled-zoo stream
+// (scaled up so one pass takes a measurable slice of wall time) swept by
+// one process at one thread versus N forked workers each sweeping one of N
+// leapfrog shards at one thread. This is the scenario-sharding subsystem's
+// single-host scaling probe — the conformance tests pin that the shard
+// union is bit-identical, so the speedup can never come from doing
+// different work.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cassert>
@@ -237,7 +248,7 @@ bool stats_identical(const SweepStats& a, const SweepStats& b) {
          a.delivered == b.delivered && a.looped == b.looped && a.dropped == b.dropped &&
          a.invalid == b.invalid && a.failures_seen == b.failures_seen &&
          a.hops_delivered == b.hops_delivered && a.stretch_samples == b.stretch_samples &&
-         a.stretch_sum == b.stretch_sum && a.max_stretch == b.max_stretch;
+         a.stretch_sum_q32 == b.stretch_sum_q32 && a.max_stretch == b.max_stretch;
 }
 
 struct Workload {
@@ -252,8 +263,9 @@ struct Workload {
 int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
+  if (args.error || !args.positional.empty() || args.shard_set) {
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--procs <n>] [--json <path>]\n",
+                 argv[0]);
     return 2;
   }
   const int mt_threads = args.num_threads > 0 ? args.num_threads : 4;
@@ -373,6 +385,87 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+
+  // -- multi-process scaling (the scenario-sharding subsystem) ---------------
+
+  if (args.procs_set) {
+    // A bigger sampled-zoo stream than the throughput rows: one pass must
+    // dwarf the fork/wait overhead for the scaling number to mean anything.
+    const int mp_trials = 1000;
+    const auto zoo_pass = [&](int shard_index, int shard_count) {
+      auto src = RandomFailureSource::iid(zg, 0.05, mp_trials, /*seed=*/7, zoo_pairs);
+      src.shard(shard_index, shard_count);
+      SweepOptions o;
+      o.num_threads = 1;
+      (void)SweepEngine(o).run(zg, *zoo_pattern, src);
+    };
+    const int64_t mp_scenarios =
+        static_cast<int64_t>(mp_trials) * static_cast<int64_t>(zoo_pairs.size());
+
+    // Wall time of one full pass: single-process inline, or N forked
+    // workers each sweeping shard i/N at one thread. Interleaved best-of-3,
+    // like the throughput rows.
+    const auto time_pass = [&](int procs) {
+      const auto start = Clock::now();
+      if (procs == 1) {
+        zoo_pass(0, 1);
+      } else {
+        std::vector<pid_t> children;
+        for (int i = 0; i < procs; ++i) {
+          const pid_t pid = fork();
+          if (pid == 0) {
+            zoo_pass(i, procs);
+            _exit(0);
+          }
+          if (pid < 0) {
+            // A missing worker would silently shrink the measured workload
+            // and fake the speedup CI gates on — fail loudly instead.
+            std::fprintf(stderr, "error: fork failed for shard %d in --procs measurement\n",
+                         i);
+            std::exit(1);
+          }
+          children.push_back(pid);
+        }
+        for (const pid_t pid : children) {
+          int status = 0;
+          waitpid(pid, &status, 0);
+          if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "error: shard worker failed in --procs measurement\n");
+            std::exit(1);
+          }
+        }
+      }
+      return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    time_pass(1);  // warmup (page in the zoo graph + pattern)
+    double best_single = 0.0;
+    double best_multi = 0.0;
+    for (int round = 0; round < 3; ++round) {
+      const double single = static_cast<double>(mp_scenarios) / time_pass(1);
+      const double multi = static_cast<double>(mp_scenarios) / time_pass(args.procs);
+      best_single = std::max(best_single, single);
+      best_multi = std::max(best_multi, multi);
+    }
+    const double speedup = best_multi / best_single;
+
+    std::printf("\n=== Multi-process scaling (sampled zoo, %lld scenarios/pass) ===\n",
+                static_cast<long long>(mp_scenarios));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d procs x 1t", args.procs);
+    std::printf("%-16s %14.0f pkt/s\n", "1 proc x 1t", best_single);
+    std::printf("%-16s %14.0f pkt/s   %.2fx\n", label, best_multi, speedup);
+
+    json.key("multiproc").begin_object();
+    json.key("workload").value("zoo_sampled");
+    json.key("procs").value(args.procs);
+    json.key("trials").value(mp_trials);
+    json.key("scenarios").value(mp_scenarios);
+    json.key("single_packets_per_sec").value(best_single);
+    json.key("procs_packets_per_sec").value(best_multi);
+    json.key("speedup").value(speedup);
+    json.end_object();
+  }
 
   // -- micro rows (primitive costs the reproduction leans on) ---------------
 

@@ -14,7 +14,10 @@
 //
 // All verification rows run on the SweepEngine (early-exit parallel sweeps
 // behind the find_*_violation wrappers; r-tolerance uses the engine's custom
-// promise predicate). `--json <path>` writes the rows machine-readably.
+// promise predicate). `--json <path>` writes the rows machine-readably;
+// `--shard i/N` computes every N-th row (row ordinal i mod N) so the
+// expensive attack rows can spread across hosts — the JSON row lists of
+// all N shards union to the full table.
 
 #include <cstdio>
 #include <string>
@@ -31,11 +34,16 @@
 int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error || !args.positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
+  if (args.error || !args.positional.empty() || args.procs_set) {
+    std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>] [--shard i/N]\n",
+                 argv[0]);
     return 2;
   }
   const std::string& json_path = args.json_path;
+  // Work-item sharding: each table row gets an ordinal; --shard i/N
+  // computes the rows with ordinal congruent to i mod N and skips the rest.
+  int64_t next_row = 0;
+  const auto owns_row = [&]() { return args.owns(next_row++); };
   JsonWriter json;
   json.begin_object();
   json.key("bench").value("table1_landscape");
@@ -54,43 +62,50 @@ int main(int argc, char** argv) {
 
   std::printf("--- r-tolerance, r = 2 ---\n");
   {
-    const Graph k5 = make_complete(5);
-    const auto d2 = make_distance2_pattern();
-    bool ok = true;
-    for (VertexId s = 0; s < 5 && ok; ++s) {
-      for (VertexId t = 0; t < 5 && ok; ++t) {
-        if (s != t && find_r_tolerance_violation(k5, *d2, s, t, 2).has_value()) ok = false;
+    if (owns_row()) {
+      const Graph k5 = make_complete(5);
+      const auto d2 = make_distance2_pattern();
+      bool ok = true;
+      for (VertexId s = 0; s < 5 && ok; ++s) {
+        for (VertexId t = 0; t < 5 && ok; ++t) {
+          if (s != t && find_r_tolerance_violation(k5, *d2, s, t, 2).has_value()) ok = false;
+        }
       }
+      std::printf("K_{2r+1} = K5, distance-2 pattern:      %s (paper: possible, Thm 3)\n",
+                  ok ? "2-tolerant, exhaustively verified" : "VIOLATION");
+      emit("r-tolerance", "K5", true, ok);
     }
-    std::printf("K_{2r+1} = K5, distance-2 pattern:      %s (paper: possible, Thm 3)\n",
-                ok ? "2-tolerant, exhaustively verified" : "VIOLATION");
-    emit("r-tolerance", "K5", true, ok);
 
-    const Graph k33 = make_complete_bipartite(3, 3);
-    const auto d3 = make_distance3_bipartite_pattern();
-    ok = true;
-    for (VertexId s = 0; s < 6 && ok; ++s) {
-      for (VertexId t = 0; t < 6 && ok; ++t) {
-        if (s != t && find_r_tolerance_violation(k33, *d3, s, t, 2).has_value()) ok = false;
+    if (owns_row()) {
+      const Graph k33 = make_complete_bipartite(3, 3);
+      const auto d3 = make_distance3_bipartite_pattern();
+      bool ok = true;
+      for (VertexId s = 0; s < 6 && ok; ++s) {
+        for (VertexId t = 0; t < 6 && ok; ++t) {
+          if (s != t && find_r_tolerance_violation(k33, *d3, s, t, 2).has_value()) ok = false;
+        }
       }
+      std::printf("K_{2r-1,2r-1} = K3,3, distance-3:       %s (paper: possible, Thm 5)\n",
+                  ok ? "2-tolerant, exhaustively verified" : "VIOLATION");
+      emit("r-tolerance", "K3,3", true, ok);
     }
-    std::printf("K_{2r-1,2r-1} = K3,3, distance-3:       %s (paper: possible, Thm 5)\n",
-                ok ? "2-tolerant, exhaustively verified" : "VIOLATION");
-    emit("r-tolerance", "K3,3", true, ok);
 
-    const Graph k13 = make_complete(13);
-    int defeated = 0, total = 0;
-    for (const auto& p : make_pattern_corpus(RoutingModel::kSourceDestination, k13, 2, 3)) {
-      ++total;
-      if (attack_r_tolerance(k13, *p, 0, 12, 2).has_value()) ++defeated;
+    if (owns_row()) {
+      const Graph k13 = make_complete(13);
+      int defeated = 0, total = 0;
+      for (const auto& p : make_pattern_corpus(RoutingModel::kSourceDestination, k13, 2, 3)) {
+        ++total;
+        if (attack_r_tolerance(k13, *p, 0, 12, 2).has_value()) ++defeated;
+      }
+      std::printf(
+          "K_{5r+3} = K13, corpus defeated:        %d/%d (paper: impossible, Thm 1)\n\n",
+          defeated, total);
+      emit("r-tolerance", "K13", false, defeated < total);
     }
-    std::printf("K_{5r+3} = K13, corpus defeated:        %d/%d (paper: impossible, Thm 1)\n\n",
-                defeated, total);
-    emit("r-tolerance", "K13", false, defeated < total);
   }
 
   std::printf("--- bounded number of failures f ---\n");
-  {
+  if (owns_row()) {
     const int n = 7;
     const Graph kn = make_complete(n);
     const auto baseline = make_chiesa_complete_pattern();
@@ -102,7 +117,7 @@ int main(int argc, char** argv) {
                 n - 2, ok ? "survives all failure sets" : "VIOLATION");
     emit("bounded-failures", "K7", true, ok);
   }
-  {
+  if (owns_row()) {
     const int a = 4;
     const Graph kab = make_complete_bipartite(a, a);
     const auto baseline = make_chiesa_bipartite_pattern(a, a);
@@ -114,7 +129,7 @@ int main(int argc, char** argv) {
                 a, a - 2, ok ? "survives all failure sets" : "VIOLATION");
     emit("bounded-failures", "K4,4", true, ok);
   }
-  {
+  if (owns_row()) {
     const int n = 12;
     const Graph kn = make_complete(n);
     const auto p = make_shortest_path_pattern(RoutingModel::kSourceDestination, kn);
@@ -124,7 +139,7 @@ int main(int argc, char** argv) {
                 n, result ? result->defeat.failures.count() : -1, 6 * n - 33);
     emit("bounded-failures", "K12", false, !result.has_value());
   }
-  {
+  if (owns_row()) {
     const int a = 5, b = 5;
     const Graph kab = make_complete_bipartite(a, b);
     const auto p = make_shortest_path_pattern(RoutingModel::kSourceDestination, kab);

@@ -28,7 +28,7 @@
 int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
-  if (args.error || !args.positional.empty()) {
+  if (args.error || !args.positional.empty() || args.shard_set || args.procs_set) {
     std::fprintf(stderr, "usage: %s [--threads <n>] [--json <path>]\n", argv[0]);
     return 2;
   }

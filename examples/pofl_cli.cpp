@@ -9,7 +9,8 @@
 //   pofl_cli export-zoo <directory>           write the synthetic zoo as
 //                                             GraphML for external tools
 //   pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] [--per-pair]
-//                  [--check <baseline.json>]
+//                  [--check <baseline.json>] [--threads <n>]
+//                  [--shard i/N | --procs <N>]
 //                                             parallel Monte Carlo sweep of
 //                                             the natural failover pattern
 //                                             over all pairs under i.i.d.
@@ -22,6 +23,24 @@
 //                                             file (exit 1 on divergence) —
 //                                             the golden-baseline workflow
 //                                             from the command line
+//   pofl_cli merge <report.json...> [--json <path>] [--check <baseline.json>]
+//                                             fold shard reports into one
+//
+// Distributed sweeps: `--shard i/N` runs the i-th of N deterministic shards
+// of the scenario stream (for multi-host fan-out — ship the N shard JSONs
+// back and `merge` them), and `--procs N` is the single-host version: it
+// fork/execs N shard workers, merges their JSON, and reports the merged
+// result. Sharded runs skip the connectivity-oracle cache (its hit/miss
+// accounting depends on the partition; the rates and result counters do
+// not), so any shard/proc/thread split of one sweep serializes to the same
+// bytes — but a plain unsharded `sweep --json` records nonzero oracle
+// counters and is therefore NOT byte-comparable to a sharded/merged run.
+// Record baselines for distributed checking with --procs or --shard (the
+// checked-in tests/baselines/cli_zoo_procs.json is a --procs recording).
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +48,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "attacks/exhaustive.hpp"
 #include "attacks/pattern_corpus.hpp"
@@ -55,7 +76,10 @@ int usage() {
                "       pofl_cli attack <file.graphml> <s> <t>\n"
                "       pofl_cli export-zoo <directory>\n"
                "       pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] "
-               "[--per-pair] [--check <baseline.json>]\n");
+               "[--per-pair] [--check <baseline.json>] [--threads <n>] "
+               "[--shard i/N | --procs <N>]\n"
+               "       pofl_cli merge <report.json...> [--json <path>] "
+               "[--check <baseline.json>]\n");
   return 2;
 }
 
@@ -63,6 +87,21 @@ std::optional<NamedGraph> load(const std::string& path) {
   auto g = load_graphml(path);
   if (!g.has_value()) std::fprintf(stderr, "error: cannot parse %s\n", path.c_str());
   return g;
+}
+
+/// Strict numeric parsing: the whole token must be the number. atoi-style
+/// silent truncation ("--threads 2x" -> 2, "abc" -> 0) is how a typo turns
+/// into a wrong sweep.
+bool parse_long(const char* s, long& out) {
+  char* end = nullptr;
+  out = std::strtol(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
 }
 
 int cmd_classify(const std::string& path) {
@@ -135,39 +174,34 @@ int cmd_attack(const std::string& path, VertexId s, VertexId t) {
   return 0;
 }
 
-int cmd_sweep(const std::string& path, double p, int trials, const std::string& json_path,
-              bool per_pair, const std::string& check_path) {
-  const auto net = load(path);
-  if (!net.has_value()) return 1;
-  const Graph& g = net->graph;
-  if (p < 0.0 || p > 1.0 || trials <= 0) {
-    std::fprintf(stderr, "error: need 0 <= p <= 1 and trials > 0\n");
-    return 1;
-  }
-  const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
-  const auto pairs = all_ordered_pairs(g);
-  auto source = RandomFailureSource::iid(g, p, trials, /*seed=*/1, pairs);
-  ConnectivityOracle oracle(g);
-  SweepOptions opts;
-  opts.compute_stretch = true;
-  opts.oracle = &oracle;
-  // Recorded/replayed trajectories must be bit-reproducible, but the
-  // floating stretch sums are worker-merge-order-sensitive in the last ulp:
-  // pin trajectory runs to one worker. Interactive sweeps stay parallel.
-  if (!json_path.empty() || !check_path.empty()) opts.num_threads = 1;
-  const SweepEngine engine(opts);
-  SweepReport report;
-  if (per_pair || !json_path.empty() || !check_path.empty()) {
-    report = engine.run_report(g, *pattern, source);
-  } else {
-    report.totals = engine.run(g, *pattern, source);
-  }
+// ---- sweep -----------------------------------------------------------------
+
+struct SweepConfig {
+  std::string graph_path;
+  const char* p_arg = nullptr;       // original spellings, passed through to
+  const char* trials_arg = nullptr;  // shard workers verbatim
+  double p = 0.0;
+  int trials = 0;
+  std::string json_path;
+  std::string check_path;
+  bool per_pair = false;
+  int num_threads = 0;  // 0 = unset
+  bool threads_set = false;
+  int shard_index = 0;
+  int shard_count = 1;
+  bool shard_set = false;  // explicit --shard: a shard-worker run, even 0/1
+  int procs = 0;           // 0 = no multi-process driver
+};
+
+/// Serializes the report the way this run records it: shard runs carry
+/// their provenance marker, full runs (and merged results) are plain.
+std::string serialize_report(const SweepReport& report, const SweepConfig& cfg) {
+  if (cfg.shard_set) return to_json_shard(report, cfg.shard_index, cfg.shard_count);
+  return to_json(report);
+}
+
+void print_report(const SweepReport& report, bool per_pair) {
   const SweepStats& stats = report.totals;
-  std::printf("network:          %s (n=%d m=%d)\n", net->name.c_str(), g.num_vertices(),
-              g.num_edges());
-  std::printf("pattern:          %s\n", pattern->name().c_str());
-  std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
-              static_cast<long long>(stats.total), pairs.size(), trials, p);
   std::printf("promise held:     %lld (%.2f%%)\n",
               static_cast<long long>(stats.promise_held()),
               stats.total > 0 ? 100.0 * stats.promise_held() / stats.total : 0.0);
@@ -179,9 +213,11 @@ int cmd_sweep(const std::string& path, double p, int trials, const std::string& 
   std::printf("mean stretch:     %.3f (max %.3f over %lld deliveries)\n",
               stats.mean_stretch(), stats.max_stretch,
               static_cast<long long>(stats.stretch_samples));
-  std::printf("oracle:           %lld BFS computed, %lld reused from cache\n",
-              static_cast<long long>(stats.oracle_misses),
-              static_cast<long long>(stats.oracle_hits));
+  if (stats.oracle_hits + stats.oracle_misses > 0) {
+    std::printf("oracle:           %lld BFS computed, %lld reused from cache\n",
+                static_cast<long long>(stats.oracle_misses),
+                static_cast<long long>(stats.oracle_hits));
+  }
   if (per_pair) {
     std::printf("%6s %6s %10s %10s %10s\n", "src", "dst", "scenarios", "held", "delivery");
     for (const PairStats& row : report.per_pair) {
@@ -191,18 +227,25 @@ int cmd_sweep(const std::string& path, double p, int trials, const std::string& 
                   row.stats.delivery_rate());
     }
   }
-  if (!json_path.empty() && !write_json_file(json_path, to_json(report))) return 1;
+}
+
+/// --json / --check tail shared by the local sweep, the --procs driver and
+/// the merge command. `serialized` must be the exact bytes --json records.
+int emit_and_check(const std::string& serialized, const std::string& json_path,
+                   const std::string& check_path) {
+  if (!json_path.empty() && !write_json_file(json_path, serialized)) return 1;
   if (!check_path.empty()) {
     // Golden replay: the sweep is deterministic (fixed seed, portable
-    // fast-rand draws, thread-count-invariant counters), so the serialized
-    // report must reproduce a previously recorded --json file bit for bit.
+    // fast-rand draws, exact integer/fixed-point counters), so the
+    // serialized report must reproduce a previously recorded --json file
+    // bit for bit.
     std::ifstream in(check_path);
     if (!in) {
       std::fprintf(stderr, "error: cannot read baseline %s\n", check_path.c_str());
       return 1;
     }
     std::string golden((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-    if (golden != to_json(report) + "\n") {
+    if (golden != serialized + "\n") {
       std::fprintf(stderr,
                    "error: sweep diverged from baseline %s (re-record it with --json if the "
                    "change is intentional)\n",
@@ -212,6 +255,159 @@ int cmd_sweep(const std::string& path, double p, int trials, const std::string& 
     std::printf("baseline check:   OK (%s reproduced bit-for-bit)\n", check_path.c_str());
   }
   return 0;
+}
+
+/// Fork/execs one shard worker per shard and merges their JSON: the
+/// single-host face of the distributed shard/merge workflow. Children write
+/// their partial reports into a temp directory with stdout silenced; the
+/// parent waits, parses, merges and reports as if it had run unsharded.
+int run_procs(const SweepConfig& cfg) {
+  char exe_path[4096];
+  const ssize_t exe_len = readlink("/proc/self/exe", exe_path, sizeof(exe_path) - 1);
+  if (exe_len <= 0) {
+    std::fprintf(stderr, "error: cannot resolve /proc/self/exe for --procs workers\n");
+    return 1;
+  }
+  exe_path[exe_len] = '\0';
+
+  std::string tmpl = (std::filesystem::temp_directory_path() / "pofl_sweep_XXXXXX").string();
+  if (mkdtemp(tmpl.data()) == nullptr) {
+    std::fprintf(stderr, "error: cannot create temp directory for shard reports\n");
+    return 1;
+  }
+  const std::string tmp_dir = tmpl;
+
+  std::vector<pid_t> children;
+  std::vector<std::string> shard_files;
+  for (int i = 0; i < cfg.procs; ++i) {
+    shard_files.push_back(tmp_dir + "/shard_" + std::to_string(i) + ".json");
+    const std::string shard_spec = std::to_string(i) + "/" + std::to_string(cfg.procs);
+    const std::string threads = std::to_string(cfg.threads_set ? cfg.num_threads : 1);
+    const char* argv[] = {exe_path, "sweep",  cfg.graph_path.c_str(),
+                          cfg.p_arg, cfg.trials_arg, "--shard", shard_spec.c_str(),
+                          "--json", shard_files.back().c_str(),
+                          "--threads", threads.c_str(), nullptr};
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "error: fork failed\n");
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: silence the per-shard human summary; errors stay on stderr.
+      const int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        dup2(devnull, STDOUT_FILENO);
+        close(devnull);
+      }
+      execv(exe_path, const_cast<char* const*>(argv));
+      std::fprintf(stderr, "error: exec failed for shard %d\n", i);
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  bool workers_ok = true;
+  for (size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    if (waitpid(children[i], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "error: shard worker %zu failed\n", i);
+      workers_ok = false;
+    }
+  }
+
+  SweepReport merged;
+  bool parsed_all = workers_ok;
+  for (size_t i = 0; i < shard_files.size() && parsed_all; ++i) {
+    std::ifstream in(shard_files[i]);
+    std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    ShardInfo shard;
+    const auto report = report_from_json(text, &shard);
+    if (!in || !report.has_value() || !shard.present || shard.count != cfg.procs ||
+        shard.index != static_cast<int>(i)) {
+      std::fprintf(stderr, "error: bad shard report %s\n", shard_files[i].c_str());
+      parsed_all = false;
+      break;
+    }
+    merged.merge(*report);
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(tmp_dir, ec);
+  if (!parsed_all) return 1;
+
+  std::printf("procs:            %d shard workers, merged bit-exactly (oracle-free: not "
+              "byte-comparable to a plain unsharded --json recording)\n",
+              cfg.procs);
+  print_report(merged, cfg.per_pair);
+  return emit_and_check(to_json(merged), cfg.json_path, cfg.check_path);
+}
+
+int cmd_sweep(const SweepConfig& cfg) {
+  const auto net = load(cfg.graph_path);
+  if (!net.has_value()) return 1;
+  const Graph& g = net->graph;
+  if (cfg.p < 0.0 || cfg.p > 1.0 || cfg.trials <= 0) {
+    std::fprintf(stderr, "error: need 0 <= p <= 1 and trials > 0\n");
+    return 1;
+  }
+
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
+  const auto pairs = all_ordered_pairs(g);
+
+  std::printf("network:          %s (n=%d m=%d)\n", net->name.c_str(), g.num_vertices(),
+              g.num_edges());
+  std::printf("pattern:          %s\n", pattern->name().c_str());
+
+  if (cfg.procs > 0) {
+    std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
+                static_cast<long long>(pairs.size()) * cfg.trials, pairs.size(), cfg.trials,
+                cfg.p);
+    return run_procs(cfg);
+  }
+
+  auto source = RandomFailureSource::iid(g, cfg.p, cfg.trials, /*seed=*/1, pairs);
+  source.shard(cfg.shard_index, cfg.shard_count);
+
+  ConnectivityOracle oracle(g);
+  SweepOptions opts;
+  opts.compute_stretch = true;
+  opts.num_threads = cfg.num_threads;
+  // An explicit --shard run (even 0/1) is a shard worker: its report must
+  // merge bit-exactly with its siblings', so it carries the provenance
+  // marker and leaves the partition-dependent oracle accounting out.
+  if (!cfg.shard_set) {
+    // The shared connectivity cache only helps the full stream (duplicate
+    // draws land in one process), and its hit/miss accounting depends on
+    // the partition — a sharded run must serialize independently of it.
+    opts.oracle = &oracle;
+    // Recorded/replayed unsharded trajectories pin to one worker unless
+    // --threads says otherwise: concurrent oracle misses on the same
+    // failure set can double-count, and the recorded oracle counters must
+    // be reproducible. (Sharded runs carry no oracle, so every counter is
+    // thread-invariant and no pin is needed.)
+    if ((!cfg.json_path.empty() || !cfg.check_path.empty()) && !cfg.threads_set) {
+      opts.num_threads = 1;
+    }
+  }
+  const SweepEngine engine(opts);
+  SweepReport report;
+  if (cfg.per_pair || !cfg.json_path.empty() || !cfg.check_path.empty()) {
+    report = engine.run_report(g, *pattern, source);
+  } else {
+    report.totals = engine.run(g, *pattern, source);
+  }
+
+  if (cfg.shard_set) {
+    std::printf("shard:            %d/%d (%lld of %lld scenarios)\n", cfg.shard_index,
+                cfg.shard_count, static_cast<long long>(report.totals.total),
+                static_cast<long long>(pairs.size()) * cfg.trials);
+  } else {
+    std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
+                static_cast<long long>(report.totals.total), pairs.size(), cfg.trials, cfg.p);
+  }
+  print_report(report, cfg.per_pair);
+  return emit_and_check(serialize_report(report, cfg), cfg.json_path, cfg.check_path);
 }
 
 int cmd_export_zoo(const std::string& dir) {
@@ -230,6 +426,64 @@ int cmd_export_zoo(const std::string& dir) {
   return written == static_cast<int>(zoo.size()) ? 0 : 1;
 }
 
+// ---- merge -----------------------------------------------------------------
+
+int cmd_merge(const std::vector<std::string>& paths, const std::string& json_path,
+              const std::string& check_path) {
+  SweepReport merged;
+  int shard_count = 0;
+  int unmarked = 0;
+  std::vector<bool> seen_index;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    ShardInfo shard;
+    const auto report = report_from_json(text, &shard);
+    if (!in || !report.has_value()) {
+      std::fprintf(stderr, "error: cannot parse report %s\n", path.c_str());
+      return 1;
+    }
+    if (shard.present) {
+      if (shard_count == 0) {
+        shard_count = shard.count;
+        seen_index.assign(static_cast<size_t>(shard.count), false);
+      }
+      if (shard.count != shard_count) {
+        std::fprintf(stderr, "error: %s is shard %d/%d but earlier reports used /%d\n",
+                     path.c_str(), shard.index, shard.count, shard_count);
+        return 1;
+      }
+      if (seen_index[static_cast<size_t>(shard.index)]) {
+        std::fprintf(stderr, "error: shard %d/%d appears twice (%s)\n", shard.index,
+                     shard.count, path.c_str());
+        return 1;
+      }
+      seen_index[static_cast<size_t>(shard.index)] = true;
+    } else {
+      ++unmarked;
+    }
+    merged.merge(*report);
+  }
+  if (unmarked > 0 && paths.size() > 1) {
+    std::fprintf(stderr,
+                 "note: %d of %zu inputs carry no shard provenance — duplicate or "
+                 "overlapping reports cannot be detected\n",
+                 unmarked, paths.size());
+  }
+  int missing = 0;
+  for (const bool seen : seen_index) missing += seen ? 0 : 1;
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "note: merged %zu of %d shards (%d missing) — partial result, not "
+                 "comparable to an unsharded sweep\n",
+                 paths.size(), shard_count, missing);
+  }
+  std::printf("merged:           %zu reports, %lld scenarios, %zu pairs\n", paths.size(),
+              static_cast<long long>(merged.totals.total), merged.per_pair.size());
+  print_report(merged, /*per_pair=*/false);
+  return emit_and_check(to_json(merged), json_path, check_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,26 +492,91 @@ int main(int argc, char** argv) {
   if (cmd == "classify") return cmd_classify(argv[2]);
   if (cmd == "destinations") return cmd_destinations(argv[2]);
   if (cmd == "attack" && argc == 5) {
-    return cmd_attack(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
+    long s = 0;
+    long t = 0;
+    if (!parse_long(argv[3], s) || !parse_long(argv[4], t)) {
+      std::fprintf(stderr, "error: s/t must be integers\n");
+      return 2;
+    }
+    return cmd_attack(argv[2], static_cast<VertexId>(s), static_cast<VertexId>(t));
   }
   if (cmd == "export-zoo") return cmd_export_zoo(argv[2]);
   if (cmd == "sweep" && argc >= 5) {
-    std::string json_path;
-    std::string check_path;
-    bool per_pair = false;
+    SweepConfig cfg;
+    cfg.graph_path = argv[2];
+    cfg.p_arg = argv[3];
+    cfg.trials_arg = argv[4];
+    long trials = 0;
+    if (!parse_double(argv[3], cfg.p) || !parse_long(argv[4], trials)) {
+      std::fprintf(stderr, "error: p and trials must be numeric\n");
+      return 2;
+    }
+    if (trials < 1 || trials > 1'000'000'000) {
+      // Range-check the long before the int cast: 2^32+1 must be an error,
+      // not a silent 1-trial sweep.
+      std::fprintf(stderr, "error: trials must be in [1, 1e9], got %s\n", argv[4]);
+      return 2;
+    }
+    cfg.trials = static_cast<int>(trials);
     for (int i = 5; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        json_path = argv[++i];
+        cfg.json_path = argv[++i];
       } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-        check_path = argv[++i];
+        cfg.check_path = argv[++i];
       } else if (std::strcmp(argv[i], "--per-pair") == 0) {
-        per_pair = true;
+        cfg.per_pair = true;
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        long threads = 0;
+        if (!parse_long(argv[++i], threads) || threads < 1 || threads > 4096) {
+          // 0 is not "default" here: a sweep on zero threads is a typo, and
+          // silently mapping it to hardware concurrency hid real mistakes.
+          std::fprintf(stderr, "error: --threads needs a positive integer, got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        cfg.num_threads = static_cast<int>(threads);
+        cfg.threads_set = true;
+      } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+        if (!parse_shard_spec(argv[++i], cfg.shard_index, cfg.shard_count)) {
+          std::fprintf(stderr, "error: --shard needs i/N with 0 <= i < N, got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        cfg.shard_set = true;
+      } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+        long procs = 0;
+        if (!parse_long(argv[++i], procs) || procs < 1 || procs > 1024) {
+          std::fprintf(stderr, "error: --procs needs a positive integer, got '%s'\n", argv[i]);
+          return 2;
+        }
+        cfg.procs = static_cast<int>(procs);
       } else {
         return usage();
       }
     }
-    return cmd_sweep(argv[2], std::atof(argv[3]), std::atoi(argv[4]), json_path, per_pair,
-                     check_path);
+    if (cfg.procs > 0 && cfg.shard_set) {
+      std::fprintf(stderr, "error: --procs and --shard are mutually exclusive\n");
+      return 2;
+    }
+    return cmd_sweep(cfg);
+  }
+  if (cmd == "merge") {
+    std::vector<std::string> paths;
+    std::string json_path;
+    std::string check_path;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+        check_path = argv[++i];
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        return usage();
+      } else {
+        paths.emplace_back(argv[i]);
+      }
+    }
+    if (paths.empty()) return usage();
+    return cmd_merge(paths, json_path, check_path);
   }
   return usage();
 }

@@ -88,6 +88,12 @@ class FastRng {
     return r < threshold;
   }
 
+  /// Advances the state by n draws without using them. Same end state as n
+  /// next() calls — the building block of the leapfrog shard substreams.
+  void skip(uint64_t n) {
+    while (n-- > 0) (void)next();
+  }
+
  private:
   static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
@@ -127,6 +133,24 @@ inline void floyd_sample(FastRng& rng, int num_ids, int k, IdSet& out) {
     } else {
       out.insert(t);
     }
+  }
+}
+
+/// Consumes exactly the draws of one iid_sample(num_ids) without
+/// materializing the set. Sharded Monte Carlo streams leapfrog over the
+/// draws owned by other shards with this, so the union of all shards'
+/// failure sets is bit-identical to the unsharded sequence.
+inline void iid_skip(FastRng& rng, int num_ids) { rng.skip(static_cast<uint64_t>(num_ids)); }
+
+/// Consumes exactly the draws of one floyd_sample(num_ids, k) without
+/// materializing the set. Floyd's loop performs one bounded draw per j
+/// regardless of the membership test's outcome (only the inserted id
+/// depends on it), so replaying the next_below calls reproduces the
+/// generator consumption exactly; k >= num_ids consumes nothing.
+inline void floyd_skip(FastRng& rng, int num_ids, int k) {
+  if (k >= num_ids) return;
+  for (int j = num_ids - k; j < num_ids; ++j) {
+    (void)rng.next_below(static_cast<uint64_t>(j) + 1);
   }
 }
 

@@ -11,6 +11,78 @@
 
 namespace pofl {
 
+namespace {
+
+/// Offsets of the group runs (consecutive scenarios with equal failure
+/// sets) in a materialized list, plus the total size as a sentinel — the
+/// group-granular shard partition for corpus and fixed streams.
+std::vector<size_t> compute_group_starts(const std::vector<Scenario>& scenarios) {
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    if (i == 0 || !(scenarios[i].failures == scenarios[i - 1].failures)) starts.push_back(i);
+  }
+  starts.push_back(scenarios.size());
+  return starts;
+}
+
+/// Streams up to max_batch scenarios of the current shard's partition out
+/// of a materialized list, advancing the (group, offset) cursor (reset
+/// positions it on the shard's first group). Tags stay the canonical list
+/// position, sharded or not.
+int list_next_batch(const std::vector<Scenario>& scenarios, const std::vector<size_t>& starts,
+                    int shard_count, size_t& group, size_t& offset, int max_batch,
+                    ScenarioBatch& out) {
+  out.clear();
+  const size_t num_groups = starts.empty() ? 0 : starts.size() - 1;
+  int appended = 0;
+  while (appended < max_batch && group < num_groups) {
+    const size_t i = starts[group] + offset;
+    out.push_scenario(scenarios[i], i);
+    ++appended;
+    if (++offset == starts[group + 1] - starts[group]) {
+      offset = 0;
+      group += static_cast<size_t>(shard_count);
+    }
+  }
+  return appended;
+}
+
+/// Scenarios the (shard_index, shard_count) partition of the list yields.
+int64_t list_total(const std::vector<size_t>& starts, int shard_index, int shard_count) {
+  const size_t num_groups = starts.empty() ? 0 : starts.size() - 1;
+  int64_t total = 0;
+  for (size_t g = static_cast<size_t>(shard_index); g < num_groups;
+       g += static_cast<size_t>(shard_count)) {
+    total += static_cast<int64_t>(starts[g + 1] - starts[g]);
+  }
+  return total;
+}
+
+/// Canonical list position of the local-th scenario of the partition.
+int64_t list_global_index(const std::vector<size_t>& starts, int shard_index, int shard_count,
+                          int64_t local) {
+  const size_t num_groups = starts.empty() ? 0 : starts.size() - 1;
+  for (size_t g = static_cast<size_t>(shard_index); g < num_groups;
+       g += static_cast<size_t>(shard_count)) {
+    const auto len = static_cast<int64_t>(starts[g + 1] - starts[g]);
+    if (local < len) return static_cast<int64_t>(starts[g]) + local;
+    local -= len;
+  }
+  return -1;  // local is past the end of this shard's stream
+}
+
+}  // namespace
+
+void ScenarioSource::shard(int index, int count) {
+  if (count < 1 || index < 0 || index >= count) {
+    throw std::invalid_argument("ScenarioSource::shard: need 0 <= index < count, got " +
+                                std::to_string(index) + "/" + std::to_string(count));
+  }
+  shard_index_ = index;
+  shard_count_ = count;
+  reset();
+}
+
 int ScenarioSource::next_batch(int max_batch, std::vector<Scenario>& out) {
   const int n = next_batch(max_batch, compat_batch_);
   out.reserve(out.size() + static_cast<size_t>(n));
@@ -66,13 +138,16 @@ std::string ExhaustiveFailureSource::name() const {
 void ExhaustiveFailureSource::reset() {
   size_ = min_failures_;
   pair_index_ = 0;
+  mask_ordinal_ = 0;
   exhausted_ = pairs_.empty() || max_failures_ < min_failures_;
   // Only shift when the stratum is live: max_failures_ <= 62 bounds size_.
   mask_ = (!exhausted_ && size_ > 0) ? (uint64_t{1} << size_) - 1 : 0;
+  advance_to_owned_mask();
 }
 
 bool ExhaustiveFailureSource::advance_mask() {
   const uint64_t limit = uint64_t{1} << g_->num_edges();
+  ++mask_ordinal_;
   if (size_ > 0) {
     mask_ = next_same_popcount(mask_);
     if (mask_ < limit) return true;
@@ -81,6 +156,15 @@ bool ExhaustiveFailureSource::advance_mask() {
   if (size_ > max_failures_) return false;
   mask_ = (uint64_t{1} << size_) - 1;
   return mask_ < limit;
+}
+
+/// Skips masks until mask_ordinal_ lands on a Gosper ordinal this shard
+/// owns. Gosper advancement is O(1) per mask, so the leapfrog costs
+/// O(shard_count) bit tricks per emitted group.
+void ExhaustiveFailureSource::advance_to_owned_mask() {
+  while (!exhausted_ && mask_ordinal_ % shard_count() != shard_index()) {
+    if (!advance_mask()) exhausted_ = true;
+  }
 }
 
 int ExhaustiveFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
@@ -97,6 +181,7 @@ int ExhaustiveFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
     if (++pair_index_ == pairs_.size()) {
       pair_index_ = 0;
       if (!advance_mask()) exhausted_ = true;
+      advance_to_owned_mask();
     }
   }
   return appended;
@@ -112,8 +197,18 @@ int64_t ExhaustiveFailureSource::total_scenarios() const {
     if (k >= min_failures_) sets += binom;
     binom = binom * (m - k) / (k + 1);
   }
-  const __int128 total = sets * static_cast<__int128>(pairs_.size());
+  // This shard owns the masks with ordinal congruent to shard_index().
+  const __int128 owned =
+      sets > shard_index() ? (sets - shard_index() + shard_count() - 1) / shard_count() : 0;
+  const __int128 total = owned * static_cast<__int128>(pairs_.size());
   return total > kMax ? kMax : static_cast<int64_t>(total);
+}
+
+int64_t ExhaustiveFailureSource::global_index(int64_t local) const {
+  const auto pairs = static_cast<int64_t>(pairs_.size());
+  if (pairs == 0) return -1;
+  const int64_t ordinal = shard_index() + (local / pairs) * shard_count();
+  return ordinal * pairs + local % pairs;
 }
 
 RandomFailureSource RandomFailureSource::iid(const Graph& g, double p, int trials_per_pair,
@@ -151,8 +246,8 @@ std::string RandomFailureSource::name() const {
 
 void RandomFailureSource::reset() {
   rng_ = FastRng(seed_);
-  pair_index_ = 0;
-  trial_ = 0;
+  rng_ordinal_ = 0;
+  ordinal_ = shard_index();
 }
 
 void RandomFailureSource::draw_into(IdSet& out) {
@@ -163,24 +258,49 @@ void RandomFailureSource::draw_into(IdSet& out) {
   }
 }
 
+/// Consumes one draw's worth of generator state without materializing the
+/// failure set — how a shard leapfrogs the draws other shards own.
+void RandomFailureSource::skip_draw() {
+  if (exact_) {
+    floyd_skip(rng_, g_->num_edges(), std::min(num_failures_, g_->num_edges()));
+  } else {
+    iid_skip(rng_, g_->num_edges());
+  }
+}
+
 int RandomFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
   out.clear();
-  if (trials_per_pair_ <= 0) return 0;  // empty stream, not an infinite one
+  const int64_t total = total_draws();
   int appended = 0;
-  while (appended < max_batch && pair_index_ < pairs_.size()) {
-    // Every draw is fresh, so every scenario is its own group; the tag is
-    // the draw ordinal (stable across batch sizes and resets).
-    draw_into(out.start_group());
-    out.push(pairs_[pair_index_].first, pairs_[pair_index_].second,
-             static_cast<uint64_t>(pair_index_) * static_cast<uint64_t>(trials_per_pair_) +
-                 static_cast<uint64_t>(trial_));
-    ++appended;
-    if (++trial_ == trials_per_pair_) {
-      trial_ = 0;
-      ++pair_index_;
+  while (appended < max_batch && ordinal_ < total) {
+    // Leapfrog to this shard's next draw: the generator must consume every
+    // skipped ordinal's draws so draw `ordinal_` sees the exact state the
+    // unsharded stream would give it.
+    while (rng_ordinal_ < ordinal_) {
+      skip_draw();
+      ++rng_ordinal_;
     }
+    // Every draw is fresh, so every scenario is its own group; the tag is
+    // the canonical draw ordinal (stable across batch sizes, resets and
+    // shard configurations).
+    draw_into(out.start_group());
+    ++rng_ordinal_;
+    const auto pair = static_cast<size_t>(ordinal_ / trials_per_pair_);
+    out.push(pairs_[pair].first, pairs_[pair].second, static_cast<uint64_t>(ordinal_));
+    ++appended;
+    ordinal_ += shard_count();
   }
   return appended;
+}
+
+int64_t RandomFailureSource::total_hint() const {
+  const int64_t total = total_draws();
+  return total > shard_index() ? (total - shard_index() + shard_count() - 1) / shard_count()
+                               : 0;
+}
+
+int64_t RandomFailureSource::global_index(int64_t local) const {
+  return shard_index() + local * shard_count();
 }
 
 SampledFailureSource::SampledFailureSource(const Graph& g, int max_failures, int samples,
@@ -214,7 +334,20 @@ void SampledFailureSource::reset() {
   rng_.seed(seed_);
   sample_index_ = 0;
   pair_index_ = 0;
-  if (samples_ > 0 && !pairs_.empty()) draw_current();
+  if (samples_ > 0 && !pairs_.empty()) {
+    draw_current();
+    advance_to_owned_sample();
+  }
+}
+
+/// Skips to this shard's next sample. The legacy mt19937 draw consumes a
+/// data-dependent number of words, so skipped samples are drawn (into
+/// current_) and discarded — cheap next to simulating them, and the only
+/// way to keep the historical refuter sequence bit-aligned.
+void SampledFailureSource::advance_to_owned_sample() {
+  while (sample_index_ < samples_ && sample_index_ % shard_count() != shard_index()) {
+    if (++sample_index_ < samples_) draw_current();
+  }
 }
 
 int SampledFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
@@ -230,9 +363,25 @@ int SampledFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
     if (++pair_index_ == pairs_.size()) {
       pair_index_ = 0;
       if (++sample_index_ < samples_) draw_current();
+      advance_to_owned_sample();
     }
   }
   return appended;
+}
+
+int64_t SampledFailureSource::total_hint() const {
+  if (samples_ <= 0 || pairs_.empty()) return 0;
+  const int64_t owned =
+      samples_ > shard_index() ? (samples_ - shard_index() + shard_count() - 1) / shard_count()
+                               : 0;
+  return owned * static_cast<int64_t>(pairs_.size());
+}
+
+int64_t SampledFailureSource::global_index(int64_t local) const {
+  const auto pairs = static_cast<int64_t>(pairs_.size());
+  if (pairs == 0) return -1;
+  const int64_t sample = shard_index() + (local / pairs) * shard_count();
+  return sample * pairs + local % pairs;
 }
 
 AdversarialCorpusSource::AdversarialCorpusSource(const Graph& g, RoutingModel model,
@@ -257,6 +406,8 @@ void AdversarialCorpusSource::mine() {
     scenarios_.push_back(Scenario{defeat->failures, defeat->source, defeat->destination});
     defeated_.push_back(pattern->name());
   }
+  group_starts_ = compute_group_starts(scenarios_);
+  reset();
 }
 
 const std::vector<std::string>& AdversarialCorpusSource::defeated_patterns() {
@@ -266,30 +417,47 @@ const std::vector<std::string>& AdversarialCorpusSource::defeated_patterns() {
 
 int AdversarialCorpusSource::next_batch(int max_batch, ScenarioBatch& out) {
   mine();
-  out.clear();
-  int appended = 0;
-  while (appended < max_batch && index_ < scenarios_.size()) {
-    out.push_scenario(scenarios_[index_], index_);
-    ++index_;
-    ++appended;
-  }
-  return appended;
+  return list_next_batch(scenarios_, group_starts_, shard_count(), group_, offset_, max_batch,
+                         out);
 }
 
-void AdversarialCorpusSource::reset() { index_ = 0; }
+void AdversarialCorpusSource::reset() {
+  group_ = static_cast<size_t>(shard_index());
+  offset_ = 0;
+}
+
+int64_t AdversarialCorpusSource::total_hint() const {
+  return mined_ ? list_total(group_starts_, shard_index(), shard_count()) : -1;
+}
+
+int64_t AdversarialCorpusSource::global_index(int64_t local) const {
+  // Valid once the defeats are mined (the first next_batch mines); before
+  // that only the unsharded identity map is known.
+  if (!mined_) return local;
+  return list_global_index(group_starts_, shard_index(), shard_count(), local);
+}
 
 FixedScenarioSource::FixedScenarioSource(std::vector<Scenario> scenarios, std::string name)
-    : scenarios_(std::move(scenarios)), name_(std::move(name)) {}
+    : scenarios_(std::move(scenarios)),
+      name_(std::move(name)),
+      group_starts_(compute_group_starts(scenarios_)) {}
 
 int FixedScenarioSource::next_batch(int max_batch, ScenarioBatch& out) {
-  out.clear();
-  int appended = 0;
-  while (appended < max_batch && index_ < scenarios_.size()) {
-    out.push_scenario(scenarios_[index_], index_);
-    ++index_;
-    ++appended;
-  }
-  return appended;
+  return list_next_batch(scenarios_, group_starts_, shard_count(), group_, offset_, max_batch,
+                         out);
+}
+
+void FixedScenarioSource::reset() {
+  group_ = static_cast<size_t>(shard_index());
+  offset_ = 0;
+}
+
+int64_t FixedScenarioSource::total_hint() const {
+  return list_total(group_starts_, shard_index(), shard_count());
+}
+
+int64_t FixedScenarioSource::global_index(int64_t local) const {
+  return list_global_index(group_starts_, shard_index(), shard_count(), local);
 }
 
 }  // namespace pofl

@@ -142,11 +142,39 @@ class ScenarioBatch {
 /// Deterministic stream of scenarios. next_batch is always called serially
 /// (the engine holds a producer lock), so implementations need no internal
 /// synchronization; they must yield the same sequence after each reset().
+///
+/// Sharding: shard(i, n) restricts the stream to the i-th of n deterministic
+/// shards. The shards partition the canonical (unsharded) stream — every
+/// scenario appears in exactly one shard, in canonical order within it — so
+/// n processes can each sweep one shard and merge the SweepReports into the
+/// bit-identical unsharded result. The partition is group-granular (whole
+/// failure-set groups go to one shard: Gosper masks for the exhaustive
+/// stream, samples for the legacy sampled stream, group runs for corpus and
+/// fixed lists) except for the Monte Carlo stream, which leapfrogs draw
+/// ordinals over skipped xoshiro substates so the union of all shards' draws
+/// reproduces the unsharded draw sequence exactly. Implementations must
+/// honor shard_index()/shard_count() in next_batch/reset and override
+/// global_index(); every in-tree source does.
 class ScenarioSource {
  public:
   virtual ~ScenarioSource() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Restricts the stream to shard `index` of `count` and rewinds it
+  /// (implies reset(); shard(0, 1) restores the full stream). Throws
+  /// std::invalid_argument unless 0 <= index < count.
+  void shard(int index, int count);
+  [[nodiscard]] int shard_index() const { return shard_index_; }
+  [[nodiscard]] int shard_count() const { return shard_count_; }
+  [[nodiscard]] bool sharded() const { return shard_count_ > 1; }
+
+  /// Canonical (unsharded) stream position of the `local`-th scenario this
+  /// stream yields under its current shard configuration. The identity map
+  /// when unsharded. This is what lets a shard-local SweepFinding index be
+  /// compared across shards: the canonical-order minimum witness is the
+  /// finding whose global index is smallest.
+  [[nodiscard]] virtual int64_t global_index(int64_t local) const { return local; }
 
   /// Clears `out` and refills it in place with up to max_batch scenarios;
   /// returns how many were produced, 0 meaning the stream is exhausted.
@@ -166,6 +194,8 @@ class ScenarioSource {
   [[nodiscard]] virtual int64_t total_hint() const { return -1; }
 
  private:
+  int shard_index_ = 0;
+  int shard_count_ = 1;
   ScenarioBatch compat_batch_;  // reused by the legacy vector adapter
 };
 
@@ -194,12 +224,17 @@ class ExhaustiveFailureSource final : public ScenarioSource {
   int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
   [[nodiscard]] int64_t total_hint() const override { return total_scenarios(); }
+  /// Sharding is mask-granular: shard i owns the masks with Gosper ordinal
+  /// congruent to i mod n, each still crossed with the full pair list.
+  [[nodiscard]] int64_t global_index(int64_t local) const override;
 
-  /// Number of scenarios the full stream yields (pairs x failure sets).
+  /// Number of scenarios this stream yields (pairs x failure sets; the
+  /// current shard's share when sharded).
   [[nodiscard]] int64_t total_scenarios() const;
 
  private:
   bool advance_mask();
+  void advance_to_owned_mask();
 
   const Graph* g_;
   int min_failures_;
@@ -207,6 +242,7 @@ class ExhaustiveFailureSource final : public ScenarioSource {
   std::vector<std::pair<VertexId, VertexId>> pairs_;
   int size_ = 0;
   uint64_t mask_ = 0;
+  int64_t mask_ordinal_ = 0;  // canonical Gosper ordinal of mask_
   size_t pair_index_ = 0;
   bool exhausted_ = false;
 };
@@ -234,11 +270,13 @@ class RandomFailureSource final : public ScenarioSource {
   using ScenarioSource::next_batch;
   int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
-  [[nodiscard]] int64_t total_hint() const override {
-    return trials_per_pair_ > 0
-               ? static_cast<int64_t>(trials_per_pair_) * static_cast<int64_t>(pairs_.size())
-               : 0;
-  }
+  [[nodiscard]] int64_t total_hint() const override;
+  /// Sharding leapfrogs the draw ordinals: shard i owns draws i, i+n, ...
+  /// and advances its xoshiro state over the skipped draws (iid_skip /
+  /// floyd_skip consume the generator exactly like the draws they skip), so
+  /// the union of all shards' failure sets is the unsharded draw sequence,
+  /// draw for draw.
+  [[nodiscard]] int64_t global_index(int64_t local) const override;
 
  private:
   RandomFailureSource(const Graph& g, bool exact, double p, int num_failures,
@@ -246,6 +284,12 @@ class RandomFailureSource final : public ScenarioSource {
                       std::vector<std::pair<VertexId, VertexId>> pairs);
 
   void draw_into(IdSet& out);
+  void skip_draw();
+  [[nodiscard]] int64_t total_draws() const {
+    return trials_per_pair_ > 0
+               ? static_cast<int64_t>(trials_per_pair_) * static_cast<int64_t>(pairs_.size())
+               : 0;
+  }
 
   const Graph* g_;
   bool exact_;
@@ -256,8 +300,8 @@ class RandomFailureSource final : public ScenarioSource {
   uint64_t seed_;
   std::vector<std::pair<VertexId, VertexId>> pairs_;
   FastRng rng_;
-  size_t pair_index_ = 0;
-  int trial_ = 0;
+  int64_t rng_ordinal_ = 0;  // draws consumed from the generator so far
+  int64_t ordinal_ = 0;      // next draw ordinal this shard owns
 };
 
 /// The refutation distribution of the sampled verifier: `samples` failure
@@ -276,13 +320,15 @@ class SampledFailureSource final : public ScenarioSource {
   using ScenarioSource::next_batch;
   int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
-  [[nodiscard]] int64_t total_hint() const override {
-    return samples_ > 0 ? static_cast<int64_t>(samples_) * static_cast<int64_t>(pairs_.size())
-                        : 0;
-  }
+  [[nodiscard]] int64_t total_hint() const override;
+  /// Sharding is sample-granular: shard i owns samples i, i+n, ..., and
+  /// replays (then discards) the other shards' draws so the legacy mt19937
+  /// sequence stays aligned with the unsharded stream.
+  [[nodiscard]] int64_t global_index(int64_t local) const override;
 
  private:
   void draw_current();
+  void advance_to_owned_sample();
 
   const Graph* g_;
   int max_failures_;
@@ -311,9 +357,11 @@ class AdversarialCorpusSource final : public ScenarioSource {
   using ScenarioSource::next_batch;
   int next_batch(int max_batch, ScenarioBatch& out) override;
   void reset() override;
-  [[nodiscard]] int64_t total_hint() const override {
-    return mined_ ? static_cast<int64_t>(scenarios_.size()) : -1;
-  }
+  [[nodiscard]] int64_t total_hint() const override;
+  /// Sharding is group-granular over the runs of consecutive equal failure
+  /// sets in the mined defeat list; valid once the corpus is mined (the
+  /// first next_batch mines).
+  [[nodiscard]] int64_t global_index(int64_t local) const override;
 
   /// Corpus pattern names whose defeat made it into the stream (mines if
   /// needed). Parallel to the scenario order.
@@ -330,7 +378,9 @@ class AdversarialCorpusSource final : public ScenarioSource {
   bool mined_ = false;
   std::vector<Scenario> scenarios_;
   std::vector<std::string> defeated_;
-  size_t index_ = 0;
+  std::vector<size_t> group_starts_;  // group run offsets + total sentinel
+  size_t group_ = 0;                  // current group ordinal (canonical)
+  size_t offset_ = 0;                 // position inside the current group
 };
 
 /// A fixed, caller-provided scenario list (tests, replaying stored defeats).
@@ -343,15 +393,18 @@ class FixedScenarioSource final : public ScenarioSource {
   [[nodiscard]] std::string name() const override { return name_; }
   using ScenarioSource::next_batch;
   int next_batch(int max_batch, ScenarioBatch& out) override;
-  void reset() override { index_ = 0; }
-  [[nodiscard]] int64_t total_hint() const override {
-    return static_cast<int64_t>(scenarios_.size());
-  }
+  void reset() override;
+  [[nodiscard]] int64_t total_hint() const override;
+  /// Sharding is group-granular over the runs of consecutive equal failure
+  /// sets in the list.
+  [[nodiscard]] int64_t global_index(int64_t local) const override;
 
  private:
   std::vector<Scenario> scenarios_;
   std::string name_;
-  size_t index_ = 0;
+  std::vector<size_t> group_starts_;  // group run offsets + total sentinel
+  size_t group_ = 0;                  // current group ordinal (canonical)
+  size_t offset_ = 0;                 // position inside the current group
 };
 
 }  // namespace pofl

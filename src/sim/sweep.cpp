@@ -24,11 +24,37 @@ void SweepStats::merge(const SweepStats& other) {
   failures_seen += other.failures_seen;
   hops_delivered += other.hops_delivered;
   stretch_samples += other.stretch_samples;
-  stretch_sum += other.stretch_sum;
+  stretch_sum_q32 = saturating_add(stretch_sum_q32, other.stretch_sum_q32);
   max_stretch = std::max(max_stretch, other.max_stretch);
   oracle_hits += other.oracle_hits;
   oracle_misses += other.oracle_misses;
   oracle_evictions += other.oracle_evictions;
+}
+
+void SweepReport::merge(const SweepReport& other) {
+  totals.merge(other.totals);
+  // Union-merge the sorted row lists; equal (source, destination) keys
+  // merge their stats. Touring rows (destination == kNoVertex == -1) sort
+  // first, matching run_report's std::map ordering.
+  std::vector<PairStats> merged;
+  merged.reserve(per_pair.size() + other.per_pair.size());
+  size_t a = 0;
+  size_t b = 0;
+  const auto key = [](const PairStats& row) {
+    return std::make_pair(row.source, row.destination);
+  };
+  while (a < per_pair.size() || b < other.per_pair.size()) {
+    if (b == other.per_pair.size() ||
+        (a < per_pair.size() && key(per_pair[a]) < key(other.per_pair[b]))) {
+      merged.push_back(per_pair[a++]);
+    } else if (a == per_pair.size() || key(other.per_pair[b]) < key(per_pair[a])) {
+      merged.push_back(other.per_pair[b++]);
+    } else {
+      merged.push_back(per_pair[a++]);
+      merged.back().stats.merge(other.per_pair[b++].stats);
+    }
+  }
+  per_pair = std::move(merged);
 }
 
 namespace {
@@ -159,12 +185,7 @@ bool process_scenario(const SimContext& ctx, const ForwardingPattern& pattern,
     // BFS only on delivery: undelivered and promise-broken scenarios never
     // need the distance.
     const auto dist = distance(g, source, destination, failures);
-    if (dist.has_value() && *dist >= 1) {
-      const double stretch = static_cast<double>(r.hops) / *dist;
-      ++stats.stretch_samples;
-      stats.stretch_sum += stretch;
-      stats.max_stretch = std::max(stats.max_stretch, stretch);
-    }
+    if (dist.has_value() && *dist >= 1) stats.tally_stretch(r.hops, *dist);
   }
   return r.outcome != RoutingOutcome::kDelivered;
 }
@@ -366,6 +387,26 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
 
   run_on_pool(num_threads, worker);
   return finding;
+}
+
+std::optional<SweepFinding> SweepEngine::find_first_violation_sharded(
+    const Graph& g, const ForwardingPattern& pattern, ScenarioSource& source,
+    int shard_count) const {
+  // Each shard preserves canonical order and the shards partition the
+  // stream, so the canonical first violation is the shard-local first
+  // violation whose global index is smallest. Shards run one after another
+  // (each sweep is already parallel inside); a multi-process driver would
+  // run them concurrently and resolve the same minimum.
+  std::optional<SweepFinding> best;
+  for (int i = 0; i < shard_count; ++i) {
+    source.shard(i, shard_count);
+    auto finding = find_first_violation(g, pattern, source);
+    if (!finding.has_value()) continue;
+    finding->index = source.global_index(finding->index);
+    if (!best.has_value() || finding->index < best->index) best = std::move(finding);
+  }
+  source.shard(0, 1);
+  return best;
 }
 
 }  // namespace pofl

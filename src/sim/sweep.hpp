@@ -32,8 +32,10 @@
 //                          scenario order is pinned down, with a result that
 //                          is invariant under the worker-thread count.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -71,6 +73,13 @@ struct SweepOptions {
 ///   delivered + looped + dropped + invalid == promise_held()
 ///   promise_held() + promise_broken == total
 /// regardless of thread count.
+///
+/// Every accumulator is an exact integer sum or an exact max — including
+/// stretch, which is held in Q32 fixed point rather than a floating sum —
+/// so merge() is associative and commutative bit for bit. That is what lets
+/// N-shard (and N-thread) partial stats merge into a result identical to
+/// the unsharded sequential sweep, which the golden-baseline conformance
+/// suite checks byte for byte.
 struct SweepStats {
   int64_t total = 0;           // scenarios consumed from the source
   int64_t promise_broken = 0;  // s-t disconnected: excluded from the rates
@@ -83,7 +92,16 @@ struct SweepStats {
   int64_t hops_delivered = 0;  // sum hops over delivered scenarios
 
   int64_t stretch_samples = 0;  // deliveries with dist >= 1 (stretch mode)
-  double stretch_sum = 0.0;
+  /// Sum of per-scenario stretch (hops / dist) in Q32 fixed point:
+  /// each sample contributes floor(hops * 2^32 / dist), computed exactly in
+  /// integer arithmetic. An integer sum is order-invariant, so sharded and
+  /// multi-threaded sweeps reproduce the sequential sum exactly (a floating
+  /// sum is not associative). Accumulation saturates at INT64_MAX past
+  /// ~2^31 accumulated stretch units (hundreds of millions of deliveries
+  /// at typical stretch) instead of wrapping, so a sweep that large yields
+  /// a visibly pegged sum rather than silent garbage.
+  int64_t stretch_sum_q32 = 0;
+  /// Max over per-scenario stretch doubles; max is order-invariant as is.
   double max_stretch = 0.0;
 
   // Connectivity-oracle accounting for this sweep (zero when no oracle is
@@ -106,8 +124,30 @@ struct SweepStats {
   [[nodiscard]] double mean_hops() const {
     return delivered > 0 ? static_cast<double>(hops_delivered) / delivered : 0.0;
   }
+  /// The Q32 stretch sum as a double (for printing and derived rates).
+  [[nodiscard]] double stretch_sum() const {
+    return static_cast<double>(stretch_sum_q32) * (1.0 / 4294967296.0);
+  }
   [[nodiscard]] double mean_stretch() const {
-    return stretch_samples > 0 ? stretch_sum / stretch_samples : 0.0;
+    return stretch_samples > 0 ? stretch_sum() / stretch_samples : 0.0;
+  }
+
+  /// Tallies one stretch sample (hops over a distance >= 1), exactly.
+  void tally_stretch(int hops, int dist) {
+    ++stretch_samples;
+    stretch_sum_q32 = saturating_add(stretch_sum_q32, (static_cast<int64_t>(hops) << 32) / dist);
+    max_stretch = std::max(max_stretch, static_cast<double>(hops) / dist);
+  }
+
+  /// Overflow-safe accumulator add: clamps to INT64_MAX instead of signed
+  /// wraparound (UB). Both stretch tallies and merges ride this, so even a
+  /// pathological multi-billion-delivery sweep stays defined.
+  [[nodiscard]] static int64_t saturating_add(int64_t a, int64_t b) {
+    int64_t sum = 0;
+    if (__builtin_add_overflow(a, b, &sum)) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    return sum;
   }
 
   void merge(const SweepStats& other);
@@ -165,6 +205,13 @@ struct PairStats {
 struct SweepReport {
   SweepStats totals;
   std::vector<PairStats> per_pair;
+
+  /// Folds another report in: totals merge, per-pair rows union-merge by
+  /// (source, destination) with both row lists (and the result) in sorted
+  /// order. Associative and commutative bit for bit — SweepStats carries
+  /// only exact integer sums and maxes — so merging N disjoint shard
+  /// reports in any order reproduces the unsharded report exactly.
+  void merge(const SweepReport& other);
 };
 
 /// The earliest violation of a sweep in canonical scenario order: the
@@ -200,6 +247,18 @@ class SweepEngine {
   /// thread-count-invariant for any deterministic source.
   [[nodiscard]] std::optional<SweepFinding> find_first_violation(
       const Graph& g, const ForwardingPattern& pattern, ScenarioSource& source) const;
+
+  /// find_first_violation over a shard partition: sweeps every shard of
+  /// `source` (shard(i, shard_count) for i in [0, shard_count)) and resolves
+  /// the canonical-order minimum witness across them — each shard's local
+  /// finding index maps through ScenarioSource::global_index, and the
+  /// smallest global index wins. The returned SweepFinding::index is the
+  /// canonical (unsharded) stream position, so the result is bit-identical
+  /// to the unsharded find_first_violation for any shard_count. The source
+  /// is left unsharded (shard(0, 1)).
+  [[nodiscard]] std::optional<SweepFinding> find_first_violation_sharded(
+      const Graph& g, const ForwardingPattern& pattern, ScenarioSource& source,
+      int shard_count) const;
 
   [[nodiscard]] const SweepOptions& options() const { return opts_; }
 

@@ -1,11 +1,26 @@
 #include "sim/sweep_json.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 namespace pofl {
+
+bool parse_shard_spec(const char* spec, int& index, int& count) {
+  char* end = nullptr;
+  const long i = std::strtol(spec, &end, 10);
+  if (end == spec || *end != '/') return false;
+  const char* count_str = end + 1;
+  const long n = std::strtol(count_str, &end, 10);
+  if (end == count_str || *end != '\0') return false;
+  if (n < 1 || i < 0 || i >= n || n > 1'000'000) return false;
+  index = static_cast<int>(i);
+  count = static_cast<int>(n);
+  return true;
+}
 
 BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
@@ -16,6 +31,24 @@ BenchArgs parse_bench_args(int argc, char** argv) {
         return args;
       }
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      if (i + 1 >= argc || !parse_shard_spec(argv[++i], args.shard_index, args.shard_count)) {
+        args.error = true;
+        return args;
+      }
+      args.shard_set = true;
+    } else if (std::strcmp(argv[i], "--procs") == 0) {
+      if (i + 1 >= argc) {
+        args.error = true;
+        return args;
+      }
+      char* end = nullptr;
+      args.procs = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      args.procs_set = true;
+      if (end == argv[i] || *end != '\0' || args.procs < 1 || args.procs > 1024) {
+        args.error = true;
+        return args;
+      }
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         args.error = true;
@@ -162,7 +195,8 @@ void append_json(JsonWriter& w, const SweepStats& stats) {
   w.key("failures_seen").value(stats.failures_seen);
   w.key("hops_delivered").value(stats.hops_delivered);
   w.key("stretch_samples").value(stats.stretch_samples);
-  w.key("stretch_sum").value(stats.stretch_sum);
+  w.key("stretch_sum_q32").value(stats.stretch_sum_q32);
+  w.key("stretch_sum").value(stats.stretch_sum());
   w.key("max_stretch").value(stats.max_stretch);
   w.key("oracle_hits").value(stats.oracle_hits);
   w.key("oracle_misses").value(stats.oracle_misses);
@@ -208,6 +242,307 @@ std::string to_json(const SweepReport& report) {
   JsonWriter w;
   append_json(w, report);
   return w.str();
+}
+
+std::string to_json_shard(const SweepReport& report, int shard_index, int shard_count) {
+  // Splices the shard provenance in as the first key of the report object,
+  // so a shard file is the plain report JSON plus one marker.
+  JsonWriter w;
+  w.begin_object();
+  w.key("shard").begin_object();
+  w.key("index").value(shard_index);
+  w.key("count").value(shard_count);
+  w.end_object();
+  const std::string body = to_json(report);
+  return "{" + w.str().substr(1) + "," + body.substr(1);
+}
+
+// ---- parser ----------------------------------------------------------------
+// A minimal recursive-descent JSON reader, just enough for the shard/merge
+// round-trip: objects, arrays, strings, numbers (kept as raw spellings so
+// integers parse exactly), true/false/null. No dependency, no surprises.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  // raw number spelling, or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.text);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.fields.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.items.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      c = s_[pos_++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out += c;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          const long code = std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // The writer only escapes control characters; decode the
+          // single-byte range and reject anything it cannot have written.
+          if (code < 0 || code > 0xff) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.text = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool read_int(const JsonValue& obj, const std::string& key, int64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  char* end = nullptr;
+  out = std::strtoll(v->text.c_str(), &end, 10);
+  return end != v->text.c_str() && *end == '\0';
+}
+
+bool read_double(const JsonValue& obj, const std::string& key, double& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  char* end = nullptr;
+  out = std::strtod(v->text.c_str(), &end);
+  return end != v->text.c_str() && *end == '\0';
+}
+
+/// Reads the exact (non-derived) SweepStats fields. Derived rates are
+/// recomputed by the accessors, so this is all a byte-exact re-serialization
+/// needs: a 12-significant-digit decimal re-parses to a double that prints
+/// back to the same 12 digits, and everything else is integral.
+bool stats_from_json(const JsonValue& obj, SweepStats& out) {
+  if (obj.kind != JsonValue::Kind::kObject) return false;
+  return read_int(obj, "total", out.total) &&
+         read_int(obj, "promise_broken", out.promise_broken) &&
+         read_int(obj, "delivered", out.delivered) && read_int(obj, "looped", out.looped) &&
+         read_int(obj, "dropped", out.dropped) && read_int(obj, "invalid", out.invalid) &&
+         read_int(obj, "failures_seen", out.failures_seen) &&
+         read_int(obj, "hops_delivered", out.hops_delivered) &&
+         read_int(obj, "stretch_samples", out.stretch_samples) &&
+         read_int(obj, "stretch_sum_q32", out.stretch_sum_q32) &&
+         read_double(obj, "max_stretch", out.max_stretch) &&
+         read_int(obj, "oracle_hits", out.oracle_hits) &&
+         read_int(obj, "oracle_misses", out.oracle_misses) &&
+         read_int(obj, "oracle_evictions", out.oracle_evictions);
+}
+
+}  // namespace
+
+std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* shard) {
+  if (shard != nullptr) *shard = ShardInfo{};
+  JsonValue root;
+  if (!JsonParser(text).parse(root) || root.kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  if (const JsonValue* spec = root.find("shard"); spec != nullptr && shard != nullptr) {
+    int64_t index = 0;
+    int64_t count = 0;
+    if (spec->kind != JsonValue::Kind::kObject || !read_int(*spec, "index", index) ||
+        !read_int(*spec, "count", count) || count < 1 || index < 0 || index >= count) {
+      return std::nullopt;
+    }
+    shard->index = static_cast<int>(index);
+    shard->count = static_cast<int>(count);
+    shard->present = true;
+  }
+  SweepReport report;
+  const JsonValue* totals = root.find("totals");
+  if (totals == nullptr || !stats_from_json(*totals, report.totals)) return std::nullopt;
+  const JsonValue* rows = root.find("per_pair");
+  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) return std::nullopt;
+  report.per_pair.reserve(rows->items.size());
+  for (const JsonValue& row : rows->items) {
+    if (row.kind != JsonValue::Kind::kObject) return std::nullopt;
+    PairStats pair;
+    int64_t source = 0;
+    if (!read_int(row, "source", source)) return std::nullopt;
+    pair.source = static_cast<VertexId>(source);
+    const JsonValue* destination = row.find("destination");
+    if (destination == nullptr) return std::nullopt;
+    if (destination->kind == JsonValue::Kind::kNull) {
+      pair.destination = kNoVertex;
+    } else {
+      int64_t value = 0;
+      if (!read_int(row, "destination", value)) return std::nullopt;
+      pair.destination = static_cast<VertexId>(value);
+    }
+    const JsonValue* stats = row.find("stats");
+    if (stats == nullptr || !stats_from_json(*stats, pair.stats)) return std::nullopt;
+    report.per_pair.push_back(std::move(pair));
+  }
+  return report;
 }
 
 bool write_json_file(const std::string& path, const std::string& body) {

@@ -1,16 +1,25 @@
 #pragma once
 
 // Machine-readable sweep results. A tiny dependency-free JSON writer plus
-// serializers for SweepStats / SweepReport, so the CLI and the bench drivers
-// can emit BENCH_*.json trajectories instead of being scraped from stdout.
+// serializers for SweepStats / SweepReport, and the matching parser so
+// reports round-trip: shard workers write their partial SweepReport as
+// JSON, a merge step parses the files back, folds them with
+// SweepReport::merge, and re-serializes bit-identically to the unsharded
+// sweep.
 //
 // JSON shape (stable; documented in the README):
 //   SweepStats  -> {"total":..,"promise_broken":..,...,"delivery_rate":..}
 //   SweepReport -> {"totals":{...},"per_pair":[{"source":..,
 //                   "destination":..|null,"stats":{...}},...]}
-// Touring rows serialize their kNoVertex destination as null.
+//   shard report -> {"shard":{"index":i,"count":n},"totals":...} — the
+//                   optional leading "shard" key marks a partial report.
+// Touring rows serialize their kNoVertex destination as null. The parser
+// reads only the exact fields (integer counters, the max_stretch double)
+// and recomputes every derived rate, so parse -> serialize reproduces the
+// input byte for byte.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,20 +28,38 @@
 namespace pofl {
 
 /// Shared command-line convention for the bench drivers:
-/// `<bench> [positional...] [--json <path>] [--threads <n>]`. One parser
-/// instead of seven hand-rolled copies, with one behavior: a flag without
-/// its value (or an unknown --flag, or a non-numeric thread count) is an
-/// error (reported on stderr by the caller), never a positional. Drivers
-/// without any threaded sweep reject `--threads` via `threads_set` so the
-/// flag never silently does nothing.
+/// `<bench> [positional...] [--json <path>] [--threads <n>] [--shard i/N]`.
+/// One parser instead of seven hand-rolled copies, with one behavior: a
+/// flag without its value (or an unknown --flag, or a non-numeric thread
+/// count, or a malformed shard spec) is an error (reported on stderr by the
+/// caller), never a positional. Drivers without any threaded sweep reject
+/// `--threads` via `threads_set` so the flag never silently does nothing;
+/// `--shard i/N` restricts a driver to the i-th of N deterministic slices
+/// of its work (scenario shards or work-item ordinals) for multi-host runs.
 struct BenchArgs {
   std::string json_path;                 // empty when --json absent
   int num_threads = 0;                   // --threads; 0 = engine default
   bool threads_set = false;              // --threads appeared on the command line
+  int shard_index = 0;                   // --shard i/N; (0, 1) = everything
+  int shard_count = 1;
+  bool shard_set = false;                // --shard appeared on the command line
+  int procs = 0;                         // --procs; 0 = not requested
+  bool procs_set = false;                // --procs appeared on the command line
   std::vector<std::string> positional;   // everything that is not a flag
   bool error = false;                    // missing flag value or unknown --flag
+
+  /// Whether this invocation owns work item `ordinal` under the shard spec
+  /// — how drivers whose work is a list of items (networks, cells, rows)
+  /// rather than a scenario stream slice themselves.
+  [[nodiscard]] bool owns(int64_t ordinal) const {
+    return shard_count <= 1 || ordinal % shard_count == shard_index;
+  }
 };
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Parses a `i/N` shard spec (as in `--shard 2/8`) into (index, count);
+/// false on anything but 0 <= i < N with N >= 1.
+[[nodiscard]] bool parse_shard_spec(const char* spec, int& index, int& count);
 
 /// Append-style compact JSON writer. Keys and values are emitted in call
 /// order; commas and nesting are handled by the writer. No pretty-printing —
@@ -74,6 +101,28 @@ void append_json(JsonWriter& w, const SweepReport& report);
 
 [[nodiscard]] std::string to_json(const SweepStats& stats);
 [[nodiscard]] std::string to_json(const SweepReport& report);
+
+/// Serializes a partial (shard) report: the report object with a leading
+/// "shard":{"index":..,"count":..} key so a merge step can check the shards
+/// form a disjoint cover.
+[[nodiscard]] std::string to_json_shard(const SweepReport& report, int shard_index,
+                                        int shard_count);
+
+/// Shard provenance read back from a report file; (0, 1) with present ==
+/// false for a plain (unsharded or already-merged) report.
+struct ShardInfo {
+  int index = 0;
+  int count = 1;
+  bool present = false;
+};
+
+/// Parses a SweepReport previously written by to_json / to_json_shard.
+/// Reads the exact fields only (integer counters, max_stretch) and ignores
+/// derived rates, so serializing the result reproduces the input byte for
+/// byte. Returns nullopt on malformed input; fills *shard when the report
+/// carries shard provenance.
+[[nodiscard]] std::optional<SweepReport> report_from_json(const std::string& text,
+                                                          ShardInfo* shard = nullptr);
 
 /// Writes `body` to `path`; returns false (and prints to stderr) on failure.
 bool write_json_file(const std::string& path, const std::string& body);

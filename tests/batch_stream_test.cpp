@@ -91,7 +91,7 @@ void expect_same_stats(const SweepStats& a, const SweepStats& b, const std::stri
   EXPECT_EQ(a.failures_seen, b.failures_seen) << what;
   EXPECT_EQ(a.hops_delivered, b.hops_delivered) << what;
   EXPECT_EQ(a.stretch_samples, b.stretch_samples) << what;
-  EXPECT_DOUBLE_EQ(a.stretch_sum, b.stretch_sum) << what;
+  EXPECT_EQ(a.stretch_sum_q32, b.stretch_sum_q32) << what;
   EXPECT_DOUBLE_EQ(a.max_stretch, b.max_stretch) << what;
 }
 

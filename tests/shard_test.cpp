@@ -1,0 +1,483 @@
+// Conformance suite for the multi-process scenario-sharding subsystem.
+//
+// Three pillars, each pinned bit-for-bit:
+//
+//   * exact partition — for every scenario source and several (i, n) shard
+//     splits, each canonical scenario appears in exactly one shard, with
+//     identical content (failure set, pair, replay tag) and a correct
+//     global_index mapping back to the unsharded stream position;
+//   * shard/merge identity — merging the N per-shard SweepReports
+//     reproduces the unsharded report byte for byte against the same golden
+//     baselines in tests/baselines/ that sweep_replay_test pins, for
+//     N in {1, 2, 8} (the acceptance gate for distributed sweeps), and
+//     SweepReport::merge is associative and commutative;
+//   * sharded verification — find_first_violation_sharded resolves the
+//     canonical-order minimum witness: N shards x 1 thread reports the
+//     identical violation to 1 shard x N threads.
+//
+// Plus the JSON round-trip the multi-process driver rides on: parse(write(r))
+// re-serializes to the same bytes, including shard provenance markers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attacks/pattern_corpus.hpp"
+#include "classify/zoo.hpp"
+#include "graph/builders.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "routing/forwarding.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "sim/sweep_json.hpp"
+
+namespace pofl {
+namespace {
+
+// ---- helpers ---------------------------------------------------------------
+
+struct MatScenario {
+  Scenario scenario;
+  uint64_t tag = 0;
+};
+
+/// Drains `source` (from reset) into materialized scenarios. Odd batch
+/// sizes stress group re-opening at batch boundaries.
+std::vector<MatScenario> materialize(ScenarioSource& source, int batch_size = 7) {
+  source.reset();
+  std::vector<MatScenario> out;
+  ScenarioBatch batch;
+  while (source.next_batch(batch_size, batch) > 0) {
+    for (int i = 0; i < batch.size(); ++i) {
+      out.push_back(MatScenario{batch.scenario(i), batch.tag(i)});
+    }
+  }
+  return out;
+}
+
+void expect_same_scenario(const MatScenario& a, const MatScenario& b, const std::string& what) {
+  EXPECT_EQ(a.scenario.failures, b.scenario.failures) << what;
+  EXPECT_EQ(a.scenario.source, b.scenario.source) << what;
+  EXPECT_EQ(a.scenario.destination, b.scenario.destination) << what;
+  EXPECT_EQ(a.tag, b.tag) << what;
+}
+
+/// The partition property: over all shards of an (i, n) split, every
+/// canonical stream position is produced exactly once, with content and
+/// global_index agreeing with the unsharded stream.
+void check_exact_partition(ScenarioSource& source, const std::string& name) {
+  source.shard(0, 1);
+  const std::vector<MatScenario> full = materialize(source);
+  for (const int count : {1, 2, 3, 5, 8}) {
+    std::vector<int> produced(full.size(), 0);
+    for (int index = 0; index < count; ++index) {
+      source.shard(index, count);
+      // Shard totals must match what the sizing hint promises (when known).
+      const int64_t hint = source.total_hint();
+      const std::vector<MatScenario> shard = materialize(source);
+      if (hint >= 0) {
+        EXPECT_EQ(hint, static_cast<int64_t>(shard.size()))
+            << name << " shard " << index << "/" << count;
+      }
+      int64_t previous_global = -1;
+      for (size_t local = 0; local < shard.size(); ++local) {
+        const int64_t global = source.global_index(static_cast<int64_t>(local));
+        ASSERT_GE(global, 0) << name << " shard " << index << "/" << count;
+        ASSERT_LT(global, static_cast<int64_t>(full.size()))
+            << name << " shard " << index << "/" << count;
+        // Canonical order is preserved inside a shard.
+        EXPECT_GT(global, previous_global) << name << " shard " << index << "/" << count;
+        previous_global = global;
+        ++produced[static_cast<size_t>(global)];
+        expect_same_scenario(shard[local], full[static_cast<size_t>(global)],
+                             name + " shard " + std::to_string(index) + "/" +
+                                 std::to_string(count) + " local " + std::to_string(local));
+      }
+    }
+    for (size_t i = 0; i < produced.size(); ++i) {
+      EXPECT_EQ(produced[i], 1) << name << " split n=" << count << " canonical index " << i;
+    }
+  }
+  source.shard(0, 1);
+}
+
+std::string baseline_path(const std::string& name) {
+  return std::string(POFL_BASELINE_DIR) + "/" + name;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Runs every shard of an (n)-way split through run_report (2 worker
+/// threads each, like independent processes would) and merges.
+SweepReport merged_shards(const Graph& g, const ForwardingPattern& pattern,
+                          ScenarioSource& source, int shard_count) {
+  SweepOptions opts;
+  opts.num_threads = 2;
+  const SweepEngine engine(opts);
+  SweepReport merged;
+  for (int i = 0; i < shard_count; ++i) {
+    source.shard(i, shard_count);
+    merged.merge(engine.run_report(g, pattern, source));
+  }
+  source.shard(0, 1);
+  return merged;
+}
+
+/// The acceptance gate: for N in {1, 2, 8}, the merged N-shard report
+/// serializes byte-identically to the checked-in golden baseline.
+void check_merged_matches_baseline(const std::string& baseline, const Graph& g,
+                                   const ForwardingPattern& pattern, ScenarioSource& source) {
+  std::string golden;
+  ASSERT_TRUE(read_file(baseline_path(baseline), golden))
+      << "missing baseline " << baseline
+      << " — record it with POFL_UPDATE_BASELINES=1 (see sweep_replay_test)";
+  for (const int shards : {1, 2, 8}) {
+    const SweepReport merged = merged_shards(g, pattern, source, shards);
+    EXPECT_EQ(golden, to_json(merged) + "\n")
+        << baseline << ": merged " << shards << "-shard report diverged from the unsharded "
+        << "golden baseline";
+  }
+}
+
+// ---- exact partition, all five sources -------------------------------------
+
+TEST(ShardPartition, ExhaustiveSource) {
+  const Graph k5 = make_complete(5);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource source(k5, 3, pairs);
+  check_exact_partition(source, "exhaustive<=3");
+}
+
+TEST(ShardPartition, ExhaustiveStratumWindow) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  ExhaustiveFailureSource source(k33, 2, 3, {{0, 3}, {1, 4}, {2, 5}});
+  check_exact_partition(source, "exhaustive[2..3]");
+}
+
+TEST(ShardPartition, RandomIidSource) {
+  const Graph k5 = make_complete(5);
+  auto source = RandomFailureSource::iid(k5, 0.3, /*trials_per_pair=*/7, /*seed=*/5,
+                                         {{0, 1}, {1, 2}, {3, 4}});
+  check_exact_partition(source, "random-iid");
+}
+
+TEST(ShardPartition, RandomExactCountSource) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  auto source = RandomFailureSource::exact_count(k33, /*num_failures=*/2, /*trials_per_pair=*/5,
+                                                 /*seed=*/11, all_ordered_pairs(k33));
+  check_exact_partition(source, "random-exact");
+}
+
+TEST(ShardPartition, SampledSource) {
+  const Graph k5 = make_complete(5);
+  SampledFailureSource source(k5, /*max_failures=*/4, /*samples=*/9, /*seed=*/3,
+                              {{0, 4}, {1, 4}, {2, 4}});
+  check_exact_partition(source, "sampled");
+}
+
+TEST(ShardPartition, CorpusSource) {
+  const Graph k5 = make_complete(5);
+  AdversarialCorpusSource source(k5, RoutingModel::kSourceDestination, /*max_budget=*/4);
+  ASSERT_GT(materialize(source).size(), 0u) << "corpus mined no defeats on K5";
+  check_exact_partition(source, "corpus");
+}
+
+TEST(ShardPartition, FixedSourceWithGroupRuns) {
+  const Graph k5 = make_complete(5);
+  // Runs of equal failure sets (including a repeat of F0 later in the list,
+  // which must stay a separate group) exercise the group-granular split.
+  IdSet f0 = k5.empty_edge_set();
+  f0.insert(0);
+  IdSet f1 = k5.empty_edge_set();
+  f1.insert(1);
+  f1.insert(2);
+  std::vector<Scenario> list;
+  for (VertexId t = 1; t <= 3; ++t) list.push_back(Scenario{f0, 0, t});
+  for (VertexId t = 1; t <= 2; ++t) list.push_back(Scenario{f1, 0, t});
+  list.push_back(Scenario{f0, 2, 4});
+  list.push_back(Scenario{k5.empty_edge_set(), 1, 3});
+  FixedScenarioSource source(std::move(list));
+  check_exact_partition(source, "fixed");
+}
+
+TEST(ShardPartition, ShardSpecValidation) {
+  const Graph k5 = make_complete(5);
+  auto source = RandomFailureSource::iid(k5, 0.1, 2, 1, all_ordered_pairs(k5));
+  EXPECT_THROW(source.shard(0, 0), std::invalid_argument);
+  EXPECT_THROW(source.shard(-1, 2), std::invalid_argument);
+  EXPECT_THROW(source.shard(2, 2), std::invalid_argument);
+  source.shard(7, 8);  // valid; more shards than some streams have groups
+  source.shard(0, 1);
+}
+
+TEST(ShardPartition, MoreShardsThanGroupsYieldsEmptyShards) {
+  const Graph k5 = make_complete(5);
+  // 3 samples -> shards 3..7 of an 8-way split must be empty, not wrap.
+  SampledFailureSource source(k5, 2, /*samples=*/3, /*seed=*/1, {{0, 1}});
+  int64_t produced = 0;
+  for (int i = 0; i < 8; ++i) {
+    source.shard(i, 8);
+    const auto shard = materialize(source);
+    EXPECT_EQ(source.total_hint(), static_cast<int64_t>(shard.size())) << "shard " << i;
+    if (i >= 3) EXPECT_TRUE(shard.empty()) << "shard " << i;
+    produced += static_cast<int64_t>(shard.size());
+  }
+  EXPECT_EQ(produced, 3);
+}
+
+// ---- shard/merge vs the golden baselines -----------------------------------
+
+TEST(ShardConformance, MergedShardsReproduceK5ExhaustiveBaseline) {
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource source(k5, k5.num_edges(), pairs);
+  check_merged_matches_baseline("sweep_k5_exhaustive.json", k5, *pattern, source);
+}
+
+TEST(ShardConformance, MergedShardsReproduceK33ExhaustiveBaseline) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  ExhaustiveFailureSource source(k33, k33.num_edges(), all_ordered_pairs(k33));
+  check_merged_matches_baseline("sweep_k33_exhaustive.json", k33, *pattern, source);
+}
+
+TEST(ShardConformance, MergedShardsReproduceSampledZooBaseline) {
+  const auto zoo = make_synthetic_zoo();
+  const NamedGraph* pick = &zoo.front();
+  for (const NamedGraph& ng : zoo) {
+    if (ng.graph.num_vertices() >= 40 && ng.graph.num_vertices() <= 80) {
+      pick = &ng;
+      break;
+    }
+  }
+  const Graph& g = pick->graph;
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  const int step = std::max(1, g.num_vertices() / 8);
+  for (VertexId s = 0; s < g.num_vertices(); s += step) {
+    for (VertexId t = 0; t < g.num_vertices(); t += step) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  auto source = RandomFailureSource::iid(g, 0.05, /*trials_per_pair=*/10, /*seed=*/7, pairs);
+  check_merged_matches_baseline("sweep_zoo_sampled.json", g, *pattern, source);
+}
+
+// ---- merge algebra ---------------------------------------------------------
+
+/// Builds per-shard reports with every accumulator exercised: stretch on
+/// (nonzero Q32 sums and maxes) over a cycle, where rerouting inflates hops.
+std::vector<SweepReport> stretch_shard_reports(int shards) {
+  const Graph g = make_cycle(8);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  auto source = RandomFailureSource::exact_count(g, 1, /*trials_per_pair=*/40, /*seed=*/13,
+                                                 all_ordered_pairs(g));
+  SweepOptions opts;
+  opts.num_threads = 2;
+  opts.compute_stretch = true;
+  const SweepEngine engine(opts);
+  std::vector<SweepReport> reports;
+  for (int i = 0; i < shards; ++i) {
+    source.shard(i, shards);
+    reports.push_back(engine.run_report(g, *pattern, source));
+  }
+  source.shard(0, 1);
+  return reports;
+}
+
+TEST(ShardMergeAlgebra, MergeIsAssociativeAndCommutative) {
+  const auto r = stretch_shard_reports(3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_GT(r[0].totals.stretch_sum_q32, 0) << "stretch accumulators not exercised";
+
+  const auto fold = [](std::vector<int> order, const std::vector<SweepReport>& parts) {
+    SweepReport acc;
+    for (const int i : order) acc.merge(parts[static_cast<size_t>(i)]);
+    return to_json(acc);
+  };
+  const std::string abc = fold({0, 1, 2}, r);
+  EXPECT_EQ(abc, fold({2, 1, 0}, r));
+  EXPECT_EQ(abc, fold({1, 0, 2}, r));
+
+  // Associativity with explicit trees: (a+b)+c == a+(b+c).
+  SweepReport left = r[0];
+  left.merge(r[1]);
+  left.merge(r[2]);
+  SweepReport bc = r[1];
+  bc.merge(r[2]);
+  SweepReport right = r[0];
+  right.merge(bc);
+  EXPECT_EQ(to_json(left), to_json(right));
+
+  // And the merge reproduces the unsharded sweep, stretch included.
+  const Graph g = make_cycle(8);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  auto source = RandomFailureSource::exact_count(g, 1, 40, 13, all_ordered_pairs(g));
+  SweepOptions opts;
+  opts.num_threads = 1;
+  opts.compute_stretch = true;
+  const SweepReport whole = SweepEngine(opts).run_report(g, *pattern, source);
+  EXPECT_EQ(abc, to_json(whole));
+}
+
+TEST(ShardMergeAlgebra, MergeWithEmptyReportIsIdentity) {
+  const auto r = stretch_shard_reports(2);
+  SweepReport acc = r[0];
+  acc.merge(SweepReport{});
+  EXPECT_EQ(to_json(acc), to_json(r[0]));
+  SweepReport acc2;
+  acc2.merge(r[0]);
+  EXPECT_EQ(to_json(acc2), to_json(r[0]));
+}
+
+// ---- find_first_violation under sharding -----------------------------------
+
+/// Gives up the moment any incident link has failed — guaranteed violations
+/// whenever an off-route failure keeps the promise intact (the same probe
+/// pattern the early-exit engine tests use).
+class PanicTowardHigher final : public ForwardingPattern {
+ public:
+  [[nodiscard]] RoutingModel model() const override { return RoutingModel::kDestinationOnly; }
+  [[nodiscard]] std::string name() const override { return "panic"; }
+  [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId /*inport*/,
+                                              const IdSet& local_failures,
+                                              const Header& header) const override {
+    if (!local_failures.empty()) return std::nullopt;  // panic
+    for (EdgeId e : g.incident_edges(at)) {
+      if (g.other_endpoint(e, at) == at + 1 && header.destination > at) return e;
+    }
+    return std::nullopt;
+  }
+};
+
+void check_sharded_witness_identity(const Graph& g, const ForwardingPattern& pattern,
+                                    ScenarioSource& source) {
+  // 1 shard x 4 threads...
+  SweepOptions many_threads;
+  many_threads.num_threads = 4;
+  source.shard(0, 1);
+  const auto unsharded = SweepEngine(many_threads).find_first_violation(g, pattern, source);
+  ASSERT_TRUE(unsharded.has_value());
+
+  // ...versus N shards x 1 thread, for several N.
+  SweepOptions one_thread;
+  one_thread.num_threads = 1;
+  const SweepEngine engine(one_thread);
+  for (const int shards : {1, 2, 3, 8}) {
+    source.reset();
+    const auto sharded = engine.find_first_violation_sharded(g, pattern, source, shards);
+    ASSERT_TRUE(sharded.has_value()) << shards << " shards";
+    EXPECT_EQ(sharded->index, unsharded->index) << shards << " shards";
+    EXPECT_EQ(sharded->scenario.failures, unsharded->scenario.failures) << shards << " shards";
+    EXPECT_EQ(sharded->scenario.source, unsharded->scenario.source) << shards << " shards";
+    EXPECT_EQ(sharded->scenario.destination, unsharded->scenario.destination)
+        << shards << " shards";
+    EXPECT_EQ(sharded->routing.outcome, unsharded->routing.outcome) << shards << " shards";
+    EXPECT_EQ(sharded->routing.walk, unsharded->routing.walk) << shards << " shards";
+  }
+}
+
+TEST(ShardFirstViolation, WitnessIdenticalOnExhaustivePathSweep) {
+  const Graph g = make_path(5);
+  const PanicTowardHigher panic;
+  ExhaustiveFailureSource source(g, g.num_edges(), all_ordered_pairs(g));
+  check_sharded_witness_identity(g, panic, source);
+}
+
+TEST(ShardFirstViolation, WitnessIdenticalOnMonteCarloSweep) {
+  const Graph g = make_path(6);
+  const PanicTowardHigher panic;
+  auto source = RandomFailureSource::iid(g, 0.35, /*trials_per_pair=*/30, /*seed=*/17,
+                                         all_ordered_pairs(g));
+  check_sharded_witness_identity(g, panic, source);
+}
+
+TEST(ShardFirstViolation, PerfectPatternHasNoWitnessInAnyShard) {
+  // The machine-checked positive theorem: no shard may invent a violation.
+  const Graph k5 = make_complete(5);
+  const auto alg1 = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource source(k5, k5.num_edges(), pairs);
+  SweepOptions opts;
+  opts.num_threads = 2;
+  EXPECT_FALSE(
+      SweepEngine(opts).find_first_violation_sharded(k5, *alg1, source, 4).has_value());
+}
+
+// ---- JSON round-trip -------------------------------------------------------
+
+TEST(ShardJson, ReportRoundTripsByteExactly) {
+  // A report with every field live: oracle-free stretch sweep on a cycle.
+  const auto reports = stretch_shard_reports(2);
+  for (const SweepReport& report : reports) {
+    const std::string serialized = to_json(report);
+    ShardInfo shard;
+    const auto parsed = report_from_json(serialized, &shard);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(shard.present);
+    EXPECT_EQ(to_json(*parsed), serialized);
+  }
+}
+
+TEST(ShardJson, ShardReportCarriesProvenance) {
+  const auto reports = stretch_shard_reports(2);
+  const std::string serialized = to_json_shard(reports[1], 1, 2);
+  ShardInfo shard;
+  const auto parsed = report_from_json(serialized, &shard);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(shard.present);
+  EXPECT_EQ(shard.index, 1);
+  EXPECT_EQ(shard.count, 2);
+  EXPECT_EQ(to_json_shard(*parsed, shard.index, shard.count), serialized);
+  // The embedded report is the same bytes as the plain serialization.
+  EXPECT_EQ(to_json(*parsed), to_json(reports[1]));
+}
+
+TEST(ShardJson, GoldenBaselinesRoundTrip) {
+  for (const char* name :
+       {"sweep_k5_exhaustive.json", "sweep_k33_exhaustive.json", "sweep_zoo_sampled.json"}) {
+    std::string golden;
+    ASSERT_TRUE(read_file(baseline_path(name), golden)) << name;
+    ASSERT_FALSE(golden.empty());
+    const std::string body = golden.substr(0, golden.size() - 1);  // trailing newline
+    const auto parsed = report_from_json(body);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(to_json(*parsed), body) << name;
+  }
+}
+
+TEST(ShardJson, MalformedInputIsRejected) {
+  EXPECT_FALSE(report_from_json("").has_value());
+  EXPECT_FALSE(report_from_json("{").has_value());
+  EXPECT_FALSE(report_from_json("[]").has_value());
+  EXPECT_FALSE(report_from_json("{\"totals\":{}}").has_value());
+  EXPECT_FALSE(report_from_json("{\"totals\":{\"total\":1}}").has_value());
+  // Bad shard provenance.
+  const auto reports = stretch_shard_reports(2);
+  std::string bad = to_json_shard(reports[0], 0, 2);
+  ShardInfo shard;
+  ASSERT_TRUE(report_from_json(bad, &shard).has_value());
+  const size_t pos = bad.find("\"count\":2");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 9, "\"count\":0");
+  EXPECT_FALSE(report_from_json(bad, &shard).has_value());
+}
+
+}  // namespace
+}  // namespace pofl

@@ -79,7 +79,10 @@ TEST(Stretch, SweepEngineStretchBoundsMatchMeasureStretchOnCycle) {
   EXPECT_EQ(sweep.stretch_samples, direct.samples);
   EXPECT_EQ(static_cast<int>(sweep.delivered), direct.samples);
   EXPECT_DOUBLE_EQ(sweep.max_stretch, direct.max_stretch);
-  EXPECT_NEAR(sweep.mean_stretch(), direct.mean_stretch, 1e-12);
+  // The engine accumulates stretch in Q32 fixed point (exact, order- and
+  // shard-invariant) while measure_stretch keeps a floating sum, so the
+  // means agree to the Q32 quantization (2^-32 per sample), not to the ulp.
+  EXPECT_NEAR(sweep.mean_stretch(), direct.mean_stretch, 1e-9);
 }
 
 }  // namespace

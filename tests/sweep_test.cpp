@@ -115,7 +115,7 @@ TEST(SweepEngine, SingleAndMultiThreadAggregatesMatch) {
   EXPECT_EQ(one.hops_delivered, many.hops_delivered);
   EXPECT_EQ(one.stretch_samples, many.stretch_samples);
   EXPECT_DOUBLE_EQ(one.max_stretch, many.max_stretch);
-  EXPECT_NEAR(one.stretch_sum, many.stretch_sum, 1e-9);
+  EXPECT_EQ(one.stretch_sum_q32, many.stretch_sum_q32);
 }
 
 TEST(SweepEngine, ExhaustiveAndSampledSweepsAgreeOnPerfectPattern) {
