@@ -23,6 +23,14 @@
 //                                             file (exit 1 on divergence) —
 //                                             the golden-baseline workflow
 //                                             from the command line
+//   pofl_cli sweep <file.graphml> exhaustive <k> [same flags]
+//                                             exhaustive sweep instead: every
+//                                             failure set with |F| <= k
+//                                             (multi-word Gosper enumeration,
+//                                             graphs up to 512 links) crossed
+//                                             with all pairs; shards and
+//                                             merges exactly like the Monte
+//                                             Carlo mode
 //   pofl_cli merge <report.json...> [--json <path>] [--check <baseline.json>]
 //                                             fold shard reports into one
 //
@@ -48,7 +56,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -64,6 +74,7 @@
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_json.hpp"
+#include "synth/fat_tree.hpp"
 
 namespace {
 
@@ -78,6 +89,7 @@ int usage() {
                "       pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] "
                "[--per-pair] [--check <baseline.json>] [--threads <n>] "
                "[--shard i/N | --procs <N>]\n"
+               "       pofl_cli sweep <file.graphml> exhaustive <k> [same flags]\n"
                "       pofl_cli merge <report.json...> [--json <path>] "
                "[--check <baseline.json>]\n");
   return 2;
@@ -91,11 +103,13 @@ std::optional<NamedGraph> load(const std::string& path) {
 
 /// Strict numeric parsing: the whole token must be the number. atoi-style
 /// silent truncation ("--threads 2x" -> 2, "abc" -> 0) is how a typo turns
-/// into a wrong sweep.
+/// into a wrong sweep — and so is ERANGE, which strtol signals only through
+/// errno while clamping to LONG_MAX ("--procs 99999999999999999999").
 bool parse_long(const char* s, long& out) {
   char* end = nullptr;
+  errno = 0;
   out = std::strtol(s, &end, 10);
-  return end != s && *end == '\0';
+  return end != s && *end == '\0' && errno != ERANGE;
 }
 
 bool parse_double(const char* s, double& out) {
@@ -180,6 +194,7 @@ struct SweepConfig {
   std::string graph_path;
   const char* p_arg = nullptr;       // original spellings, passed through to
   const char* trials_arg = nullptr;  // shard workers verbatim
+  bool exhaustive = false;  // p_arg == "exhaustive": trials is max |F|
   double p = 0.0;
   int trials = 0;
   std::string json_path;
@@ -347,7 +362,7 @@ int cmd_sweep(const SweepConfig& cfg) {
   const auto net = load(cfg.graph_path);
   if (!net.has_value()) return 1;
   const Graph& g = net->graph;
-  if (cfg.p < 0.0 || cfg.p > 1.0 || cfg.trials <= 0) {
+  if (!cfg.exhaustive && (cfg.p < 0.0 || cfg.p > 1.0 || cfg.trials <= 0)) {
     std::fprintf(stderr, "error: need 0 <= p <= 1 and trials > 0\n");
     return 1;
   }
@@ -359,15 +374,41 @@ int cmd_sweep(const SweepConfig& cfg) {
               g.num_edges());
   std::printf("pattern:          %s\n", pattern->name().c_str());
 
+  // Both modes produce a ScenarioSource; everything downstream (sharding,
+  // merging, baselines) is mode-agnostic. The exhaustive constructor
+  // enforces the EdgeMask capacity limit — surface its message as a normal
+  // CLI error instead of an uncaught exception.
+  std::unique_ptr<ScenarioSource> source;
+  try {
+    if (cfg.exhaustive) {
+      source = std::make_unique<ExhaustiveFailureSource>(g, cfg.trials, pairs);
+    } else {
+      source = std::make_unique<RandomFailureSource>(
+          RandomFailureSource::iid(g, cfg.p, cfg.trials, /*seed=*/1, pairs));
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
   if (cfg.procs > 0) {
-    std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
-                static_cast<long long>(pairs.size()) * cfg.trials, pairs.size(), cfg.trials,
-                cfg.p);
+    if (cfg.exhaustive) {
+      std::printf("scenarios:        %lld (%zu pairs x |F|<=%d exhaustive)\n",
+                  static_cast<long long>(source->total_hint()), pairs.size(), cfg.trials);
+    } else {
+      std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
+                  static_cast<long long>(pairs.size()) * cfg.trials, pairs.size(), cfg.trials,
+                  cfg.p);
+    }
     return run_procs(cfg);
   }
 
-  auto source = RandomFailureSource::iid(g, cfg.p, cfg.trials, /*seed=*/1, pairs);
-  source.shard(cfg.shard_index, cfg.shard_count);
+  source->shard(cfg.shard_index, cfg.shard_count);
+  int64_t full_total = static_cast<int64_t>(pairs.size()) * cfg.trials;
+  if (cfg.exhaustive) {
+    ExhaustiveFailureSource full(g, cfg.trials, pairs);
+    full_total = full.total_hint();
+  }
 
   ConnectivityOracle oracle(g);
   SweepOptions opts;
@@ -393,15 +434,18 @@ int cmd_sweep(const SweepConfig& cfg) {
   const SweepEngine engine(opts);
   SweepReport report;
   if (cfg.per_pair || !cfg.json_path.empty() || !cfg.check_path.empty()) {
-    report = engine.run_report(g, *pattern, source);
+    report = engine.run_report(g, *pattern, *source);
   } else {
-    report.totals = engine.run(g, *pattern, source);
+    report.totals = engine.run(g, *pattern, *source);
   }
 
   if (cfg.shard_set) {
     std::printf("shard:            %d/%d (%lld of %lld scenarios)\n", cfg.shard_index,
                 cfg.shard_count, static_cast<long long>(report.totals.total),
-                static_cast<long long>(pairs.size()) * cfg.trials);
+                static_cast<long long>(full_total));
+  } else if (cfg.exhaustive) {
+    std::printf("scenarios:        %lld (%zu pairs x |F|<=%d exhaustive)\n",
+                static_cast<long long>(report.totals.total), pairs.size(), cfg.trials);
   } else {
     std::printf("scenarios:        %lld (%zu pairs x %d trials, p=%.3f)\n",
                 static_cast<long long>(report.totals.total), pairs.size(), cfg.trials, cfg.p);
@@ -413,7 +457,16 @@ int cmd_sweep(const SweepConfig& cfg) {
 int cmd_export_zoo(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  const auto zoo = make_synthetic_zoo();
+  auto zoo = make_synthetic_zoo();
+  // Fat-trees ride along with the zoo export: k=4 stays in the single-word
+  // regime, k=6 (108 links) is the house wide-mask exercise graph.
+  for (const int k : {4, 6}) {
+    const Graph ft = make_fat_tree(k);
+    const std::string name = "synth-fattree-k" + std::to_string(k) + "-" +
+                             std::to_string(ft.num_vertices()) + "-" +
+                             std::to_string(ft.num_edges());
+    zoo.push_back({name, ft});
+  }
   int written = 0;
   for (const auto& net : zoo) {
     const std::string path = dir + "/" + net.name + ".graphml";
@@ -506,16 +559,27 @@ int main(int argc, char** argv) {
     cfg.graph_path = argv[2];
     cfg.p_arg = argv[3];
     cfg.trials_arg = argv[4];
+    cfg.exhaustive = std::strcmp(argv[3], "exhaustive") == 0;
     long trials = 0;
-    if (!parse_double(argv[3], cfg.p) || !parse_long(argv[4], trials)) {
-      std::fprintf(stderr, "error: p and trials must be numeric\n");
-      return 2;
-    }
-    if (trials < 1 || trials > 1'000'000'000) {
-      // Range-check the long before the int cast: 2^32+1 must be an error,
-      // not a silent 1-trial sweep.
-      std::fprintf(stderr, "error: trials must be in [1, 1e9], got %s\n", argv[4]);
-      return 2;
+    if (cfg.exhaustive) {
+      // trials is the failure budget: every |F| <= k is enumerated, so the
+      // cap is the EdgeMask word limit, not the Monte Carlo trial cap.
+      if (!parse_long(argv[4], trials) || trials < 0 || trials > 512) {
+        std::fprintf(stderr, "error: exhaustive needs a max |F| in [0, 512], got %s\n",
+                     argv[4]);
+        return 2;
+      }
+    } else {
+      if (!parse_double(argv[3], cfg.p) || !parse_long(argv[4], trials)) {
+        std::fprintf(stderr, "error: p and trials must be numeric\n");
+        return 2;
+      }
+      if (trials < 1 || trials > 1'000'000'000) {
+        // Range-check the long before the int cast: 2^32+1 must be an error,
+        // not a silent 1-trial sweep.
+        std::fprintf(stderr, "error: trials must be in [1, 1e9], got %s\n", argv[4]);
+        return 2;
+      }
     }
     cfg.trials = static_cast<int>(trials);
     for (int i = 5; i < argc; ++i) {

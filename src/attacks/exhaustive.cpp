@@ -1,25 +1,37 @@
 #include "attacks/exhaustive.hpp"
 
-#include <cassert>
+#include <optional>
 
 #include "graph/bitmask.hpp"
-#include "graph/connectivity.hpp"
+#include "graph/incremental_connectivity.hpp"
 
 namespace pofl {
-
 
 std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPattern& pattern,
                                           VertexId source, VertexId destination, int max_budget,
                                           ConnectivityOracle* oracle) {
-  assert(g.num_edges() <= 30 && "exhaustive defeat search is for small graphs");
+  // Always-on capacity gate (the old `assert(<= 30)` compiled out of
+  // Release builds); the enumeration itself is width-generic up to
+  // EdgeMask::kMaxBits edges.
+  EdgeMask::check_capacity(g.num_edges(), "find_minimum_defeat");
   std::optional<Defeat> found;
   const SimContext ctx(g);
   RoutingWorkspace ws;
+  // Without a shared oracle, connectivity rides the rollback union-find:
+  // consecutive Gosper masks differ in a low-id suffix, so each step
+  // replays O(1) edge levels instead of a fresh BFS per failure set.
+  std::optional<IncrementalConnectivity> inc;
+  if (oracle == nullptr) inc.emplace(g);
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
-    for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
+    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
-      const bool alive = oracle != nullptr ? oracle->connected(source, destination, failures)
-                                           : connected(g, source, destination, failures);
+      bool alive;
+      if (oracle != nullptr) {
+        alive = oracle->connected(source, destination, failures);
+      } else {
+        inc->move_to(failures);
+        alive = inc->connected(source, destination);
+      }
       if (!alive) return false;
       const Header header{source, destination};
       if (route_packet_fast(ctx, pattern, failures, source, header, ws).outcome ==
@@ -38,23 +50,29 @@ std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPatter
 std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
                                                    const ForwardingPattern& pattern,
                                                    int max_budget, ConnectivityOracle* oracle) {
+  EdgeMask::check_capacity(g.num_edges(), "find_minimum_defeat_any_pair");
   std::optional<Defeat> found;
   const SimContext ctx(g);
   RoutingWorkspace ws;
+  std::optional<IncrementalConnectivity> inc;
+  if (oracle == nullptr) inc.emplace(g);
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
-    for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
+    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
       std::shared_ptr<const std::vector<int>> cached;
-      std::vector<int> local;
       if (oracle != nullptr) {
         cached = oracle->components_of(failures);
       } else {
-        local = components(g, failures);
+        inc->move_to(failures);
       }
-      const std::vector<int>& comp = cached != nullptr ? *cached : local;
+      const auto same_component = [&](VertexId s, VertexId t) {
+        return cached != nullptr
+                   ? (*cached)[static_cast<size_t>(s)] == (*cached)[static_cast<size_t>(t)]
+                   : inc->connected(s, t);
+      };
       for (VertexId s = 0; s < g.num_vertices(); ++s) {
         for (VertexId t = 0; t < g.num_vertices(); ++t) {
-          if (s == t || comp[static_cast<size_t>(s)] != comp[static_cast<size_t>(t)]) continue;
+          if (s == t || !same_component(s, t)) continue;
           if (route_packet_fast(ctx, pattern, failures, s, Header{s, t}, ws).outcome !=
               RoutingOutcome::kDelivered) {
             found = Defeat{failures, s, t,
@@ -72,11 +90,12 @@ std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
 std::optional<Defeat> find_minimum_touring_defeat(const Graph& g,
                                                   const ForwardingPattern& pattern,
                                                   int max_budget) {
+  EdgeMask::check_capacity(g.num_edges(), "find_minimum_touring_defeat");
   std::optional<Defeat> found;
   const SimContext ctx(g);
   RoutingWorkspace ws;
   for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
-    for_each_k_subset(g.num_edges(), k, [&](uint64_t mask) {
+    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
       const IdSet failures = edge_mask_to_set(g, mask);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         if (!tour_packet_fast(ctx, pattern, failures, v, ws).success) {

@@ -23,8 +23,10 @@ struct Defeat {
 };
 
 /// Smallest failure set F such that s,t stay connected in G\F but the packet
-/// is not delivered. Exhaustive and exact for graphs with <= 30 edges;
-/// `max_budget` bounds |F|. nullopt = no defeat within budget (for a
+/// is not delivered. Exhaustive and exact; graphs up to EdgeMask::kMaxBits
+/// edges are accepted (checked, throws — but the cost is binomial in
+/// `max_budget`, so keep budgets small on wide graphs). `max_budget` bounds
+/// |F|. nullopt = no defeat within budget (for a
 /// perfectly resilient pattern: no defeat at all). An optional shared
 /// ConnectivityOracle caches the per-failure-set component labels — corpus
 /// drivers that attack many patterns on one graph re-enumerate the same

@@ -185,6 +185,21 @@ class IdSet {
     return true;
   }
 
+  /// Highest id present in exactly one of *this and other, or -1 when the
+  /// sets are equal. Universes must match. The incremental-connectivity
+  /// rollback keys on this: consecutive Gosper failure sets differ only in a
+  /// low-bit suffix, so the highest differing id bounds the replay depth.
+  [[nodiscard]] int highest_diff(const IdSet& other) const {
+    assert(universe_ == other.universe_);
+    const uint64_t* w = words();
+    const uint64_t* o = other.words();
+    for (uint32_t i = num_words_; i-- > 0;) {
+      const uint64_t diff = w[i] ^ o[i];
+      if (diff != 0) return static_cast<int>(i * 64) + 63 - __builtin_clzll(diff);
+    }
+    return -1;
+  }
+
   friend bool operator==(const IdSet& a, const IdSet& b) {
     if (a.universe_ != b.universe_) return false;
     const uint64_t* wa = a.words();

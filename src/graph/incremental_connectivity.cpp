@@ -1,0 +1,62 @@
+#include "graph/incremental_connectivity.hpp"
+
+#include <utility>
+
+namespace pofl {
+
+IncrementalConnectivity::IncrementalConnectivity(const Graph& g)
+    : g_(&g),
+      parent_(static_cast<size_t>(g.num_vertices())),
+      size_(static_cast<size_t>(g.num_vertices()), 1),
+      level_mark_(static_cast<size_t>(g.num_edges()), 0),
+      current_(g.num_edges()) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) parent_[static_cast<size_t>(v)] = v;
+}
+
+/// Records edge e's level mark and unions its endpoints when e is alive.
+void IncrementalConnectivity::apply_level(EdgeId e, const IdSet& failures) {
+  level_mark_[static_cast<size_t>(e)] = static_cast<uint32_t>(undo_.size());
+  if (failures.contains(e)) return;
+  const Edge& ed = g_->edge(e);
+  VertexId ru = find(ed.u);
+  VertexId rv = find(ed.v);
+  if (ru == rv) return;
+  // Union by size; the smaller root becomes the child so find stays
+  // O(log n) without path compression (compression would break undo).
+  if (size_[static_cast<size_t>(ru)] < size_[static_cast<size_t>(rv)]) std::swap(ru, rv);
+  parent_[static_cast<size_t>(rv)] = ru;
+  size_[static_cast<size_t>(ru)] += size_[static_cast<size_t>(rv)];
+  undo_.push_back(rv);
+  ++unions_applied_;
+}
+
+/// Pops unions until the undo log is back at `undo_size`. LIFO order means
+/// each popped child's parent pointer still names the root it was attached
+/// to at union time, so one store and one subtraction undo it exactly.
+void IncrementalConnectivity::rollback_to(size_t undo_size) {
+  while (undo_.size() > undo_size) {
+    const VertexId child = undo_.back();
+    undo_.pop_back();
+    const VertexId parent = parent_[static_cast<size_t>(child)];
+    size_[static_cast<size_t>(parent)] -= size_[static_cast<size_t>(child)];
+    parent_[static_cast<size_t>(child)] = child;
+    ++unions_rolled_back_;
+  }
+}
+
+void IncrementalConnectivity::move_to(const IdSet& failures) {
+  const int m = g_->num_edges();
+  if (!primed_) {
+    primed_ = true;
+    current_ = failures;
+    for (EdgeId e = m; e-- > 0;) apply_level(e, failures);
+    return;
+  }
+  const int d = current_.highest_diff(failures);
+  if (d < 0) return;  // same failure set: nothing moved
+  rollback_to(level_mark_[static_cast<size_t>(d)]);
+  current_ = failures;
+  for (EdgeId e = d + 1; e-- > 0;) apply_level(e, failures);
+}
+
+}  // namespace pofl

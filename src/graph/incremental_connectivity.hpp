@@ -1,0 +1,72 @@
+#pragma once
+
+// Incremental connectivity under a *moving* failure set.
+//
+// The exhaustive machinery asks "are u and v connected in G \ F?" for a long
+// sequence of failure sets F, and consecutive Gosper masks differ only in a
+// low-edge-id suffix. A fresh BFS per failure set pays O(n + m) every time;
+// this structure instead maintains a union-find over the alive edges,
+// processed in *decreasing* edge-id order with an undo log per edge level.
+// Moving from F to F' rolls the log back to the highest differing edge id d
+// (everything above d was unioned identically under both sets) and replays
+// only levels d..0 — O(1) amortized per Gosper step, and never worse than a
+// full rebuild for an arbitrary jump (Monte Carlo draws, batch boundaries).
+//
+// Union by size without path compression keeps every union undoable in O(1)
+// and find at O(log n); all queries are answered from root identity, so the
+// answers are exactly those of a fresh BFS on G \ F (the replay-identity
+// tests pin this bit for bit against connectivity.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+class IncrementalConnectivity {
+ public:
+  explicit IncrementalConnectivity(const Graph& g);
+
+  /// Re-points the structure at G \ failures (universe must be g's edge
+  /// set). Rollback + replay touches only edge levels <= the highest id on
+  /// which `failures` differs from the previous position.
+  void move_to(const IdSet& failures);
+
+  /// Whether u and v are connected in G minus the current failure set.
+  [[nodiscard]] bool connected(VertexId u, VertexId v) const {
+    return find(u) == find(v);
+  }
+
+  /// Root of v's component — equal roots <=> same component, so this is a
+  /// drop-in for component-label equality checks.
+  [[nodiscard]] VertexId component_of(VertexId v) const { return find(v); }
+
+  // Work counters for tests and perf reporting.
+  [[nodiscard]] int64_t unions_applied() const { return unions_applied_; }
+  [[nodiscard]] int64_t unions_rolled_back() const { return unions_rolled_back_; }
+
+ private:
+  [[nodiscard]] VertexId find(VertexId v) const {
+    while (parent_[static_cast<size_t>(v)] != v) v = parent_[static_cast<size_t>(v)];
+    return v;
+  }
+
+  void apply_level(EdgeId e, const IdSet& failures);
+  void rollback_to(size_t undo_size);
+
+  const Graph* g_;
+  std::vector<VertexId> parent_;
+  std::vector<int32_t> size_;
+  // Edges are applied m-1, m-2, ..., 0; level_mark_[e] is the undo-log
+  // length just before edge e's level, i.e. the state with all edges > e
+  // processed — the rollback target when e is the highest differing id.
+  std::vector<uint32_t> level_mark_;
+  std::vector<VertexId> undo_;  // child roots of performed unions, in order
+  IdSet current_;
+  bool primed_ = false;
+  int64_t unions_applied_ = 0;
+  int64_t unions_rolled_back_ = 0;
+};
+
+}  // namespace pofl

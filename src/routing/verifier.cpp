@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/bitmask.hpp"
 #include "graph/connectivity.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
@@ -21,7 +22,9 @@ namespace {
 constexpr size_t kLocalOracleEntries = size_t{1} << 16;
 
 [[nodiscard]] bool use_exhaustive(const Graph& g, const VerifyOptions& opts) {
-  return g.num_edges() <= opts.max_exhaustive_edges && g.num_edges() <= 62;
+  // The hard cap is EdgeMask's word budget, not the old single-word 62-edge
+  // wall; opts.max_exhaustive_edges stays the cost-based knob.
+  return g.num_edges() <= opts.max_exhaustive_edges && g.num_edges() <= EdgeMask::kMaxBits;
 }
 
 /// Builds the scenario stream the options describe: exhaustive strata when

@@ -119,11 +119,9 @@ ExhaustiveFailureSource::ExhaustiveFailureSource(const Graph& g, int min_failure
       min_failures_(std::max(0, min_failures)),
       max_failures_(std::min(max_failures, g.num_edges())),
       pairs_(std::move(pairs)) {
-  if (g.num_edges() > 62) {
-    throw std::invalid_argument("ExhaustiveFailureSource: graph has " +
-                                std::to_string(g.num_edges()) +
-                                " edges; exhaustive enumeration requires <= 62");
-  }
+  // Always-on (NDEBUG included): an oversize graph must fail loudly here,
+  // not silently corrupt the enumeration downstream.
+  EdgeMask::check_capacity(g.num_edges(), "ExhaustiveFailureSource");
   reset();
 }
 
@@ -140,22 +138,27 @@ void ExhaustiveFailureSource::reset() {
   pair_index_ = 0;
   mask_ordinal_ = 0;
   exhausted_ = pairs_.empty() || max_failures_ < min_failures_;
-  // Only shift when the stratum is live: max_failures_ <= 62 bounds size_.
-  mask_ = (!exhausted_ && size_ > 0) ? (uint64_t{1} << size_) - 1 : 0;
+  mask_ = EdgeMask(g_->num_edges());
+  // Only seed when the stratum is live: max_failures_ <= num_edges bounds
+  // size_, so the first size-k mask always fits the universe. (The old
+  // uint64 form shifted `1 << size_` here — undefined at exactly 64 edges;
+  // EdgeMask's word-wise fill has no such cliff.)
+  if (!exhausted_ && size_ > 0) mask_.assign_first_k(size_);
   advance_to_owned_mask();
 }
 
 bool ExhaustiveFailureSource::advance_mask() {
-  const uint64_t limit = uint64_t{1} << g_->num_edges();
   ++mask_ordinal_;
   if (size_ > 0) {
-    mask_ = next_same_popcount(mask_);
-    if (mask_ < limit) return true;
+    mask_.next_same_popcount();
+    // Exhaustion check with an explicit bound instead of `mask < 1 << m`:
+    // the Gosper carry past the top in-universe mask lands at bit >= m.
+    if (!mask_.any_at_or_above(g_->num_edges())) return true;
   }
   ++size_;
   if (size_ > max_failures_) return false;
-  mask_ = (uint64_t{1} << size_) - 1;
-  return mask_ < limit;
+  mask_.assign_first_k(size_);  // size_ <= max_failures_ <= num_edges
+  return true;
 }
 
 /// Skips masks until mask_ordinal_ lands on a Gosper ordinal this shard
@@ -176,7 +179,12 @@ int ExhaustiveFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
     if (appended == 0 || pair_index_ == 0) {
       edge_mask_write(*g_, mask_, out.start_group());
     }
-    out.push(pairs_[pair_index_].first, pairs_[pair_index_].second, mask_);
+    // Replay tag: the raw mask while it fits 64 bits (bit-identical to the
+    // historical uint64 stream, which the golden baselines and tag-pinning
+    // tests rely on), the canonical Gosper ordinal beyond that.
+    const uint64_t tag = g_->num_edges() <= 64 ? mask_.low64()
+                                               : static_cast<uint64_t>(mask_ordinal_);
+    out.push(pairs_[pair_index_].first, pairs_[pair_index_].second, tag);
     ++appended;
     if (++pair_index_ == pairs_.size()) {
       pair_index_ = 0;
@@ -188,14 +196,29 @@ int ExhaustiveFailureSource::next_batch(int max_batch, ScenarioBatch& out) {
 }
 
 int64_t ExhaustiveFailureSource::total_scenarios() const {
-  // Saturating: near the 62-edge limit the binomial sums exceed int64.
+  // Saturating: wide universes overflow even __int128 through the middle of
+  // Pascal's row, so each C(m, k) is computed by the exact prefix-product
+  // formula (every partial product is the integer C(m-k+i, i)) and clamped
+  // at int64 max; sums and products saturate with it.
   constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
   const int m = g_->num_edges();
+  const auto binom_clamped = [m](int k) -> __int128 {
+    k = std::min(k, m - k);
+    if (k < 0) return 0;
+    unsigned __int128 r = 1;
+    for (int i = 1; i <= k; ++i) {
+      r = r * static_cast<unsigned>(m - k + i) / static_cast<unsigned>(i);
+      if (r > static_cast<unsigned __int128>(kMax)) return kMax;
+    }
+    return static_cast<__int128>(r);
+  };
   __int128 sets = 0;
-  __int128 binom = 1;  // C(m, 0)
-  for (int k = 0; k <= max_failures_; ++k) {
-    if (k >= min_failures_) sets += binom;
-    binom = binom * (m - k) / (k + 1);
+  for (int k = min_failures_; k <= max_failures_; ++k) {
+    sets += binom_clamped(k);
+    if (sets > kMax) {
+      sets = kMax;
+      break;
+    }
   }
   // This shard owns the masks with ordinal congruent to shard_index().
   const __int128 owned =

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/bitmask.hpp"
 #include "graph/fast_rand.hpp"
 #include "graph/graph.hpp"
 #include "routing/forwarding.hpp"
@@ -207,11 +208,15 @@ class ScenarioSource {
 [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> all_touring_starts(const Graph& g);
 
 /// Every failure set with |F| in [min_failures, max_failures], enumerated in
-/// increasing cardinality (Gosper's hack), crossed with the given
-/// (source, destination) pairs. Requires m <= 62 edges. A nonzero
-/// min_failures selects a stratum window, so incremental budget probes can
-/// sweep each cardinality exactly once. Batch groups are per mask (replay
-/// tag: the mask), decoded once into the batch, shared by every pair.
+/// increasing cardinality (Gosper's hack over multi-word EdgeMasks), crossed
+/// with the given (source, destination) pairs. Requires m <=
+/// EdgeMask::kMaxBits edges (checked, throws). A nonzero min_failures
+/// selects a stratum window, so incremental budget probes can sweep each
+/// cardinality exactly once. Batch groups are per mask, decoded once into
+/// the batch, shared by every pair. The replay tag is the mask itself when
+/// it fits 64 bits (bit-compatible with the historical uint64 stream) and
+/// the canonical Gosper ordinal on wider graphs — both stable across batch
+/// sizes, resets and shard configurations.
 class ExhaustiveFailureSource final : public ScenarioSource {
  public:
   ExhaustiveFailureSource(const Graph& g, int max_failures,
@@ -241,7 +246,7 @@ class ExhaustiveFailureSource final : public ScenarioSource {
   int max_failures_;
   std::vector<std::pair<VertexId, VertexId>> pairs_;
   int size_ = 0;
-  uint64_t mask_ = 0;
+  EdgeMask mask_;
   int64_t mask_ordinal_ = 0;  // canonical Gosper ordinal of mask_
   size_t pair_index_ = 0;
   bool exhausted_ = false;

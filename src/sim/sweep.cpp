@@ -4,12 +4,14 @@
 #include <atomic>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "graph/connectivity.hpp"
+#include "graph/incremental_connectivity.hpp"
 #include "routing/simulator.hpp"
 
 namespace pofl {
@@ -59,52 +61,33 @@ void SweepReport::merge(const SweepReport& other) {
 
 namespace {
 
-/// Worker-local one-entry memo for the default connectivity promise.
-/// Scenario streams are failure-set-major (every pair is asked under F
-/// before the next F appears), so consecutive scenarios usually share their
-/// failure set: one full component labeling then answers every pair under F
-/// with two array lookups. The memo starts lazy (first query per F by
-/// early-exit BFS, labeling only on a second query) and labels eagerly
-/// exactly while the previous F proved to repeat — a failure-set-major
-/// stream pays one labeling per F, while a pair-major stream (where a
-/// repeat is a coincidence, e.g. two identical Monte Carlo draws) falls
-/// back to the cheaper single-query BFS on the very next F. All methods
-/// give the same answer, and the buffers are reused, so steady state stays
-/// allocation-free.
+/// Worker-local memo for the default connectivity promise. Scenario streams
+/// are failure-set-major (every pair is asked under F before the next F
+/// appears), so consecutive scenarios usually share their failure set, and
+/// consecutive *failure sets* usually differ only in a low-edge-id suffix
+/// (Gosper enumeration). The memo starts lazy — the first query per F is an
+/// early-exit BFS — and switches to the rollback union-find exactly while
+/// the previous F proved to repeat: a failure-set-major stream then pays an
+/// O(1)-amortized incremental move per Gosper step (in place of the full
+/// component labeling this memo used to rebuild per F), while a pair-major
+/// stream (where a repeat is a coincidence, e.g. two identical Monte Carlo
+/// draws) falls back to the cheaper single-query BFS on the very next F.
+/// All methods give the same boolean answer, so every sweep counter is
+/// identical whichever path runs; the structure is reused across the
+/// worker's whole run, so steady state stays allocation-free.
 struct PromiseMemo {
   IdSet failures;
   bool have_failures = false;
-  bool labels_valid = false;
+  bool inc_synced = false;        // inc reflects `failures`
   bool current_repeated = false;  // the memoized F received a second query
-  std::vector<int> labels;
-  std::vector<VertexId> queue;
+  std::unique_ptr<IncrementalConnectivity> inc;  // lazy: Monte Carlo never builds it
 };
 
-/// Labels the components of g minus memo.failures into memo.labels (same
-/// labels as components(g, F)), reusing the memo buffers.
-void memo_label_components(const Graph& g, PromiseMemo& memo) {
-  const int n = g.num_vertices();
-  memo.labels.assign(static_cast<size_t>(n), -1);
-  int label = 0;
-  for (VertexId start = 0; start < n; ++start) {
-    if (memo.labels[static_cast<size_t>(start)] != -1) continue;
-    memo.queue.clear();
-    memo.queue.push_back(start);
-    memo.labels[static_cast<size_t>(start)] = label;
-    for (size_t head = 0; head < memo.queue.size(); ++head) {
-      const VertexId v = memo.queue[head];
-      for (EdgeId e : g.incident_edges(v)) {
-        if (memo.failures.contains(e)) continue;
-        const VertexId w = g.other_endpoint(e, v);
-        if (memo.labels[static_cast<size_t>(w)] == -1) {
-          memo.labels[static_cast<size_t>(w)] = label;
-          memo.queue.push_back(w);
-        }
-      }
-    }
-    ++label;
-  }
-  memo.labels_valid = true;
+/// Points memo.inc at G \ failures (building it on first use).
+void memo_sync_incremental(const Graph& g, const IdSet& failures, PromiseMemo& memo) {
+  if (memo.inc == nullptr) memo.inc = std::make_unique<IncrementalConnectivity>(g);
+  memo.inc->move_to(failures);
+  memo.inc_synced = true;
 }
 
 bool promise_connected(const SimContext& ctx, const IdSet& failures, VertexId source,
@@ -112,19 +95,17 @@ bool promise_connected(const SimContext& ctx, const IdSet& failures, VertexId so
   if (source == destination) return true;
   if (memo.have_failures && memo.failures == failures) {
     memo.current_repeated = true;
-    if (!memo.labels_valid) memo_label_components(ctx.graph(), memo);
-    return memo.labels[static_cast<size_t>(source)] ==
-           memo.labels[static_cast<size_t>(destination)];
+    if (!memo.inc_synced) memo_sync_incremental(ctx.graph(), failures, memo);
+    return memo.inc->connected(source, destination);
   }
   const bool eager = memo.current_repeated;
   memo.failures = failures;
   memo.have_failures = true;
-  memo.labels_valid = false;
+  memo.inc_synced = false;
   memo.current_repeated = false;
   if (eager) {
-    memo_label_components(ctx.graph(), memo);
-    return memo.labels[static_cast<size_t>(source)] ==
-           memo.labels[static_cast<size_t>(destination)];
+    memo_sync_incremental(ctx.graph(), failures, memo);
+    return memo.inc->connected(source, destination);
   }
   return connected_fast(ctx, failures, source, destination, ws);
 }

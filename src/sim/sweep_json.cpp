@@ -1,6 +1,7 @@
 #include "sim/sweep_json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,13 +10,28 @@
 
 namespace pofl {
 
+namespace {
+
+/// strtol with the overflow check the bare call silently skips: ERANGE
+/// clamps to LONG_MIN/LONG_MAX without any error indication, so
+/// `--procs 99999999999999999999` used to sail through parsing and only
+/// fail (or worse, truncate) downstream. Rejects unless the whole token is
+/// a long that survived un-clamped.
+bool checked_strtol(const char* s, char** end, long& out) {
+  errno = 0;
+  out = std::strtol(s, end, 10);
+  return *end != s && errno != ERANGE;
+}
+
+}  // namespace
+
 bool parse_shard_spec(const char* spec, int& index, int& count) {
   char* end = nullptr;
-  const long i = std::strtol(spec, &end, 10);
-  if (end == spec || *end != '/') return false;
+  long i = 0;
+  long n = 0;
+  if (!checked_strtol(spec, &end, i) || *end != '/') return false;
   const char* count_str = end + 1;
-  const long n = std::strtol(count_str, &end, 10);
-  if (end == count_str || *end != '\0') return false;
+  if (!checked_strtol(count_str, &end, n) || *end != '\0') return false;
   if (n < 1 || i < 0 || i >= n || n > 1'000'000) return false;
   index = static_cast<int>(i);
   count = static_cast<int>(n);
@@ -42,25 +58,31 @@ BenchArgs parse_bench_args(int argc, char** argv) {
         args.error = true;
         return args;
       }
+      // Range-check the long before the int cast: 2^32+1 used to truncate
+      // to a silently wrong small --procs value.
       char* end = nullptr;
-      args.procs = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      long procs = 0;
       args.procs_set = true;
-      if (end == argv[i] || *end != '\0' || args.procs < 1 || args.procs > 1024) {
+      if (!checked_strtol(argv[++i], &end, procs) || *end != '\0' || procs < 1 ||
+          procs > 1024) {
         args.error = true;
         return args;
       }
+      args.procs = static_cast<int>(procs);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         args.error = true;
         return args;
       }
       char* end = nullptr;
-      args.num_threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      long threads = 0;
       args.threads_set = true;
-      if (end == argv[i] || *end != '\0' || args.num_threads < 0) {
+      if (!checked_strtol(argv[++i], &end, threads) || *end != '\0' || threads < 0 ||
+          threads > 1'000'000) {
         args.error = true;
         return args;
       }
+      args.num_threads = static_cast<int>(threads);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // Unknown flags (misspellings, --json=path) must fail loudly, not
       // silently become positionals.
@@ -466,8 +488,12 @@ bool read_int(const JsonValue& obj, const std::string& key, int64_t& out) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
   char* end = nullptr;
+  errno = 0;
   out = std::strtoll(v->text.c_str(), &end, 10);
-  return end != v->text.c_str() && *end == '\0';
+  // ERANGE clamps to INT64_MAX/MIN silently; a counter that overflows
+  // int64 cannot round-trip, so reject the report instead of corrupting
+  // the merge.
+  return end != v->text.c_str() && *end == '\0' && errno != ERANGE;
 }
 
 bool read_double(const JsonValue& obj, const std::string& key, double& out) {

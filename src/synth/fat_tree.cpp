@@ -1,0 +1,34 @@
+#include "synth/fat_tree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pofl {
+
+Graph make_fat_tree(int k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("make_fat_tree: k must be even and >= 2, got " +
+                                std::to_string(k));
+  }
+  const int half = k / 2;
+  const int num_cores = half * half;
+  Graph g(num_cores + k * 2 * half);
+  const auto agg_of = [&](int pod, int j) { return num_cores + pod * 2 * half + j; };
+  const auto edge_of = [&](int pod, int j) { return num_cores + pod * 2 * half + half + j; };
+  // Core (i, j) uplinks: one to aggregation switch j of every pod. Edge ids
+  // are insertion-ordered, so the core layer occupies the low ids.
+  for (int i = 0; i < half; ++i) {
+    for (int j = 0; j < half; ++j) {
+      for (int pod = 0; pod < k; ++pod) g.add_edge(i * half + j, agg_of(pod, j));
+    }
+  }
+  // Pod-internal bipartite mesh: every aggregation to every edge switch.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      for (int e = 0; e < half; ++e) g.add_edge(agg_of(pod, a), edge_of(pod, e));
+    }
+  }
+  return g;
+}
+
+}  // namespace pofl

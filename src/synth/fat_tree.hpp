@@ -1,0 +1,22 @@
+#pragma once
+
+// k-ary fat-tree topology (switch level) — the datacenter-style graph family
+// the paper's outlook points at, and the house >=64-edge exercise graph for
+// the wide-mask exhaustive machinery. A k-ary fat-tree has (k/2)^2 core
+// switches, k pods of k/2 aggregation + k/2 edge switches each, every core
+// (i, j) linked to aggregation switch j of every pod, and every pod's
+// aggregation/edge layers fully bipartite:
+//
+//   k = 4:  20 switches,  32 links (single-word regime)
+//   k = 6:  45 switches, 108 links (past the old 64-edge wall)
+//   k = 8:  80 switches, 256 links (4 EdgeMask words)
+
+#include "graph/graph.hpp"
+
+namespace pofl {
+
+/// Switch-level k-ary fat-tree; k must be even and >= 2. Vertex layout:
+/// cores [0, (k/2)^2), then per pod p: aggregations, then edges.
+[[nodiscard]] Graph make_fat_tree(int k);
+
+}  // namespace pofl

@@ -1,0 +1,124 @@
+// Bit-identity suite for the rollback union-find: every query must answer
+// exactly what a fresh BFS on G \ F answers, across full Gosper walks
+// (the exhaustive access pattern it accelerates), arbitrary jumps (Monte
+// Carlo draws, batch boundaries), and a >= 64-edge wide-mask stratum.
+
+#include "graph/incremental_connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "graph/bitmask.hpp"
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "synth/fat_tree.hpp"
+
+namespace pofl {
+namespace {
+
+/// Asserts inc agrees with a fresh BFS for every ordered vertex pair of g
+/// under the current failure set.
+void expect_matches_bfs(const Graph& g, IncrementalConnectivity& inc, const IdSet& failures,
+                        const std::string& what) {
+  inc.move_to(failures);
+  const std::vector<int> labels = components(g, failures);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      const bool fresh = labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)];
+      ASSERT_EQ(inc.connected(u, v), fresh) << what << ": pair (" << u << ", " << v << ")";
+      ASSERT_EQ(inc.component_of(u) == inc.component_of(v), fresh)
+          << what << ": roots of (" << u << ", " << v << ")";
+    }
+  }
+}
+
+/// Walks every failure set of g in exhaustive Gosper order (all 2^m subsets,
+/// by cardinality) and pins inc against fresh BFS at each step.
+void check_full_gosper_walk(const Graph& g) {
+  IncrementalConnectivity inc(g);
+  IdSet failures = g.empty_edge_set();
+  int64_t visited = 0;
+  for (int k = 0; k <= g.num_edges(); ++k) {
+    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
+      edge_mask_write(g, mask, failures);
+      expect_matches_bfs(g, inc, failures, "|F|=" + std::to_string(k));
+      ++visited;
+      return ::testing::Test::HasFatalFailure();
+    });
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_EQ(visited, int64_t{1} << g.num_edges());
+  EXPECT_GT(inc.unions_rolled_back(), 0) << "the walk never exercised rollback";
+}
+
+TEST(IncrementalConnectivity, MatchesBfsOnEveryK5FailureSet) {
+  check_full_gosper_walk(make_complete(5));  // 10 edges, 1024 subsets
+}
+
+TEST(IncrementalConnectivity, MatchesBfsOnEveryK33FailureSet) {
+  check_full_gosper_walk(make_complete_bipartite(3, 3));  // 9 edges, 512 subsets
+}
+
+TEST(IncrementalConnectivity, MatchesBfsOnWideFatTreeStratum) {
+  // The house >= 64-edge graph: k = 6 fat-tree, 108 links. |F| <= 1 in full
+  // plus a spread of 2-failure sets keeps the quadratic pair check tractable.
+  const Graph g = make_fat_tree(6);
+  ASSERT_EQ(g.num_edges(), 108);
+  IncrementalConnectivity inc(g);
+  IdSet failures = g.empty_edge_set();
+  expect_matches_bfs(g, inc, failures, "|F|=0");
+  for (EdgeId e = 0; e < g.num_edges() && !::testing::Test::HasFatalFailure(); ++e) {
+    failures.reset_universe(g.num_edges());
+    failures.insert(e);
+    expect_matches_bfs(g, inc, failures, "|F|={" + std::to_string(e) + "}");
+  }
+  for (EdgeId a = 0; a < g.num_edges() && !::testing::Test::HasFatalFailure(); a += 7) {
+    for (EdgeId b = a + 1; b < g.num_edges(); b += 13) {
+      failures.reset_universe(g.num_edges());
+      failures.insert(a);
+      failures.insert(b);
+      expect_matches_bfs(g, inc, failures,
+                         "|F|={" + std::to_string(a) + "," + std::to_string(b) + "}");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GT(inc.unions_rolled_back(), 0);
+}
+
+TEST(IncrementalConnectivity, MatchesBfsUnderRandomJumps) {
+  // Arbitrary (non-Gosper) moves: random failure sets of random size on a
+  // sparse graph where disconnections are common. Rollback distance varies
+  // wildly between consecutive calls.
+  const Graph g = make_random_connected(16, 24, /*seed=*/21);
+  IncrementalConnectivity inc(g);
+  std::mt19937_64 rng(99);
+  IdSet failures = g.empty_edge_set();
+  for (int step = 0; step < 300; ++step) {
+    failures.reset_universe(g.num_edges());
+    const int size = static_cast<int>(rng() % static_cast<uint64_t>(g.num_edges() + 1));
+    for (int i = 0; i < size; ++i) {
+      failures.insert(static_cast<int>(rng() % static_cast<uint64_t>(g.num_edges())));
+    }
+    expect_matches_bfs(g, inc, failures, "step " + std::to_string(step));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalConnectivity, RepeatedMoveToSameSetIsANoOp) {
+  const Graph g = make_cycle(6);
+  IncrementalConnectivity inc(g);
+  IdSet failures = g.empty_edge_set();
+  failures.insert(2);
+  failures.insert(4);
+  inc.move_to(failures);
+  const int64_t applied = inc.unions_applied();
+  inc.move_to(failures);
+  EXPECT_EQ(inc.unions_applied(), applied) << "same-set move must not replay any level";
+  EXPECT_FALSE(inc.connected(3, 5));
+  EXPECT_TRUE(inc.connected(5, 0));
+}
+
+}  // namespace
+}  // namespace pofl

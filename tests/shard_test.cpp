@@ -35,11 +35,19 @@
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_json.hpp"
+#include "synth/fat_tree.hpp"
 
 namespace pofl {
 namespace {
 
 // ---- helpers ---------------------------------------------------------------
+
+/// The probe pairs of the fat-tree golden baseline: cross-pod edge-to-edge
+/// and core-to-edge routes on the k = 6 fat-tree (45 switches). Must stay in
+/// sync with sweep_replay_test.cpp, which records the baseline.
+std::vector<std::pair<VertexId, VertexId>> fat_tree_probe_pairs() {
+  return {{0, 44}, {9, 30}, {14, 40}, {20, 10}, {35, 5}, {44, 0}};
+}
 
 struct MatScenario {
   Scenario scenario;
@@ -167,6 +175,16 @@ TEST(ShardPartition, ExhaustiveStratumWindow) {
   check_exact_partition(source, "exhaustive[2..3]");
 }
 
+TEST(ShardPartition, WideMaskExhaustiveSource) {
+  // Past the old 64-edge wall: the 108-link fat-tree's mask stream must
+  // partition exactly like any single-word stream (ordinal leapfrog over
+  // multi-word Gosper masks, ordinal replay tags).
+  const Graph ft = make_fat_tree(6);
+  ASSERT_GT(ft.num_edges(), 64);
+  ExhaustiveFailureSource source(ft, 1, {{0, 44}, {9, 30}, {20, 10}});
+  check_exact_partition(source, "exhaustive-wide<=1");
+}
+
 TEST(ShardPartition, RandomIidSource) {
   const Graph k5 = make_complete(5);
   auto source = RandomFailureSource::iid(k5, 0.3, /*trials_per_pair=*/7, /*seed=*/5,
@@ -254,6 +272,16 @@ TEST(ShardConformance, MergedShardsReproduceK33ExhaustiveBaseline) {
   const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
   ExhaustiveFailureSource source(k33, k33.num_edges(), all_ordered_pairs(k33));
   check_merged_matches_baseline("sweep_k33_exhaustive.json", k33, *pattern, source);
+}
+
+TEST(ShardConformance, MergedShardsReproduceFatTreeExhaustiveBaseline) {
+  // The wide-mask acceptance gate: a >= 64-edge exhaustive sweep (108-link
+  // fat-tree, |F| <= 2) shards and merges byte-identically to its unsharded
+  // golden baseline.
+  const Graph ft = make_fat_tree(6);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, ft);
+  ExhaustiveFailureSource source(ft, 2, fat_tree_probe_pairs());
+  check_merged_matches_baseline("sweep_fattree_exhaustive.json", ft, *pattern, source);
 }
 
 TEST(ShardConformance, MergedShardsReproduceSampledZooBaseline) {
@@ -450,8 +478,8 @@ TEST(ShardJson, ShardReportCarriesProvenance) {
 }
 
 TEST(ShardJson, GoldenBaselinesRoundTrip) {
-  for (const char* name :
-       {"sweep_k5_exhaustive.json", "sweep_k33_exhaustive.json", "sweep_zoo_sampled.json"}) {
+  for (const char* name : {"sweep_k5_exhaustive.json", "sweep_k33_exhaustive.json",
+                           "sweep_zoo_sampled.json", "sweep_fattree_exhaustive.json"}) {
     std::string golden;
     ASSERT_TRUE(read_file(baseline_path(name), golden)) << name;
     ASSERT_FALSE(golden.empty());

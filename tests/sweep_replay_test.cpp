@@ -29,6 +29,7 @@
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_json.hpp"
+#include "synth/fat_tree.hpp"
 
 namespace pofl {
 namespace {
@@ -97,6 +98,18 @@ TEST(SweepReplay, ExhaustiveK33MatchesGoldenBaseline) {
   const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
   ExhaustiveFailureSource source(k33, k33.num_edges(), all_ordered_pairs(k33));
   check_against_baseline("sweep_k33_exhaustive.json", k33, *pattern, source);
+}
+
+TEST(SweepReplay, ExhaustiveFatTreeMatchesGoldenBaseline) {
+  // The wide-mask stream past the old 64-edge wall: every |F| <= 2 failure
+  // set of the 108-link k = 6 fat-tree (5887 multi-word Gosper masks)
+  // crossed with six cross-pod probe pairs. The pair list must stay in sync
+  // with shard_test.cpp, which replays this baseline shard-merged.
+  const Graph ft = make_fat_tree(6);
+  ASSERT_EQ(ft.num_edges(), 108);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, ft);
+  ExhaustiveFailureSource source(ft, 2, {{0, 44}, {9, 30}, {14, 40}, {20, 10}, {35, 5}, {44, 0}});
+  check_against_baseline("sweep_fattree_exhaustive.json", ft, *pattern, source);
 }
 
 TEST(SweepReplay, SampledZooMatchesGoldenBaseline) {

@@ -73,7 +73,12 @@ TEST(RandomFailureSourceContract, ZeroTrialsIsAnEmptyStream) {
 }
 
 TEST(ExhaustiveFailureSource, RejectsGraphsBeyondTheMaskWidth) {
-  const Graph big = make_complete(12);  // 66 edges > 62
+  // The old wall was 64 edges; a K12 (66 edges) now enumerates fine and the
+  // limit sits at EdgeMask::kMaxBits edge ids.
+  const Graph k12 = make_complete(12);
+  EXPECT_NO_THROW(ExhaustiveFailureSource(k12, 1, all_ordered_pairs(k12)));
+  const Graph big = make_complete(33);  // 528 edges > EdgeMask::kMaxBits
+  ASSERT_GT(big.num_edges(), EdgeMask::kMaxBits);
   EXPECT_THROW(ExhaustiveFailureSource(big, 1, all_ordered_pairs(big)), std::invalid_argument);
 }
 
