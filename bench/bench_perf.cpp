@@ -6,10 +6,13 @@
 //   * baseline — a frozen copy of the pre-fast-path simulator (per-packet
 //     StateIndex construction, per-hop IdSet allocations, linear in-port
 //     lookup) driven by the same scenario streams, single-threaded;
-//   * fast     — the SweepEngine on the zero-allocation path (per-graph
-//     SimContext, per-worker RoutingWorkspace), at 1 and N threads.
+//   * scalar   — the SweepEngine with group_routing off: the zero-allocation
+//     per-packet loop (route_packet_fast), single-threaded;
+//   * fast     — the SweepEngine on its default group-parallel path
+//     (route_groups_fast: 64-packet lockstep chunks, word-packed seen bits,
+//     memoized forwarding decisions), at 1 and N threads.
 //
-// The driver *asserts* that all three produce bit-identical SweepStats and
+// The driver *asserts* that all four produce bit-identical SweepStats and
 // exits nonzero otherwise, so the speedup numbers can never come from
 // diverging semantics. The baseline arm pulls scenarios through the legacy
 // per-Scenario wrapper while the engine arms ride the zero-copy batches, so
@@ -49,6 +52,7 @@
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_json.hpp"
+#include "synth/fat_tree.hpp"
 
 namespace {
 
@@ -264,7 +268,15 @@ int main(int argc, char** argv) {
   using namespace pofl;
   const BenchArgs args = parse_bench_args(argc, argv);
   if (args.error || !args.positional.empty() || args.shard_set) {
-    std::fprintf(stderr, "usage: %s [--threads <n>] [--procs <n>] [--json <path>]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--threads <n>] [--procs <n>] [--json <path>]\n"
+                 "  --threads <n>  worker threads for the multi-threaded engine arm\n"
+                 "                 (default 4; the baseline/scalar/fast-1t arms always\n"
+                 "                 run single-threaded)\n"
+                 "  --procs <n>    also measure multi-process shard scaling with n\n"
+                 "                 forked workers (off unless given)\n"
+                 "  --json <path>  write every reported number to <path> (the schema is\n"
+                 "                 documented in README.md)\n",
                  argv[0]);
     return 2;
   }
@@ -307,10 +319,26 @@ int main(int argc, char** argv) {
   auto zoo_source = RandomFailureSource::iid(zg, 0.05, /*trials_per_pair=*/40, /*seed=*/7,
                                              zoo_pairs);
 
+  // Fat-tree |F| <= 2: a wide data-center topology (k=6: 108 edges, past the
+  // single-word edge mask) under the paper's "up to two link failures"
+  // stratum — the group path's port-mask memo side, where the exhaustive
+  // K5/K3,3 rows only ever exercise the one-word fast masks.
+  const Graph ft = make_fat_tree(6);
+  const auto ft_pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, ft);
+  std::vector<std::pair<VertexId, VertexId>> ft_pairs;
+  const int ft_step = std::max(1, ft.num_vertices() / 6);
+  for (VertexId s = 0; s < ft.num_vertices(); s += ft_step) {
+    for (VertexId t = 0; t < ft.num_vertices(); t += ft_step) {
+      if (s != t) ft_pairs.emplace_back(s, t);
+    }
+  }
+  ExhaustiveFailureSource ft_source(ft, 2, ft_pairs);
+
   const Workload workloads[] = {
       {"k5_exhaustive", &k5, k5_pattern.get(), &k5_source},
       {"k33_exhaustive", &k33, k33_pattern.get(), &k33_source},
       {"zoo_sampled", &zg, zoo_pattern.get(), &zoo_source},
+      {"fattree_f2", &ft, ft_pattern.get(), &ft_source},
   };
 
   JsonWriter json;
@@ -321,16 +349,22 @@ int main(int argc, char** argv) {
   json.key("rows").begin_array();
 
   std::printf("=== Packet-simulation throughput: baseline vs zero-allocation fast path ===\n");
-  std::printf("(zoo graph: %s, n=%d m=%d; mt arm uses %d threads)\n\n", zoo_pick->name.c_str(),
-              zg.num_vertices(), zg.num_edges(), mt_threads);
-  std::printf("%-16s %12s | %14s %14s %14s %14s | %8s %8s\n", "workload", "scenarios",
-              "source-only/s", "baseline/s", "fast 1t/s", "fast mt/s", "x 1t", "x mt");
+  std::printf("(zoo graph: %s, n=%d m=%d; fat-tree k=6: n=%d m=%d; mt arm uses %d threads)\n\n",
+              zoo_pick->name.c_str(), zg.num_vertices(), zg.num_edges(), ft.num_vertices(),
+              ft.num_edges(), mt_threads);
+  std::printf("%-16s %12s | %14s %14s %14s %14s %14s | %8s %8s %8s\n", "workload", "scenarios",
+              "source-only/s", "baseline/s", "scalar 1t/s", "fast 1t/s", "fast mt/s", "x 1t",
+              "x mt", "x grp");
 
   bool all_identical = true;
   for (const Workload& w : workloads) {
-    // The three arms are measured interleaved (A/B/C, three rounds) and
+    // The four arms are measured interleaved (A/B/C/D, three rounds) and
     // each arm keeps its best round: symmetric best-of defuses the noise a
     // shared box injects into a single long measurement.
+    SweepOptions optsS;
+    optsS.num_threads = 1;
+    optsS.group_routing = false;
+    const SweepEngine engineS(optsS);
     SweepOptions opts1;
     opts1.num_threads = 1;
     const SweepEngine engine1(opts1);
@@ -338,11 +372,15 @@ int main(int argc, char** argv) {
     optsN.num_threads = mt_threads;
     const SweepEngine engineN(optsN);
 
-    Measured baseline, fast1, fastN;
+    Measured baseline, scalar1, fast1, fastN;
     for (int round = 0; round < 3; ++round) {
       const Measured b = measure_sweep_once([&] {
         w.source->reset();
         return run_reference_sweep(*w.g, *w.pattern, *w.source);
+      });
+      const Measured s1 = measure_sweep_once([&] {
+        w.source->reset();
+        return engineS.run(*w.g, *w.pattern, *w.source);
       });
       const Measured f1 = measure_sweep_once([&] {
         w.source->reset();
@@ -353,32 +391,38 @@ int main(int argc, char** argv) {
         return engineN.run(*w.g, *w.pattern, *w.source);
       });
       if (b.packets_per_sec > baseline.packets_per_sec) baseline = b;
+      if (s1.packets_per_sec > scalar1.packets_per_sec) scalar1 = s1;
       if (f1.packets_per_sec > fast1.packets_per_sec) fast1 = f1;
       if (fN.packets_per_sec > fastN.packets_per_sec) fastN = fN;
     }
 
     const double source_rate = measure_source_rate(*w.source);
 
-    const bool identical =
-        stats_identical(baseline.stats, fast1.stats) && stats_identical(fast1.stats, fastN.stats);
+    const bool identical = stats_identical(baseline.stats, scalar1.stats) &&
+                           stats_identical(scalar1.stats, fast1.stats) &&
+                           stats_identical(fast1.stats, fastN.stats);
     all_identical = all_identical && identical;
     const double speedup1 = fast1.packets_per_sec / baseline.packets_per_sec;
     const double speedupN = fastN.packets_per_sec / baseline.packets_per_sec;
+    const double group_speedup = fast1.packets_per_sec / scalar1.packets_per_sec;
 
-    std::printf("%-16s %12lld | %14.0f %14.0f %14.0f %14.0f | %7.2fx %7.2fx%s\n", w.name.c_str(),
-                static_cast<long long>(baseline.stats.total), source_rate,
-                baseline.packets_per_sec, fast1.packets_per_sec, fastN.packets_per_sec, speedup1,
-                speedupN, identical ? "" : "  STATS MISMATCH");
+    std::printf("%-16s %12lld | %14.0f %14.0f %14.0f %14.0f %14.0f | %7.2fx %7.2fx %7.2fx%s\n",
+                w.name.c_str(), static_cast<long long>(baseline.stats.total), source_rate,
+                baseline.packets_per_sec, scalar1.packets_per_sec, fast1.packets_per_sec,
+                fastN.packets_per_sec, speedup1, speedupN, group_speedup,
+                identical ? "" : "  STATS MISMATCH");
 
     json.begin_object();
     json.key("name").value(w.name);
     json.key("scenarios").value(baseline.stats.total);
     json.key("source_packets_per_sec").value(source_rate);
     json.key("baseline_packets_per_sec").value(baseline.packets_per_sec);
+    json.key("scalar_packets_per_sec_1t").value(scalar1.packets_per_sec);
     json.key("fast_packets_per_sec_1t").value(fast1.packets_per_sec);
     json.key("fast_packets_per_sec_mt").value(fastN.packets_per_sec);
     json.key("speedup_1t").value(speedup1);
     json.key("speedup_mt").value(speedupN);
+    json.key("group_speedup_1t").value(group_speedup);
     json.key("stats_identical").value(identical);
     json.key("stats");
     append_json(json, fast1.stats);

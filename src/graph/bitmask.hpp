@@ -25,14 +25,10 @@
 namespace pofl {
 
 /// Decodes an edge-id bitmask into `out` in place, reusing its storage —
-/// the zero-copy batching counterpart of edge_mask_to_set.
+/// the zero-copy batching counterpart of edge_mask_to_set. A single word
+/// blit via IdSet::assign_bits, not a per-bit loop.
 inline void edge_mask_write(const Graph& g, uint64_t mask, IdSet& out) {
-  out.reset_universe(g.num_edges());
-  while (mask != 0) {
-    const int bit = __builtin_ctzll(mask);
-    mask &= mask - 1;
-    out.insert(bit);
-  }
+  out.assign_bits(&mask, 1, g.num_edges());
 }
 
 /// Decodes an edge-id bitmask into a failure IdSet over g's edges.
@@ -187,17 +183,12 @@ class EdgeMask {
 };
 
 /// Decodes an EdgeMask into `out` in place over g's edges — the wide-mask
-/// counterpart of the uint64 edge_mask_write above.
+/// counterpart of the uint64 edge_mask_write above, also a word blit.
 inline void edge_mask_write(const Graph& g, const EdgeMask& mask, IdSet& out) {
-  out.reset_universe(g.num_edges());
-  for (int wi = 0; wi * 64 < g.num_edges(); ++wi) {
-    uint64_t w = mask.word(wi);
-    while (w != 0) {
-      const int bit = __builtin_ctzll(w);
-      w &= w - 1;
-      out.insert(wi * 64 + bit);
-    }
-  }
+  uint64_t words[EdgeMask::kMaxWords];
+  const int nwords = (g.num_edges() + 63) / 64;
+  for (int wi = 0; wi < nwords; ++wi) words[wi] = mask.word(wi);
+  out.assign_bits(words, static_cast<uint32_t>(nwords), g.num_edges());
 }
 
 [[nodiscard]] inline IdSet edge_mask_to_set(const Graph& g, const EdgeMask& mask) {

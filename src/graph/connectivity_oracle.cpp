@@ -9,22 +9,26 @@ ConnectivityOracle::ConnectivityOracle(const Graph& g, size_t max_entries)
       max_entries_per_shard_(max_entries / kNumShards + 1),
       shards_(new Shard[kNumShards]) {}
 
-ConnectivityOracle::Shard& ConnectivityOracle::shard_for(const IdSet& failures) {
-  // hash() feeds the map buckets too and barely diffuses sparse masks into
-  // its top bits, so run it through a splitmix64 finalizer before taking the
-  // shard index — otherwise every small failure set lands in one shard.
-  uint64_t z = failures.hash() + 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  z ^= z >> 31;
-  return shards_[z % kNumShards];
+uint64_t ConnectivityOracle::word_hash(const IdSet& failures) {
+  // Word mix with a splitmix64 finalizer: the raw word XOR-fold barely
+  // diffuses sparse masks, and this value feeds both the shard index (top
+  // bits via the modulo) and the bucket index — so it has to scatter well.
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (uint32_t i = 0; i < failures.num_words(); ++i) {
+    h ^= failures.word(i) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
 }
 
 std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const IdSet& failures) {
-  Shard& shard = shard_for(failures);
+  const uint64_t h = word_hash(failures);
+  const KeyView view{&failures, h};
+  Shard& shard = shards_[h % kNumShards];
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(failures);
+    const auto it = shard.map.find(view);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       it->second.referenced = true;
@@ -37,11 +41,11 @@ std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const 
   auto labels = std::make_shared<const std::vector<int>>(components(*g_, failures));
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(failures);
+    const auto it = shard.map.find(view);
     if (it != shard.map.end()) return it->second.labels;  // lost an insert race
     if (shard.map.size() < max_entries_per_shard_) {
-      shard.map.emplace(failures, Entry{labels, false});
-      shard.ring.push_back(failures);
+      shard.map.emplace(Key{failures, h}, Entry{labels, false});
+      shard.ring.push_back(Key{failures, h});
       return labels;
     }
     // At capacity: second-chance (clock) eviction. The hand clears
@@ -49,8 +53,8 @@ std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const 
     // two revolutions (after one full pass every bit is clear).
     const size_t ring_size = shard.ring.size();
     for (size_t step = 0; step < 2 * ring_size; ++step) {
-      IdSet& slot = shard.ring[shard.hand];
-      const auto victim = shard.map.find(slot);
+      Key& slot = shard.ring[shard.hand];
+      const auto victim = shard.map.find(KeyView{&slot.set, slot.h});
       if (victim != shard.map.end() && victim->second.referenced) {
         victim->second.referenced = false;
         shard.hand = (shard.hand + 1) % ring_size;
@@ -58,9 +62,10 @@ std::shared_ptr<const std::vector<int>> ConnectivityOracle::components_of(const 
       }
       if (victim != shard.map.end()) shard.map.erase(victim);
       evictions_.fetch_add(1, std::memory_order_relaxed);
-      slot = failures;
+      slot.set = failures;  // assignment reuses the ring slot's storage
+      slot.h = h;
       shard.hand = (shard.hand + 1) % ring_size;
-      shard.map.emplace(failures, Entry{labels, false});
+      shard.map.emplace(Key{failures, h}, Entry{labels, false});
       break;
     }
   }

@@ -56,8 +56,32 @@ class ConnectivityOracle {
   [[nodiscard]] const Graph& graph() const { return *g_; }
 
  private:
-  struct IdSetHash {
-    size_t operator()(const IdSet& s) const { return static_cast<size_t>(s.hash()); }
+  // Map keys carry their hash: the failure set's words are mixed exactly once
+  // per query (shard pick and bucket index share the same value), lookups go
+  // through a transparent borrowed view so probing never copies an IdSet, and
+  // rehashes/erases reuse the stored word hash instead of re-mixing the key.
+  struct Key {
+    IdSet set;
+    uint64_t h = 0;
+  };
+  struct KeyView {
+    const IdSet* set;
+    uint64_t h;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(const Key& k) const { return static_cast<size_t>(k.h); }
+    size_t operator()(const KeyView& k) const { return static_cast<size_t>(k.h); }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const { return a.h == b.h && a.set == b.set; }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.h == b.h && *a.set == b.set;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.h == b.h && a.set == *b.set;
+    }
   };
   struct Entry {
     std::shared_ptr<const std::vector<int>> labels;
@@ -65,13 +89,15 @@ class ConnectivityOracle {
   };
   struct Shard {
     std::mutex mu;
-    std::unordered_map<IdSet, Entry, IdSetHash> map;
-    std::vector<IdSet> ring;  // clock ring over the cached keys
+    std::unordered_map<Key, Entry, KeyHash, KeyEq> map;
+    std::vector<Key> ring;  // clock ring over the cached keys
     size_t hand = 0;
   };
   static constexpr size_t kNumShards = 16;
 
-  [[nodiscard]] Shard& shard_for(const IdSet& failures);
+  /// One splitmix64-finalized mix over the set's words: shard index, bucket
+  /// index and stored key hash all come from this single pass.
+  [[nodiscard]] static uint64_t word_hash(const IdSet& failures);
 
   const Graph* g_;
   size_t max_entries_per_shard_;

@@ -12,6 +12,7 @@ Graph::Graph(int num_vertices) : incident_(static_cast<size_t>(num_vertices)) {
 
 VertexId Graph::add_vertex() {
   incident_.emplace_back();
+  uid_ = next_uid();
   return static_cast<VertexId>(incident_.size()) - 1;
 }
 
@@ -19,8 +20,9 @@ EdgeId Graph::add_edge(VertexId u, VertexId v) {
   assert(u >= 0 && u < num_vertices());
   assert(v >= 0 && v < num_vertices());
   assert(u != v && "self loops are not part of the model");
-  if (auto existing = edge_between(u, v)) return *existing;
+  if (auto existing = edge_between(u, v)) return *existing;  // no structural change: uid kept
   const EdgeId id = static_cast<EdgeId>(edges_.size());
+  uid_ = next_uid();
   edges_.push_back(Edge{u, v});
   edge_ports_.push_back(EdgePorts{static_cast<int>(incident_[static_cast<size_t>(u)].size()),
                                   static_cast<int>(incident_[static_cast<size_t>(v)].size())});

@@ -9,7 +9,9 @@
 // together with id mappings, which keeps every graph immutable once built and
 // makes the adversarial constructions easy to reason about.
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -56,6 +58,15 @@ class Graph {
 
   [[nodiscard]] int num_vertices() const { return static_cast<int>(incident_.size()); }
   [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Structural identity token: equal uids guarantee structurally identical
+  /// graphs. Every structural mutation (add_vertex, add_edge) assigns a
+  /// fresh process-wide never-reused value, so the only way two Graph
+  /// objects share a uid is copying without subsequent mutation — which
+  /// preserves structure. Caches keyed by uid (e.g. the routing decision
+  /// cache) can therefore outlive the Graph they were built from without
+  /// address-reuse aliasing hazards.
+  [[nodiscard]] uint64_t uid() const { return uid_; }
 
   [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
 
@@ -137,9 +148,15 @@ class Graph {
     int at_v = 0;
   };
 
+  [[nodiscard]] static uint64_t next_uid() {
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // uids start at 1
+  }
+
   std::vector<Edge> edges_;
   std::vector<EdgePorts> edge_ports_;
   std::vector<std::vector<EdgeId>> incident_;
+  uint64_t uid_ = next_uid();
 };
 
 }  // namespace pofl

@@ -5,11 +5,17 @@
 // with (graphs up to ~1000 edges) rather than for generality.
 //
 // Storage is small-buffer optimized: universes up to kInlineWords * 64 ids
-// (128 — which covers every graph the exhaustive machinery can touch, and
-// most of the synthetic zoo) live entirely inline, so copying failure sets
-// into scenario batches, hashing them as cache keys, and destroying them
-// never touches the heap. Larger universes spill to a heap block that is
-// reused on shrinking re-assignment.
+// (512 — which covers every graph the exhaustive machinery can touch, the
+// whole synthetic zoo, and everything EdgeMask can enumerate) live entirely
+// inline, so copying failure sets into scenario batches, hashing them as
+// cache keys, intersecting them per hop, and destroying them never touches
+// the heap. Larger universes spill to a heap block that is reused on
+// shrinking re-assignment.
+//
+// The word-level accessors (num_words/word/assign_bits/for_each_and) are the
+// fast-path contract: batch producers blit decoded masks word by word, the
+// connectivity oracle hashes the words directly, and the group-parallel
+// routing core walks set intersections without materializing them.
 
 #include <algorithm>
 #include <cassert>
@@ -20,7 +26,7 @@
 namespace pofl {
 
 class IdSet {
-  static constexpr uint32_t kInlineWords = 2;
+  static constexpr uint32_t kInlineWords = 8;
 
  public:
   IdSet() = default;
@@ -165,6 +171,51 @@ class IdSet {
     for (uint32_t i = 0; i < num_words_; ++i) w[i] = wa[i] & wb[i];
   }
 
+  // ---- word-level fast-path access ----------------------------------------
+
+  /// Number of active 64-bit words (ceil(universe / 64)).
+  [[nodiscard]] uint32_t num_words() const { return num_words_; }
+
+  /// Word i of the set (bits 64*i .. 64*i+63).
+  [[nodiscard]] uint64_t word(uint32_t i) const {
+    assert(i < num_words_);
+    return words()[i];
+  }
+
+  /// Re-initializes to universe `universe` with the first min(nwords,
+  /// words_needed) words blitted from `bits` and the rest zero; bits beyond
+  /// the universe in the top word are masked off. The word-level counterpart
+  /// of reset_universe + insert-per-bit, used by the mask decoders so batch
+  /// refills are a handful of word stores instead of a per-bit loop.
+  void assign_bits(const uint64_t* bits, uint32_t nwords, int universe) {
+    assert(universe >= 0);
+    universe_ = universe;
+    set_word_count(words_needed(universe));
+    uint64_t* w = words();
+    const uint32_t n = std::min(nwords, num_words_);
+    std::copy_n(bits, n, w);
+    std::fill(w + n, w + num_words_, uint64_t{0});
+    const int tail = universe & 63;
+    if (num_words_ > 0 && tail != 0) w[num_words_ - 1] &= (uint64_t{1} << tail) - 1;
+  }
+
+  /// Calls fn(id) for every id in *this & other, in increasing order, without
+  /// materializing the intersection. Universes must match.
+  template <typename Fn>
+  void for_each_and(const IdSet& other, Fn&& fn) const {
+    assert(universe_ == other.universe_);
+    const uint64_t* a = words();
+    const uint64_t* b = other.words();
+    for (uint32_t wi = 0; wi < num_words_; ++wi) {
+      uint64_t w = a[wi] & b[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        w &= w - 1;
+        fn(static_cast<int>(wi * 64) + bit);
+      }
+    }
+  }
+
   [[nodiscard]] bool intersects(const IdSet& other) const {
     assert(universe_ == other.universe_);
     const uint64_t* w = words();
@@ -243,7 +294,7 @@ class IdSet {
   int universe_ = 0;
   uint32_t num_words_ = 0;
   uint32_t cap_words_ = kInlineWords;
-  uint64_t inline_[kInlineWords] = {0, 0};
+  uint64_t inline_[kInlineWords] = {};
   std::unique_ptr<uint64_t[]> heap_;
 };
 

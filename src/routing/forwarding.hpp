@@ -13,6 +13,8 @@
 // Locality is enforced by the simulator: a pattern is only ever shown the
 // failures incident to the current node (F cap E(v)).
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -50,7 +52,19 @@ struct Header {
 /// header) must always produce the same out-port.
 class ForwardingPattern {
  public:
+  ForwardingPattern() = default;
+  // Copies keep their own fresh uid: distinct instances of the same type can
+  // forward differently (their tables may derive from different graphs), so
+  // identity never transfers.
+  ForwardingPattern(const ForwardingPattern&) {}
+  ForwardingPattern& operator=(const ForwardingPattern&) { return *this; }
   virtual ~ForwardingPattern() = default;
+
+  /// Instance identity token: process-wide unique, never reused, stable for
+  /// the object's lifetime. Lets decision caches that outlive a routing call
+  /// (e.g. a persistent RoutingWorkspace) detect pattern changes without the
+  /// address-reuse hazard of comparing pointers.
+  [[nodiscard]] uint64_t uid() const { return uid_; }
 
   [[nodiscard]] virtual RoutingModel model() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
@@ -62,6 +76,14 @@ class ForwardingPattern {
   [[nodiscard]] virtual std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
                                                       const IdSet& local_failures,
                                                       const Header& header) const = 0;
+
+ private:
+  [[nodiscard]] static uint64_t next_uid() {
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // uids start at 1
+  }
+
+  uint64_t uid_ = next_uid();
 };
 
 }  // namespace pofl

@@ -178,6 +178,176 @@ uint64_t pair_key(VertexId s, VertexId t) {
          static_cast<uint64_t>(static_cast<uint32_t>(t));
 }
 
+/// Worker-reused buffers of the group-parallel consumption path: the routing
+/// request the promise filter admits (with per-packet dense group ordinals
+/// and per-ordinal borrowed failure sets), per-packet result/target columns
+/// (only populated when per-pair rows or stretch need per-packet outcomes),
+/// and the group promise's rollback union-find.
+struct GroupScratch {
+  std::vector<VertexId> src;
+  std::vector<VertexId> dst;
+  std::vector<int32_t> ord;          // per packet: dense group ordinal
+  std::vector<const IdSet*> fsets;   // per ordinal: that group's failure set
+  std::vector<SweepStats*> target;   // parallel to src/dst in per-pair mode
+  std::vector<FastRouteResult> results;
+  std::unique_ptr<IncrementalConnectivity> inc;  // lazy, like PromiseMemo's
+};
+
+/// Consumes one whole batch group-parallel: the scenarios are promise-
+/// filtered group by group in stream order, then every admitted packet of
+/// the batch is routed in a single route_groups_fast call (packets of
+/// different groups share lockstep chunks, so small groups still fill the
+/// 64-wide machinery). Counter-for-counter identical to process_scenario
+/// over the same scenarios: the promise booleans agree (oracle / union-find
+/// / BFS all answer exact connectivity, and the oracle is still consulted
+/// once per scenario so its hit/miss accounting is unchanged), and the group
+/// core's outcomes and hops are bit-identical to route_packet_fast. Touring
+/// scenarios inside a batch take the scalar tour core as before.
+void process_batch_groups(const SimContext& ctx, const ForwardingPattern& pattern,
+                          const ScenarioBatch& batch, int n, const SweepOptions& opts,
+                          bool collect_per_pair, SweepStats& local,
+                          std::unordered_map<uint64_t, SweepStats>& local_pairs,
+                          RoutingWorkspace& ws, PromiseMemo& memo, GroupScratch& scratch) {
+  const Graph& g = ctx.graph();
+  const bool per_packet = collect_per_pair || opts.compute_stretch;
+  // Packing goes through raw pointers into worker-persistent arrays sized to
+  // the batch (capacity sticks across batches, so the resizes are free in
+  // steady state) — the admission loop runs per scenario and push_back's
+  // capacity checks are measurable there.
+  const auto un = static_cast<size_t>(n);
+  if (scratch.src.size() < un) {
+    scratch.src.resize(un);
+    scratch.dst.resize(un);
+    scratch.ord.resize(un);
+    if (per_packet) scratch.target.resize(un);
+  } else if (per_packet && scratch.target.size() < un) {
+    scratch.target.resize(un);
+  }
+  scratch.fsets.clear();
+  VertexId* const sp = scratch.src.data();
+  VertexId* const dp = scratch.dst.data();
+  int32_t* const op = scratch.ord.data();
+  SweepStats** const tp = per_packet ? scratch.target.data() : nullptr;
+  int admitted = 0;
+
+  for (int begin = 0; begin < n;) {
+    const int grp = batch.group_of(begin);
+    int end = begin + 1;
+    while (end < n && batch.group_of(end) == grp) ++end;
+    const IdSet& failures = batch.group_failures(grp);
+    const int fcount = failures.count();
+    const int span = end - begin;
+
+    // Default-promise strategy: the oracle (when attached) answers per
+    // scenario, keeping its counters identical to the scalar path; a
+    // multi-scenario group moves the rollback union-find once and answers
+    // every pair with two finds; a singleton group (each Monte Carlo draw is
+    // its own group) keeps the lazy early-exit BFS — same split the scalar
+    // PromiseMemo converges to on those streams.
+    bool inc_ready = false;
+    const auto promise_holds = [&](VertexId s, VertexId t) {
+      if (s == t) return true;
+      if (opts.oracle != nullptr) return opts.oracle->connected(s, t, failures);
+      if (span == 1) return promise_connected(ctx, failures, s, t, ws, memo);
+      if (!inc_ready) {
+        if (scratch.inc == nullptr) {
+          scratch.inc = std::make_unique<IncrementalConnectivity>(g);
+        }
+        scratch.inc->move_to(failures);
+        inc_ready = true;
+      }
+      return scratch.inc->connected(s, t);
+    };
+
+    // Ordinals are per admitting group and dense (assigned on the group's
+    // first admitted packet), which is exactly route_groups_fast's contract.
+    const int group_first = admitted;
+    int32_t ord = -1;
+    int toured = 0;
+    for (int i = begin; i < end; ++i) {
+      const VertexId s = batch.source(i);
+      const VertexId t = batch.destination(i);
+      if (t == kNoVertex) {
+        // Touring: the promise holds unconditionally (§VII). Rare enough in
+        // a routing-heavy stream that its tallies stay per scenario — except
+        // `total`, which the aggregate path adds group-wide below.
+        SweepStats& st = collect_per_pair ? local_pairs[pair_key(s, t)] : local;
+        if (collect_per_pair) ++st.total;
+        st.failures_seen += fcount;
+        const FastTourResult r = tour_packet_fast(ctx, pattern, failures, s, ws);
+        st.tally_tour(r.success, r.dropped, r.steps_walked);
+        ++toured;
+        continue;
+      }
+      if (!promise_holds(s, t)) {
+        if (collect_per_pair) {
+          SweepStats& st = local_pairs[pair_key(s, t)];
+          ++st.total;
+          ++st.promise_broken;
+        }
+        continue;
+      }
+      if (ord < 0) {
+        scratch.fsets.push_back(&failures);
+        ord = static_cast<int32_t>(scratch.fsets.size()) - 1;
+      }
+      sp[admitted] = s;
+      dp[admitted] = t;
+      op[admitted] = ord;
+      if (per_packet) {
+        // Pointers into local_pairs stay valid across later insertions (the
+        // map is node-based), so admitted packets' rows resolve up front.
+        SweepStats& st = collect_per_pair ? local_pairs[pair_key(s, t)] : local;
+        if (collect_per_pair) {
+          ++st.total;
+          st.failures_seen += fcount;
+        }
+        tp[admitted] = &st;
+      }
+      ++admitted;
+    }
+    const int group_admitted = admitted - group_first;
+    if (!collect_per_pair) {
+      // Aggregate mode folds the group's per-scenario counters in bulk: the
+      // per-pair identities (total = sum of rows, etc.) don't apply here, so
+      // one add per group replaces one per scenario.
+      local.total += span;
+      local.promise_broken += span - toured - group_admitted;
+      local.failures_seen += static_cast<int64_t>(fcount) * group_admitted;
+    }
+    begin = end;
+  }
+  if (admitted == 0) return;
+  if (!per_packet) {
+    // Aggregate mode: fold the vectorized popcount tallies straight in.
+    const GroupRouteTally t =
+        route_groups_fast(ctx, pattern, scratch.fsets.data(), scratch.ord.data(),
+                          scratch.src.data(), scratch.dst.data(), admitted, ws, nullptr);
+    local.delivered += t.delivered;
+    local.looped += t.looped;
+    local.dropped += t.dropped;
+    local.invalid += t.invalid;
+    local.hops_delivered += t.hops_delivered;
+    return;
+  }
+  scratch.results.resize(static_cast<size_t>(admitted));
+  (void)route_groups_fast(ctx, pattern, scratch.fsets.data(), scratch.ord.data(),
+                          scratch.src.data(), scratch.dst.data(), admitted, ws,
+                          scratch.results.data());
+  for (int k = 0; k < admitted; ++k) {
+    SweepStats& st = *scratch.target[static_cast<size_t>(k)];
+    const FastRouteResult& r = scratch.results[static_cast<size_t>(k)];
+    st.tally_route(r.outcome, r.hops);
+    if (r.outcome == RoutingOutcome::kDelivered && opts.compute_stretch) {
+      const int32_t ord = scratch.ord[static_cast<size_t>(k)];
+      const IdSet& failures = *scratch.fsets[static_cast<size_t>(ord)];
+      const auto dist = distance(g, scratch.src[static_cast<size_t>(k)],
+                                 scratch.dst[static_cast<size_t>(k)], failures);
+      if (dist.has_value() && *dist >= 1) st.tally_stretch(r.hops, *dist);
+    }
+  }
+}
+
 /// Worker count: the requested number (0 = hardware concurrency), capped at
 /// one worker per batch when the source knows its size — spawning 64
 /// threads for a 3-batch stratum probe would cost more than the sweep.
@@ -207,7 +377,54 @@ void run_on_pool(int num_threads, const std::function<void()>& worker) {
 
 }  // namespace
 
+/// One worker's reusable scratch, pooled on the engine so it survives run()
+/// boundaries. What persists usefully is the RoutingWorkspace: its packed
+/// decision cache stays warm across repeated sweeps of the same (graph,
+/// pattern) — begin_session compares uids and only flushes on a change. The
+/// promise memos also persist their storage, but their graph-pointing
+/// internals (the union-finds) are dropped at checkout; see checkout_slot.
+struct SweepEngine::WorkerSlot {
+  RoutingWorkspace ws;
+  PromiseMemo memo;
+  Scenario promise_scratch;
+  GroupScratch scratch;
+  std::unordered_map<uint64_t, SweepStats> local_pairs;
+  ScenarioBatch batch;
+};
+
 SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
+
+SweepEngine::~SweepEngine() = default;
+
+std::unique_ptr<SweepEngine::WorkerSlot> SweepEngine::checkout_slot() const {
+  std::unique_ptr<WorkerSlot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      slot = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (slot == nullptr) slot = std::make_unique<WorkerSlot>();
+  // The promise union-finds hold a pointer to the graph they were built
+  // from, which this run's graph need not outlive-match even when the uids
+  // agree (a structurally identical copy shares the uid but not the
+  // address). Dropping them is cheap — they rebuild lazily, at most once per
+  // run. Everything else in the slot is either self-revalidating (the
+  // decision cache, via uids in begin_session) or plain reusable storage.
+  slot->memo.have_failures = false;
+  slot->memo.inc_synced = false;
+  slot->memo.current_repeated = false;
+  slot->memo.inc.reset();
+  slot->scratch.inc.reset();
+  slot->local_pairs.clear();
+  return slot;
+}
+
+void SweepEngine::checkin_slot(std::unique_ptr<WorkerSlot> slot) const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(slot));
+}
 
 SweepStats SweepEngine::run(const Graph& g, const ForwardingPattern& pattern,
                             ScenarioSource& source) const {
@@ -237,39 +454,51 @@ SweepReport SweepEngine::run_impl(const Graph& g, const ForwardingPattern& patte
   std::mutex source_mutex;
   std::mutex stats_mutex;
 
+  // The group-parallel path handles the default and oracle promises; a
+  // custom predicate must see scenarios one at a time, so it keeps the
+  // scalar loop (as does group_routing = false, the A/B toggle).
+  const bool use_groups = opts_.group_routing && !opts_.promise;
+
   auto worker = [&]() {
+    std::unique_ptr<WorkerSlot> slot_owner = checkout_slot();
+    WorkerSlot& slot = *slot_owner;
     SweepStats local;
-    RoutingWorkspace ws;
-    PromiseMemo memo;
-    Scenario promise_scratch;
-    std::unordered_map<uint64_t, SweepStats> local_pairs;
-    ScenarioBatch batch;
     for (;;) {
       int n = 0;
       {
         const std::lock_guard<std::mutex> lock(source_mutex);
-        n = source.next_batch(batch_size, batch);
+        n = source.next_batch(batch_size, slot.batch);
       }
       if (n == 0) break;
+      if (use_groups) {
+        process_batch_groups(ctx, pattern, slot.batch, n, opts_, collect_per_pair, local,
+                             slot.local_pairs, slot.ws, slot.memo, slot.scratch);
+        continue;
+      }
       for (int i = 0; i < n; ++i) {
-        SweepStats& target = collect_per_pair
-                                 ? local_pairs[pair_key(batch.source(i), batch.destination(i))]
-                                 : local;
-        process_scenario(ctx, pattern, batch.failures(i), batch.source(i),
-                         batch.destination(i), opts_, target, ws, memo, promise_scratch);
+        SweepStats& target =
+            collect_per_pair
+                ? slot.local_pairs[pair_key(slot.batch.source(i), slot.batch.destination(i))]
+                : local;
+        process_scenario(ctx, pattern, slot.batch.failures(i), slot.batch.source(i),
+                         slot.batch.destination(i), opts_, target, slot.ws, slot.memo,
+                         slot.promise_scratch);
       }
     }
-    const std::lock_guard<std::mutex> lock(stats_mutex);
-    if (collect_per_pair) {
-      // Totals are the merge of the pair rows, so the documented identity
-      // totals == sum(per_pair) holds by construction.
-      for (auto& [key, stats] : local_pairs) {
-        report.totals.merge(stats);
-        global_pairs[key].merge(stats);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      if (collect_per_pair) {
+        // Totals are the merge of the pair rows, so the documented identity
+        // totals == sum(per_pair) holds by construction.
+        for (auto& [key, stats] : slot.local_pairs) {
+          report.totals.merge(stats);
+          global_pairs[key].merge(stats);
+        }
+      } else {
+        report.totals.merge(local);
       }
-    } else {
-      report.totals.merge(local);
     }
+    checkin_slot(std::move(slot_owner));
   };
 
   run_on_pool(num_threads, worker);
@@ -317,11 +546,9 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
   int64_t produced = 0;
 
   auto worker = [&]() {
+    std::unique_ptr<WorkerSlot> slot_owner = checkout_slot();
+    WorkerSlot& slot = *slot_owner;
     SweepStats scratch;
-    RoutingWorkspace ws;
-    PromiseMemo memo;
-    Scenario promise_scratch;
-    ScenarioBatch batch;
     for (;;) {
       int64_t start = 0;
       int n = 0;
@@ -331,7 +558,7 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
         if (remaining <= 0) break;
         const int want =
             static_cast<int>(std::min<int64_t>(batch_size, remaining));
-        n = source.next_batch(want, batch);
+        n = source.next_batch(want, slot.batch);
         if (n == 0) break;
         start = produced;
         produced += n;
@@ -339,9 +566,9 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
       for (int i = 0; i < n; ++i) {
         const int64_t index = start + i;
         if (index >= best.load(std::memory_order_relaxed)) break;
-        if (!process_scenario(ctx, pattern, batch.failures(i), batch.source(i),
-                              batch.destination(i), opts_, scratch, ws, memo,
-                              promise_scratch)) {
+        if (!process_scenario(ctx, pattern, slot.batch.failures(i), slot.batch.source(i),
+                              slot.batch.destination(i), opts_, scratch, slot.ws, slot.memo,
+                              slot.promise_scratch)) {
           continue;
         }
         const std::lock_guard<std::mutex> lock(best_mutex);
@@ -352,18 +579,19 @@ std::optional<SweepFinding> SweepEngine::find_first_violation(const Graph& g,
           // the hot loop above stays on the zero-allocation path.
           SweepFinding f;
           f.index = index;
-          f.scenario = batch.scenario(i);
+          f.scenario = slot.batch.scenario(i);
           if (f.scenario.destination == kNoVertex) {
-            f.tour = tour_packet(ctx, pattern, f.scenario.failures, f.scenario.source, ws);
+            f.tour = tour_packet(ctx, pattern, f.scenario.failures, f.scenario.source, slot.ws);
           } else {
             f.routing = route_packet(ctx, pattern, f.scenario.failures, f.scenario.source,
-                                     Header{f.scenario.source, f.scenario.destination}, ws);
+                                     Header{f.scenario.source, f.scenario.destination}, slot.ws);
           }
           finding = std::move(f);
         }
         break;  // later scenarios in this batch have larger indices
       }
     }
+    checkin_slot(std::move(slot_owner));
   };
 
   run_on_pool(num_threads, worker);

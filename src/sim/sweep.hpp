@@ -16,6 +16,20 @@
 // per-scenario Scenario construction, no IdSet copies, no allocation in
 // steady state on either side of the producer/consumer boundary.
 //
+// On the default path, workers consume whole batches group-parallel: each
+// batch's scenarios are promise-filtered group by group, then every admitted
+// packet of the batch is routed in one route_groups_fast call — lockstep
+// chunks of up to 64 packets (packets of different failure-set groups share
+// a chunk, so 4-pair exhaustive groups and Monte Carlo singletons still fill
+// the word-packed machinery) whose seen/terminated state lives in 64-bit
+// words, with forwarding transitions memoized per (header class, state,
+// local failure mask) in the worker's workspace. Worker scratch persists
+// across runs in an engine-owned pool, so the decision cache stays warm for
+// repeated sweeps of the same (graph, pattern). Outcomes are bit-identical
+// to the scalar per-packet loop (the golden baselines pin this);
+// SweepOptions::group_routing toggles the path for A/B measurement, and
+// custom PromiseChecks fall back to the scalar loop.
+//
 // The promise discipline matches the paper: a scenario whose failure set
 // disconnects s from t breaks the promise and is tallied separately — rates
 // are always conditioned on the promise holding (touring scenarios hold
@@ -36,6 +50,8 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -57,7 +73,15 @@ struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency. 1 runs inline (no pool).
   int num_threads = 0;
   /// Scenarios handed to a worker per lock acquisition.
-  int batch_size = 64;
+  int batch_size = 256;
+  /// Route each batch's admitted packets through the lockstep word-packed
+  /// core (route_groups_fast) instead of one packet at a time. Outcomes, hop
+  /// counts and every SweepStats counter are bit-identical to the scalar
+  /// path — the golden baselines pin this — so the toggle exists for A/B
+  /// benchmarking, not semantics. Ignored (scalar fallback) when a custom
+  /// PromiseCheck is installed: custom predicates see scenarios one at a
+  /// time in stream order.
+  bool group_routing = true;
   /// Also BFS the surviving graph on each delivery to accumulate stretch
   /// (hops / dist_{G\F}(s, t)). Costs one BFS per delivered scenario.
   bool compute_stretch = false;
@@ -229,6 +253,13 @@ struct SweepFinding {
 class SweepEngine {
  public:
   explicit SweepEngine(SweepOptions opts = {});
+  ~SweepEngine();
+  // The engine owns a pool of per-worker scratch states (workspaces, promise
+  // memos, decision caches) that persist across runs; pooling makes it
+  // non-copyable. Sharing one engine across threads is still fine — the pool
+  // hands each concurrent worker its own slot.
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
 
   /// Drains `source` (from its current position; callers usually reset()
   /// first) through `pattern` on g and returns the merged tallies.
@@ -263,10 +294,26 @@ class SweepEngine {
   [[nodiscard]] const SweepOptions& options() const { return opts_; }
 
  private:
+  // One worker's reusable scratch (workspace + promise memos + batch
+  // storage), checked out of the pool for the duration of a run and returned
+  // afterwards. Persisting these across runs is what keeps the routing
+  // decision cache warm between run() calls on the same (graph, pattern) —
+  // the cache invalidates itself via Graph/ForwardingPattern uids when
+  // either changes. Defined in sweep.cpp.
+  struct WorkerSlot;
+
   [[nodiscard]] SweepReport run_impl(const Graph& g, const ForwardingPattern& pattern,
                                      ScenarioSource& source, bool collect_per_pair) const;
+  // Pops (or creates) a slot. Structures that point into the previous run's
+  // graph (the promise union-finds) are dropped — they rebuild lazily, once
+  // per run at most. The decision cache is kept: it holds no pointers, and
+  // begin_session revalidates it against the Graph/ForwardingPattern uids.
+  [[nodiscard]] std::unique_ptr<WorkerSlot> checkout_slot() const;
+  void checkin_slot(std::unique_ptr<WorkerSlot> slot) const;
 
   SweepOptions opts_;
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<WorkerSlot>> pool_;
 };
 
 }  // namespace pofl

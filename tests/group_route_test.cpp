@@ -1,0 +1,370 @@
+// Group-parallel routing conformance: the lockstep word-packed core
+// (route_group_fast / route_groups_fast) must be bit-identical — outcome and
+// hop count per packet, and every tally — to route_packet_fast, exhaustively
+// over the canonical benchmark workloads; and the SweepEngine's group path
+// must reproduce the scalar path's SweepReport exactly at 1 and N threads,
+// across repeated runs on one engine (warm pooled decision caches), with an
+// oracle attached, and for touring patterns.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/bitmask.hpp"
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/connectivity_oracle.hpp"
+#include "resilience/algorithm1_k5.hpp"
+#include "routing/simulator.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "synth/fat_tree.hpp"
+
+namespace pofl {
+namespace {
+
+SweepOptions threads(int n, bool group_routing = true) {
+  SweepOptions o;
+  o.num_threads = n;
+  o.group_routing = group_routing;
+  return o;
+}
+
+void expect_stats_equal(const SweepStats& a, const SweepStats& b, const char* what) {
+  EXPECT_EQ(a.total, b.total) << what;
+  EXPECT_EQ(a.promise_broken, b.promise_broken) << what;
+  EXPECT_EQ(a.delivered, b.delivered) << what;
+  EXPECT_EQ(a.looped, b.looped) << what;
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+  EXPECT_EQ(a.invalid, b.invalid) << what;
+  EXPECT_EQ(a.failures_seen, b.failures_seen) << what;
+  EXPECT_EQ(a.hops_delivered, b.hops_delivered) << what;
+  EXPECT_EQ(a.stretch_samples, b.stretch_samples) << what;
+  EXPECT_EQ(a.stretch_sum_q32, b.stretch_sum_q32) << what;
+  EXPECT_EQ(a.max_stretch, b.max_stretch) << what;
+}
+
+void expect_reports_equal(const SweepReport& a, const SweepReport& b, const char* what) {
+  expect_stats_equal(a.totals, b.totals, what);
+  ASSERT_EQ(a.per_pair.size(), b.per_pair.size()) << what;
+  for (size_t i = 0; i < a.per_pair.size(); ++i) {
+    EXPECT_EQ(a.per_pair[i].source, b.per_pair[i].source) << what;
+    EXPECT_EQ(a.per_pair[i].destination, b.per_pair[i].destination) << what;
+    expect_stats_equal(a.per_pair[i].stats, b.per_pair[i].stats, what);
+  }
+}
+
+/// Routes every (mask, pair) scenario once through route_group_fast (one
+/// call per failure set, all pairs lockstep) and once through
+/// route_packet_fast, asserting bit-identical per-packet results and that
+/// the tally is the exact fold of those results.
+void expect_group_equivalence_exhaustive(
+    const Graph& g, const ForwardingPattern& pattern,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  const SimContext ctx(g);
+  RoutingWorkspace group_ws;
+  RoutingWorkspace scalar_ws;
+  const int count = static_cast<int>(pairs.size());
+  std::vector<VertexId> src(pairs.size()), dst(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    src[i] = pairs[i].first;
+    dst[i] = pairs[i].second;
+  }
+  std::vector<FastRouteResult> results(pairs.size());
+  const uint64_t limit = uint64_t{1} << g.num_edges();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    const IdSet failures = edge_mask_to_set(g, mask);
+    const GroupRouteTally tally = route_group_fast(ctx, pattern, failures, src.data(), dst.data(),
+                                                   count, group_ws, results.data());
+    GroupRouteTally refold;
+    for (int i = 0; i < count; ++i) {
+      const FastRouteResult scalar =
+          route_packet_fast(ctx, pattern, failures, src[i], Header{src[i], dst[i]}, scalar_ws);
+      ASSERT_EQ(results[i].outcome, scalar.outcome)
+          << "mask=" << mask << " s=" << src[i] << " t=" << dst[i];
+      ASSERT_EQ(results[i].hops, scalar.hops)
+          << "mask=" << mask << " s=" << src[i] << " t=" << dst[i];
+      switch (results[i].outcome) {
+        case RoutingOutcome::kDelivered:
+          ++refold.delivered;
+          refold.hops_delivered += results[i].hops;
+          break;
+        case RoutingOutcome::kLooped:
+          ++refold.looped;
+          break;
+        case RoutingOutcome::kDropped:
+          ++refold.dropped;
+          break;
+        case RoutingOutcome::kInvalidForward:
+          ++refold.invalid;
+          break;
+      }
+    }
+    ASSERT_EQ(tally.delivered, refold.delivered) << "mask=" << mask;
+    ASSERT_EQ(tally.looped, refold.looped) << "mask=" << mask;
+    ASSERT_EQ(tally.dropped, refold.dropped) << "mask=" << mask;
+    ASSERT_EQ(tally.invalid, refold.invalid) << "mask=" << mask;
+    ASSERT_EQ(tally.hops_delivered, refold.hops_delivered) << "mask=" << mask;
+  }
+}
+
+TEST(GroupRouteFast, BitIdenticalToScalarOnExhaustiveK5) {
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  expect_group_equivalence_exhaustive(k5, *pattern, pairs);
+}
+
+TEST(GroupRouteFast, BitIdenticalToScalarOnExhaustiveK33) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  expect_group_equivalence_exhaustive(k33, *pattern, all_ordered_pairs(k33));
+}
+
+TEST(GroupRoutesFast, MixedGroupsWithDenseOrdinalsSpanChunks) {
+  // Pack many failure-set groups of uneven span into single
+  // route_groups_fast calls so chunks of 64 packets straddle group
+  // boundaries — the ordinal-slot machinery, not just the single-group
+  // wrapper, is what the engine exercises. K3,3's 512 single/double-failure
+  // masks with a rotating subset of pairs give 16+ groups per call.
+  const Graph g = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, g);
+  const SimContext ctx(g);
+  const auto pairs = all_ordered_pairs(g);
+  RoutingWorkspace group_ws;
+  RoutingWorkspace scalar_ws;
+
+  std::vector<IdSet> sets;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << g.num_edges()); ++mask) {
+    if (__builtin_popcountll(mask) <= 2) sets.push_back(edge_mask_to_set(g, mask));
+  }
+
+  std::vector<const IdSet*> fsets;
+  std::vector<int32_t> ord;
+  std::vector<VertexId> src, dst;
+  auto flush = [&] {
+    if (src.empty()) return;
+    std::vector<FastRouteResult> results(src.size());
+    (void)route_groups_fast(ctx, *pattern, fsets.data(), ord.data(), src.data(), dst.data(),
+                            static_cast<int>(src.size()), group_ws, results.data());
+    for (size_t i = 0; i < src.size(); ++i) {
+      const FastRouteResult scalar = route_packet_fast(ctx, *pattern, *fsets[ord[i]], src[i],
+                                                       Header{src[i], dst[i]}, scalar_ws);
+      ASSERT_EQ(results[i].outcome, scalar.outcome) << "packet " << i;
+      ASSERT_EQ(results[i].hops, scalar.hops) << "packet " << i;
+    }
+    fsets.clear();
+    ord.clear();
+    src.clear();
+    dst.clear();
+  };
+
+  size_t next_pair = 0;
+  for (size_t si = 0; si < sets.size(); ++si) {
+    fsets.push_back(&sets[si]);
+    const int32_t o = static_cast<int32_t>(fsets.size()) - 1;
+    // Uneven spans (1..7 packets) so chunk boundaries land mid-group.
+    const size_t span = 1 + si % 7;
+    for (size_t k = 0; k < span; ++k) {
+      const auto& [s, t] = pairs[next_pair++ % pairs.size()];
+      src.push_back(s);
+      dst.push_back(t);
+      ord.push_back(o);
+    }
+    if (src.size() >= 200) flush();
+  }
+  flush();
+}
+
+TEST(GroupRoutesFast, FatTreeWideGraphSingleFailureStratum) {
+  // Fat-tree k=6 has 108 edges, past the 64-edge word: this drives the
+  // port-mask (non edge-word) side of the decision cache. |F| <= 1 stratum,
+  // all failure sets, host-to-host pairs.
+  const Graph ft = make_fat_tree(6);
+  ASSERT_GT(ft.num_edges(), 64);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, ft);
+  const SimContext ctx(ft);
+  RoutingWorkspace group_ws;
+  RoutingWorkspace scalar_ws;
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  const int step = 3;
+  for (VertexId s = 0; s < ft.num_vertices(); s += step) {
+    for (VertexId t = 0; t < ft.num_vertices(); t += step) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  std::vector<VertexId> src(pairs.size()), dst(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    src[i] = pairs[i].first;
+    dst[i] = pairs[i].second;
+  }
+  std::vector<FastRouteResult> results(pairs.size());
+
+  std::vector<IdSet> strata;
+  strata.push_back(ft.empty_edge_set());
+  for (EdgeId e = 0; e < ft.num_edges(); ++e) {
+    IdSet f = ft.empty_edge_set();
+    f.insert(e);
+    strata.push_back(std::move(f));
+  }
+  for (const IdSet& failures : strata) {
+    (void)route_group_fast(ctx, *pattern, failures, src.data(), dst.data(),
+                           static_cast<int>(src.size()), group_ws, results.data());
+    for (size_t i = 0; i < src.size(); ++i) {
+      const FastRouteResult scalar =
+          route_packet_fast(ctx, *pattern, failures, src[i], Header{src[i], dst[i]}, scalar_ws);
+      ASSERT_EQ(results[i].outcome, scalar.outcome) << "s=" << src[i] << " t=" << dst[i];
+      ASSERT_EQ(results[i].hops, scalar.hops) << "s=" << src[i] << " t=" << dst[i];
+    }
+  }
+}
+
+TEST(SweepEngineGroupRouting, ReportMatchesScalarPathAcrossThreadCounts) {
+  const Graph k5 = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+
+  auto report = [&](int n, bool group) {
+    ExhaustiveFailureSource src(k5, k5.num_edges(), pairs);
+    return SweepEngine(threads(n, group)).run_report(k5, *pattern, src);
+  };
+  const SweepReport scalar1 = report(1, false);
+  expect_reports_equal(report(1, true), scalar1, "group 1t vs scalar 1t");
+  expect_reports_equal(report(4, true), scalar1, "group 4t vs scalar 1t");
+  expect_reports_equal(report(4, false), scalar1, "scalar 4t vs scalar 1t");
+}
+
+TEST(SweepEngineGroupRouting, FatTreeStratumMatchesScalarPath) {
+  const Graph ft = make_fat_tree(4);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, ft);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < ft.num_vertices(); s += 2) {
+    for (VertexId t = 0; t < ft.num_vertices(); t += 2) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  auto report = [&](int n, bool group) {
+    ExhaustiveFailureSource src(ft, 1, pairs);
+    return SweepEngine(threads(n, group)).run_report(ft, *pattern, src);
+  };
+  const SweepReport scalar1 = report(1, false);
+  expect_reports_equal(report(1, true), scalar1, "fat-tree group 1t");
+  expect_reports_equal(report(4, true), scalar1, "fat-tree group 4t");
+}
+
+TEST(SweepEngineGroupRouting, RepeatedRunsOnOneEngineStayIdentical) {
+  // One engine, repeated runs: worker slots (and their decision caches) come
+  // back out of the pool warm, and must not change a single counter.
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  const SweepEngine engine(threads(2, true));
+  auto once = [&] {
+    ExhaustiveFailureSource src(k33, k33.num_edges(), all_ordered_pairs(k33));
+    return engine.run_report(k33, *pattern, src);
+  };
+  const SweepReport first = once();
+  expect_reports_equal(once(), first, "second run, warm pool");
+  expect_reports_equal(once(), first, "third run, warm pool");
+
+  // And the warm pool keeps tracking the right identity when the engine is
+  // pointed at a different (graph, pattern) in between.
+  const Graph k5 = make_complete(5);
+  const auto k5pat = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> k5pairs;
+  for (VertexId s = 0; s < 4; ++s) k5pairs.emplace_back(s, 4);
+  ExhaustiveFailureSource k5src(k5, k5.num_edges(), k5pairs);
+  (void)engine.run(k5, *k5pat, k5src);
+  expect_reports_equal(once(), first, "after an interleaved foreign run");
+}
+
+TEST(SweepEngineGroupRouting, StretchTalliesMatchScalarPath) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  auto report = [&](bool group) {
+    ExhaustiveFailureSource src(k33, 2, all_ordered_pairs(k33));
+    SweepOptions o = threads(1, group);
+    o.compute_stretch = true;
+    return SweepEngine(o).run_report(k33, *pattern, src);
+  };
+  expect_reports_equal(report(true), report(false), "stretch group vs scalar");
+}
+
+TEST(SweepEngineGroupRouting, OracleAttachedPathMatchesScalarCounters) {
+  const Graph k33 = make_complete_bipartite(3, 3);
+  const auto pattern = make_shortest_path_pattern(RoutingModel::kDestinationOnly, k33);
+  auto run_with_oracle = [&](bool group) {
+    ConnectivityOracle oracle(k33);
+    ExhaustiveFailureSource src(k33, k33.num_edges(), all_ordered_pairs(k33));
+    SweepOptions o = threads(1, group);
+    o.oracle = &oracle;
+    return SweepEngine(o).run(k33, *pattern, src);
+  };
+  const SweepStats group = run_with_oracle(true);
+  const SweepStats scalar = run_with_oracle(false);
+  expect_stats_equal(group, scalar, "oracle group vs scalar");
+  // Both paths consult the oracle once per scenario, so the hit/miss
+  // accounting agrees too (each run got its own fresh oracle).
+  EXPECT_EQ(group.oracle_hits, scalar.oracle_hits);
+  EXPECT_EQ(group.oracle_misses, scalar.oracle_misses);
+  EXPECT_GT(group.oracle_hits, 0);
+}
+
+TEST(SweepEngineGroupRouting, CustomPromiseFallsBackAndStaysCorrect) {
+  // A custom promise disables the group path (predicates see scenarios one
+  // at a time); the result must still match a scalar-path engine with the
+  // same predicate.
+  const Graph g = make_complete(5);
+  const auto pattern = make_algorithm1_k5();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId s = 0; s < 4; ++s) pairs.emplace_back(s, 4);
+  auto run = [&](bool group) {
+    ExhaustiveFailureSource src(g, 2, pairs);
+    SweepOptions o = threads(2, group);
+    o.promise = [](const Graph& gg, const Scenario& sc) {
+      return connected(gg, sc.source, sc.destination, sc.failures);
+    };
+    return SweepEngine(o).run(g, *pattern, src);
+  };
+  expect_stats_equal(run(true), run(false), "custom promise");
+}
+
+TEST(SweepEngineGroupRouting, TouringScenariosMatchScalarPath) {
+  // Touring scenarios never enter the packed router (tours are walks, not
+  // (s, t) packets) but flow through the same group loop; the tallies must
+  // agree with the scalar path.
+  class AroundPattern final : public ForwardingPattern {
+   public:
+    [[nodiscard]] RoutingModel model() const override { return RoutingModel::kTouring; }
+    [[nodiscard]] std::string name() const override { return "around"; }
+    [[nodiscard]] std::optional<EdgeId> forward(const Graph& g, VertexId at, EdgeId inport,
+                                                const IdSet& failures,
+                                                const Header&) const override {
+      for (EdgeId e : g.incident_edges(at)) {
+        if (e != inport && !failures.contains(e)) return e;
+      }
+      return inport != kNoEdge && !failures.contains(inport) ? std::optional<EdgeId>(inport)
+                                                             : std::nullopt;
+    }
+  };
+  const Graph g = make_cycle(6);
+  AroundPattern pattern;
+  std::vector<std::pair<VertexId, VertexId>> starts;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) starts.emplace_back(v, kNoVertex);
+  auto report = [&](int n, bool group) {
+    ExhaustiveFailureSource src(g, 2, starts);
+    return SweepEngine(threads(n, group)).run_report(g, pattern, src);
+  };
+  const SweepReport scalar1 = report(1, false);
+  expect_reports_equal(report(1, true), scalar1, "touring group 1t");
+  expect_reports_equal(report(4, true), scalar1, "touring group 4t");
+}
+
+}  // namespace
+}  // namespace pofl
