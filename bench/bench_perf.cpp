@@ -43,6 +43,7 @@
 
 #include "attacks/pattern_corpus.hpp"
 #include "classify/zoo.hpp"
+#include "orchestrate/supervisor.hpp"
 #include "graph/builders.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/minors.hpp"
@@ -454,29 +455,28 @@ int main(int argc, char** argv) {
       if (procs == 1) {
         zoo_pass(0, 1);
       } else {
-        std::vector<pid_t> children;
-        for (int i = 0; i < procs; ++i) {
-          const pid_t pid = fork();
-          if (pid == 0) {
-            zoo_pass(i, procs);
-            _exit(0);
+        // The same ShardSupervisor the CLI --procs driver rides: fork-only
+        // workers (no exec — each child runs its shard in process), no
+        // retries. A missing worker would silently shrink the measured
+        // workload and fake the speedup CI gates on — fail loudly instead,
+        // and the supervisor guarantees every child is reaped even then.
+        ShardSupervisor supervisor{ShardSupervisorOptions{}};
+        const SupervisorResult result =
+            supervisor.run(procs, [&](int shard, int /*attempt*/) -> pid_t {
+              const pid_t pid = fork();
+              if (pid == 0) {
+                zoo_pass(shard, procs);
+                _exit(0);
+              }
+              return pid;
+            });
+        if (!result.all_completed()) {
+          for (const ShardOutcome& outcome : result.shards) {
+            if (outcome.completed) continue;
+            std::fprintf(stderr, "error: shard %d failed in --procs measurement: %s\n",
+                         outcome.shard, outcome.error.c_str());
           }
-          if (pid < 0) {
-            // A missing worker would silently shrink the measured workload
-            // and fake the speedup CI gates on — fail loudly instead.
-            std::fprintf(stderr, "error: fork failed for shard %d in --procs measurement\n",
-                         i);
-            std::exit(1);
-          }
-          children.push_back(pid);
-        }
-        for (const pid_t pid : children) {
-          int status = 0;
-          waitpid(pid, &status, 0);
-          if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-            std::fprintf(stderr, "error: shard worker failed in --procs measurement\n");
-            std::exit(1);
-          }
+          std::exit(1);
         }
       }
       return std::chrono::duration<double>(Clock::now() - start).count();

@@ -37,17 +37,31 @@
 // Distributed sweeps: `--shard i/N` runs the i-th of N deterministic shards
 // of the scenario stream (for multi-host fan-out — ship the N shard JSONs
 // back and `merge` them), and `--procs N` is the single-host version: it
-// fork/execs N shard workers, merges their JSON, and reports the merged
-// result. Sharded runs skip the connectivity-oracle cache (its hit/miss
-// accounting depends on the partition; the rates and result counters do
-// not), so any shard/proc/thread split of one sweep serializes to the same
-// bytes — but a plain unsharded `sweep --json` records nonzero oracle
-// counters and is therefore NOT byte-comparable to a sharded/merged run.
-// Record baselines for distributed checking with --procs or --shard (the
-// checked-in tests/baselines/cli_zoo_procs.json is a --procs recording).
+// launches N shard workers under a ShardSupervisor (src/orchestrate),
+// merges their JSON, and reports the merged result. Sharded runs skip the
+// connectivity-oracle cache (its hit/miss accounting depends on the
+// partition; the rates and result counters do not), so any shard/proc/
+// thread split of one sweep serializes to the same bytes — but a plain
+// unsharded `sweep --json` records nonzero oracle counters and is
+// therefore NOT byte-comparable to a sharded/merged run. Record baselines
+// for distributed checking with --procs or --shard (the checked-in
+// tests/baselines/cli_zoo_procs.json is a --procs recording).
+//
+// Fault tolerance (--procs only): the supervisor monitors every worker
+// with a per-shard wall clock (`--shard-timeout <sec>`, SIGTERM then
+// SIGKILL), treats crashes / non-zero exits / truncated-or-corrupt shard
+// JSON as failed attempts, and retries with capped exponential backoff
+// (`--retries <n>`, `--backoff-ms <n>`). On retry exhaustion the run
+// fails — or, with `--allow-partial`, emits a degraded merge carrying an
+// "incomplete":{shard_count,missing_shards,attempts} provenance block.
+// `--checkpoint-dir <dir>` keeps the per-shard JSONs: because shard output
+// is bit-exact and content-complete, a completed shard file doubles as a
+// checkpoint, and a rerun with the same directory skips every shard whose
+// valid output already exists (crash/resume for long sweeps). The
+// POFL_FAULT env hook (src/orchestrate/fault_inject.hpp) injects
+// deterministic worker faults so every one of these paths is testable.
 
 #include <fcntl.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -69,6 +83,8 @@
 #include "graph/connectivity.hpp"
 #include "graph/connectivity_oracle.hpp"
 #include "graph/graphml.hpp"
+#include "orchestrate/fault_inject.hpp"
+#include "orchestrate/supervisor.hpp"
 #include "resilience/dest_via_touring.hpp"
 #include "routing/verifier.hpp"
 #include "sim/scenario.hpp"
@@ -89,6 +105,8 @@ int usage() {
                "       pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] "
                "[--per-pair] [--check <baseline.json>] [--threads <n>] "
                "[--shard i/N | --procs <N>]\n"
+               "                [--retries <n>] [--backoff-ms <n>] [--shard-timeout <sec>] "
+               "[--allow-partial] [--checkpoint-dir <dir>]   (with --procs)\n"
                "       pofl_cli sweep <file.graphml> exhaustive <k> [same flags]\n"
                "       pofl_cli merge <report.json...> [--json <path>] "
                "[--check <baseline.json>]\n");
@@ -206,6 +224,12 @@ struct SweepConfig {
   int shard_count = 1;
   bool shard_set = false;  // explicit --shard: a shard-worker run, even 0/1
   int procs = 0;           // 0 = no multi-process driver
+  // Supervision knobs (meaningful with --procs only; rejected otherwise).
+  int retries = 2;             // extra attempts per failed shard
+  int backoff_ms = 200;        // first-retry delay, doubling up to the cap
+  double shard_timeout = 0.0;  // per-attempt wall clock in seconds; 0 = off
+  bool allow_partial = false;  // degraded merge instead of failure
+  std::string checkpoint_dir;  // persistent shard-output dir for resume
 };
 
 /// Serializes the report the way this run records it: shard runs carry
@@ -272,10 +296,18 @@ int emit_and_check(const std::string& serialized, const std::string& json_path,
   return 0;
 }
 
-/// Fork/execs one shard worker per shard and merges their JSON: the
-/// single-host face of the distributed shard/merge workflow. Children write
-/// their partial reports into a temp directory with stdout silenced; the
-/// parent waits, parses, merges and reports as if it had run unsharded.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+/// Launches one shard worker per shard under a ShardSupervisor and merges
+/// their JSON: the single-host face of the distributed shard/merge
+/// workflow, now with timeouts, retry/backoff, checkpoint/resume and an
+/// optional degraded partial merge. Children write their partial reports
+/// into `--checkpoint-dir` (kept, resumable) or a temp directory (removed)
+/// with stdout silenced; the supervisor monitors, retries and reaps; the
+/// parent parses, merges and reports as if it had run unsharded.
 int run_procs(const SweepConfig& cfg) {
   char exe_path[4096];
   const ssize_t exe_len = readlink("/proc/self/exe", exe_path, sizeof(exe_path) - 1);
@@ -285,77 +317,185 @@ int run_procs(const SweepConfig& cfg) {
   }
   exe_path[exe_len] = '\0';
 
-  std::string tmpl = (std::filesystem::temp_directory_path() / "pofl_sweep_XXXXXX").string();
-  if (mkdtemp(tmpl.data()) == nullptr) {
-    std::fprintf(stderr, "error: cannot create temp directory for shard reports\n");
-    return 1;
-  }
-  const std::string tmp_dir = tmpl;
-
-  std::vector<pid_t> children;
-  std::vector<std::string> shard_files;
-  for (int i = 0; i < cfg.procs; ++i) {
-    shard_files.push_back(tmp_dir + "/shard_" + std::to_string(i) + ".json");
-    const std::string shard_spec = std::to_string(i) + "/" + std::to_string(cfg.procs);
-    const std::string threads = std::to_string(cfg.threads_set ? cfg.num_threads : 1);
-    const char* argv[] = {exe_path, "sweep",  cfg.graph_path.c_str(),
-                          cfg.p_arg, cfg.trials_arg, "--shard", shard_spec.c_str(),
-                          "--json", shard_files.back().c_str(),
-                          "--threads", threads.c_str(), nullptr};
-    const pid_t pid = fork();
-    if (pid < 0) {
-      std::fprintf(stderr, "error: fork failed\n");
+  // Where the shard outputs live. A checkpoint dir persists across runs —
+  // guard it with a meta record so a resume with different sweep
+  // parameters errors out instead of silently merging stale shard files
+  // from some other sweep.
+  const bool keep_dir = !cfg.checkpoint_dir.empty();
+  std::string dir;
+  if (keep_dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create checkpoint dir %s\n",
+                   cfg.checkpoint_dir.c_str());
       return 1;
     }
+    dir = cfg.checkpoint_dir;
+    const std::string meta_path = dir + "/checkpoint.meta";
+    const std::string meta = std::string("graph=") + cfg.graph_path + " p=" + cfg.p_arg +
+                             " trials=" + cfg.trials_arg +
+                             " procs=" + std::to_string(cfg.procs) + "\n";
+    if (std::filesystem::exists(meta_path)) {
+      if (read_file(meta_path) != meta) {
+        std::fprintf(stderr,
+                     "error: checkpoint dir %s was recorded for a different sweep "
+                     "(see %s); use a fresh directory\n",
+                     dir.c_str(), meta_path.c_str());
+        return 1;
+      }
+    } else if (!write_json_file(meta_path, meta.substr(0, meta.size() - 1))) {
+      return 1;
+    }
+  } else {
+    std::string tmpl = (std::filesystem::temp_directory_path() / "pofl_sweep_XXXXXX").string();
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      std::fprintf(stderr, "error: cannot create temp directory for shard reports\n");
+      return 1;
+    }
+    dir = tmpl;
+  }
+
+  // Shard files are named by index *and* shard count: a resume with a
+  // different --procs N must not pick up slices of another partition.
+  std::vector<std::string> shard_files;
+  for (int i = 0; i < cfg.procs; ++i) {
+    shard_files.push_back(dir + "/shard_" + std::to_string(i) + "_of_" +
+                          std::to_string(cfg.procs) + ".json");
+  }
+
+  const auto spawn = [&](int shard, int attempt) -> pid_t {
+    const std::string shard_spec = std::to_string(shard) + "/" + std::to_string(cfg.procs);
+    const std::string threads = std::to_string(cfg.threads_set ? cfg.num_threads : 1);
+    const std::string attempt_str = std::to_string(attempt);
+    const char* argv[] = {exe_path, "sweep",  cfg.graph_path.c_str(),
+                          cfg.p_arg, cfg.trials_arg, "--shard", shard_spec.c_str(),
+                          "--json", shard_files[static_cast<size_t>(shard)].c_str(),
+                          "--threads", threads.c_str(), nullptr};
+    const pid_t pid = fork();
     if (pid == 0) {
-      // Child: silence the per-shard human summary; errors stay on stderr.
+      // Child: tell the fault hook which attempt this is (harmless when
+      // POFL_FAULT is unset) and silence the per-shard human summary;
+      // errors stay on stderr.
+      setenv("POFL_FAULT_ATTEMPT", attempt_str.c_str(), 1);
       const int devnull = open("/dev/null", O_WRONLY);
       if (devnull >= 0) {
         dup2(devnull, STDOUT_FILENO);
         close(devnull);
       }
       execv(exe_path, const_cast<char* const*>(argv));
-      std::fprintf(stderr, "error: exec failed for shard %d\n", i);
+      std::fprintf(stderr, "error: exec failed for shard %d\n", shard);
       _exit(127);
     }
-    children.push_back(pid);
-  }
+    return pid;  // -1 on fork failure: the supervisor retries with backoff
+  };
 
-  bool workers_ok = true;
-  for (size_t i = 0; i < children.size(); ++i) {
-    int status = 0;
-    if (waitpid(children[i], &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      std::fprintf(stderr, "error: shard worker %zu failed\n", i);
-      workers_ok = false;
+  // Shard output is only believed when it parses and carries the right
+  // provenance — run both after every clean exit and as the checkpoint
+  // probe before the first spawn.
+  const auto validate = [&](int shard, std::string& error) -> bool {
+    const std::string& path = shard_files[static_cast<size_t>(shard)];
+    if (!std::filesystem::exists(path)) {
+      error = "no output file";
+      return false;
     }
-  }
+    const std::string text = read_file(path);
+    ShardInfo info;
+    std::string parse_error;
+    const auto report = report_from_json(text, &info, &parse_error);
+    if (!report.has_value()) {
+      error = path + ": " + parse_error;
+      return false;
+    }
+    if (!info.present || info.count != cfg.procs || info.index != shard) {
+      error = path + ": wrong or missing shard provenance (expected " +
+              std::to_string(shard) + "/" + std::to_string(cfg.procs) + ")";
+      return false;
+    }
+    return true;
+  };
 
+  ShardSupervisorOptions sup_opts;
+  sup_opts.retries = cfg.retries;
+  sup_opts.backoff_ms = cfg.backoff_ms;
+  sup_opts.shard_timeout_s = cfg.shard_timeout;
+  sup_opts.verbose = true;
+  ShardSupervisor supervisor(sup_opts);
+  const SupervisorResult result = supervisor.run(cfg.procs, spawn, validate);
+
+  const auto cleanup = [&] {
+    if (!keep_dir) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  };
+
+  // Merge whatever completed, in shard order (associative and commutative
+  // bit for bit, but deterministic order keeps runs comparable).
   SweepReport merged;
-  bool parsed_all = workers_ok;
-  for (size_t i = 0; i < shard_files.size() && parsed_all; ++i) {
-    std::ifstream in(shard_files[i]);
-    std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-    ShardInfo shard;
-    const auto report = report_from_json(text, &shard);
-    if (!in || !report.has_value() || !shard.present || shard.count != cfg.procs ||
-        shard.index != static_cast<int>(i)) {
-      std::fprintf(stderr, "error: bad shard report %s\n", shard_files[i].c_str());
-      parsed_all = false;
-      break;
+  for (int i = 0; i < cfg.procs; ++i) {
+    if (!result.shards[static_cast<size_t>(i)].completed) continue;
+    ShardInfo info;
+    std::string parse_error;
+    const auto report =
+        report_from_json(read_file(shard_files[static_cast<size_t>(i)]), &info, &parse_error);
+    if (!report.has_value()) {
+      // Validated moments ago; losing it now means the filesystem is
+      // actively fighting us — not a retryable worker fault.
+      std::fprintf(stderr, "error: shard report %s vanished or corrupted after validation: %s\n",
+                   shard_files[static_cast<size_t>(i)].c_str(), parse_error.c_str());
+      cleanup();
+      return 1;
     }
     merged.merge(*report);
   }
 
-  std::error_code ec;
-  std::filesystem::remove_all(tmp_dir, ec);
-  if (!parsed_all) return 1;
+  if (result.resumed_from_checkpoint() > 0) {
+    std::printf("checkpoint:       resumed %d of %d shards from %s\n",
+                result.resumed_from_checkpoint(), cfg.procs, dir.c_str());
+  }
 
-  std::printf("procs:            %d shard workers, merged bit-exactly (oracle-free: not "
-              "byte-comparable to a plain unsharded --json recording)\n",
-              cfg.procs);
+  const std::vector<int> missing = result.missing();
+  if (missing.empty()) {
+    std::printf("procs:            %d shard workers, merged bit-exactly (oracle-free: not "
+                "byte-comparable to a plain unsharded --json recording)\n",
+                cfg.procs);
+    cleanup();
+    print_report(merged, cfg.per_pair);
+    return emit_and_check(to_json(merged), cfg.json_path, cfg.check_path);
+  }
+
+  for (const int shard : missing) {
+    const ShardOutcome& outcome = result.shards[static_cast<size_t>(shard)];
+    std::fprintf(stderr, "error: shard %d/%d failed after %d attempt(s): %s\n", shard,
+                 cfg.procs, outcome.attempts, outcome.error.c_str());
+  }
+  if (!cfg.allow_partial) {
+    if (keep_dir) {
+      std::fprintf(stderr,
+                   "note: completed shard outputs are checkpointed in %s — rerun the same "
+                   "command to retry only the missing shards\n",
+                   dir.c_str());
+    }
+    cleanup();
+    return 1;
+  }
+
+  // Degraded partial merge: the explicit opt-in. The result carries an
+  // "incomplete" provenance block naming the missing shards, so nothing
+  // downstream can mistake it for a complete sweep.
+  IncompleteInfo incomplete;
+  incomplete.present = true;
+  incomplete.shard_count = cfg.procs;
+  incomplete.missing_shards = missing;
+  for (const int shard : missing) {
+    incomplete.attempts.push_back(result.shards[static_cast<size_t>(shard)].attempts);
+  }
+  std::printf("partial:          merged %d of %d shards (%zu missing) — incomplete result\n",
+              cfg.procs - static_cast<int>(missing.size()), cfg.procs, missing.size());
+  cleanup();
   print_report(merged, cfg.per_pair);
-  return emit_and_check(to_json(merged), cfg.json_path, cfg.check_path);
+  return emit_and_check(to_json_partial(merged, incomplete), cfg.json_path, cfg.check_path);
 }
 
 int cmd_sweep(const SweepConfig& cfg) {
@@ -401,6 +541,21 @@ int cmd_sweep(const SweepConfig& cfg) {
                   cfg.p);
     }
     return run_procs(cfg);
+  }
+
+  // The POFL_FAULT test hook fires in shard workers only: a malformed spec
+  // is a hard error (a typo'd injection must not silently no-op), and the
+  // armed modes crash/hang/exit here — "mid-run", after argument and graph
+  // validation, before any output exists.
+  FaultInjector fault;
+  if (cfg.shard_set) {
+    bool fault_ok = true;
+    fault = FaultInjector::from_env(cfg.shard_index, fault_ok);
+    if (!fault_ok) {
+      std::fprintf(stderr, "error: malformed POFL_FAULT spec '%s'\n", std::getenv("POFL_FAULT"));
+      return 2;
+    }
+    fault.before_sweep();
   }
 
   source->shard(cfg.shard_index, cfg.shard_count);
@@ -451,7 +606,11 @@ int cmd_sweep(const SweepConfig& cfg) {
                 static_cast<long long>(report.totals.total), pairs.size(), cfg.trials, cfg.p);
   }
   print_report(report, cfg.per_pair);
-  return emit_and_check(serialize_report(report, cfg), cfg.json_path, cfg.check_path);
+  const int rc = emit_and_check(serialize_report(report, cfg), cfg.json_path, cfg.check_path);
+  // Corrupt-mode injection: a clean exit with a torn output file — the
+  // failure only shard-output validation can catch.
+  if (cfg.shard_set) fault.after_write(cfg.json_path);
+  return rc;
 }
 
 int cmd_export_zoo(const std::string& dir) {
@@ -481,37 +640,85 @@ int cmd_export_zoo(const std::string& dir) {
 
 // ---- merge -----------------------------------------------------------------
 
+/// Folds shard reports — and partial (incomplete) merges — into one.
+/// Coverage is tracked per shard index: a partial input contributes every
+/// shard except its recorded missing ones, so `merge partial.json
+/// shard_2.json` of a 4-shard sweep whose shard 2 was lost reconstructs
+/// the complete result, byte-identical to an uninterrupted run. A merge
+/// that still misses shards serializes with the "incomplete" provenance
+/// block and refuses --check (a partial result can never reproduce a
+/// complete baseline).
 int cmd_merge(const std::vector<std::string>& paths, const std::string& json_path,
               const std::string& check_path) {
   SweepReport merged;
   int shard_count = 0;
   int unmarked = 0;
+  int partial_inputs = 0;
   std::vector<bool> seen_index;
+  std::vector<int> missing_attempts;  // per shard, from partial provenance
+
+  const auto ensure_shard_count = [&](int count, const std::string& path) -> bool {
+    if (shard_count == 0) {
+      shard_count = count;
+      seen_index.assign(static_cast<size_t>(count), false);
+      missing_attempts.assign(static_cast<size_t>(count), 0);
+      return true;
+    }
+    if (count != shard_count) {
+      std::fprintf(stderr, "error: %s uses shard count %d but earlier reports used %d\n",
+                   path.c_str(), count, shard_count);
+      return false;
+    }
+    return true;
+  };
+
   for (const std::string& path : paths) {
     std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read report %s\n", path.c_str());
+      return 1;
+    }
     std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
     ShardInfo shard;
-    const auto report = report_from_json(text, &shard);
-    if (!in || !report.has_value()) {
-      std::fprintf(stderr, "error: cannot parse report %s\n", path.c_str());
+    IncompleteInfo incomplete;
+    std::string parse_error;
+    const auto report = report_from_json(text, &shard, &parse_error, &incomplete);
+    if (!report.has_value()) {
+      // Name the file and the byte offset: "which shard file is truncated"
+      // is the question an operator recovering a 95%-done sweep is asking.
+      std::fprintf(stderr, "error: cannot parse report %s: %s\n", path.c_str(),
+                   parse_error.c_str());
       return 1;
     }
     if (shard.present) {
-      if (shard_count == 0) {
-        shard_count = shard.count;
-        seen_index.assign(static_cast<size_t>(shard.count), false);
-      }
-      if (shard.count != shard_count) {
-        std::fprintf(stderr, "error: %s is shard %d/%d but earlier reports used /%d\n",
-                     path.c_str(), shard.index, shard.count, shard_count);
-        return 1;
-      }
+      if (!ensure_shard_count(shard.count, path)) return 1;
       if (seen_index[static_cast<size_t>(shard.index)]) {
         std::fprintf(stderr, "error: shard %d/%d appears twice (%s)\n", shard.index,
                      shard.count, path.c_str());
         return 1;
       }
       seen_index[static_cast<size_t>(shard.index)] = true;
+    } else if (incomplete.present) {
+      ++partial_inputs;
+      if (!ensure_shard_count(incomplete.shard_count, path)) return 1;
+      // The partial covers every shard it does NOT list as missing.
+      std::vector<bool> missing_here(static_cast<size_t>(shard_count), false);
+      for (size_t k = 0; k < incomplete.missing_shards.size(); ++k) {
+        missing_here[static_cast<size_t>(incomplete.missing_shards[k])] = true;
+        missing_attempts[static_cast<size_t>(incomplete.missing_shards[k])] =
+            incomplete.attempts[k];
+      }
+      for (int i = 0; i < shard_count; ++i) {
+        if (missing_here[static_cast<size_t>(i)]) continue;
+        if (seen_index[static_cast<size_t>(i)]) {
+          std::fprintf(stderr,
+                       "error: shard %d is covered both by partial report %s and an "
+                       "earlier input\n",
+                       i, path.c_str());
+          return 1;
+        }
+        seen_index[static_cast<size_t>(i)] = true;
+      }
     } else {
       ++unmarked;
     }
@@ -523,16 +730,40 @@ int cmd_merge(const std::vector<std::string>& paths, const std::string& json_pat
                  "overlapping reports cannot be detected\n",
                  unmarked, paths.size());
   }
-  int missing = 0;
-  for (const bool seen : seen_index) missing += seen ? 0 : 1;
-  if (missing > 0) {
-    std::fprintf(stderr,
-                 "note: merged %zu of %d shards (%d missing) — partial result, not "
-                 "comparable to an unsharded sweep\n",
-                 paths.size(), shard_count, missing);
+  std::vector<int> missing;
+  for (size_t i = 0; i < seen_index.size(); ++i) {
+    if (!seen_index[i]) missing.push_back(static_cast<int>(i));
   }
   std::printf("merged:           %zu reports, %lld scenarios, %zu pairs\n", paths.size(),
               static_cast<long long>(merged.totals.total), merged.per_pair.size());
+  if (!missing.empty()) {
+    std::string list;
+    for (const int m : missing) list += (list.empty() ? "" : ",") + std::to_string(m);
+    std::fprintf(stderr,
+                 "note: merged %d of %d shards (missing: %s) — partial result, not "
+                 "comparable to an unsharded sweep\n",
+                 shard_count - static_cast<int>(missing.size()), shard_count, list.c_str());
+    if (!check_path.empty()) {
+      std::fprintf(stderr,
+                   "error: cannot --check an incomplete merge (missing shard%s %s) against "
+                   "a complete baseline\n",
+                   missing.size() > 1 ? "s" : "", list.c_str());
+      return 1;
+    }
+    IncompleteInfo out_incomplete;
+    out_incomplete.present = true;
+    out_incomplete.shard_count = shard_count;
+    out_incomplete.missing_shards = missing;
+    for (const int m : missing) {
+      out_incomplete.attempts.push_back(missing_attempts[static_cast<size_t>(m)]);
+    }
+    print_report(merged, /*per_pair=*/false);
+    return emit_and_check(to_json_partial(merged, out_incomplete), json_path, "");
+  }
+  if (partial_inputs > 0) {
+    std::printf("recovered:        partial input%s completed to a full %d-shard merge\n",
+                partial_inputs > 1 ? "s" : "", shard_count);
+  }
   print_report(merged, /*per_pair=*/false);
   return emit_and_check(to_json(merged), json_path, check_path);
 }
@@ -582,6 +813,7 @@ int main(int argc, char** argv) {
       }
     }
     cfg.trials = static_cast<int>(trials);
+    const char* supervision_flag = nullptr;  // last --procs-only flag seen
     for (int i = 5; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
         cfg.json_path = argv[++i];
@@ -614,12 +846,51 @@ int main(int argc, char** argv) {
           return 2;
         }
         cfg.procs = static_cast<int>(procs);
+      } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+        long retries = 0;
+        if (!parse_long(argv[++i], retries) || retries < 0 || retries > 100) {
+          std::fprintf(stderr, "error: --retries needs an integer in [0, 100], got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        cfg.retries = static_cast<int>(retries);
+        supervision_flag = "--retries";
+      } else if (std::strcmp(argv[i], "--backoff-ms") == 0 && i + 1 < argc) {
+        long backoff = 0;
+        if (!parse_long(argv[++i], backoff) || backoff < 0 || backoff > 600'000) {
+          std::fprintf(stderr, "error: --backoff-ms needs an integer in [0, 600000], got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        cfg.backoff_ms = static_cast<int>(backoff);
+        supervision_flag = "--backoff-ms";
+      } else if (std::strcmp(argv[i], "--shard-timeout") == 0 && i + 1 < argc) {
+        if (!parse_double(argv[++i], cfg.shard_timeout) || cfg.shard_timeout <= 0.0 ||
+            cfg.shard_timeout > 86400.0) {
+          std::fprintf(stderr,
+                       "error: --shard-timeout needs seconds in (0, 86400], got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        supervision_flag = "--shard-timeout";
+      } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+        cfg.allow_partial = true;
+        supervision_flag = "--allow-partial";
+      } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+        cfg.checkpoint_dir = argv[++i];
+        supervision_flag = "--checkpoint-dir";
       } else {
         return usage();
       }
     }
     if (cfg.procs > 0 && cfg.shard_set) {
       std::fprintf(stderr, "error: --procs and --shard are mutually exclusive\n");
+      return 2;
+    }
+    if (supervision_flag != nullptr && cfg.procs == 0) {
+      // Supervision knobs on a run with no supervisor would silently do
+      // nothing — the same trap as an ignored --threads.
+      std::fprintf(stderr, "error: %s only applies to --procs runs\n", supervision_flag);
       return 2;
     }
     return cmd_sweep(cfg);

@@ -1,0 +1,294 @@
+#include "orchestrate/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace pofl {
+
+namespace {
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(int64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1'000'000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+bool SupervisorResult::all_completed() const {
+  return std::all_of(shards.begin(), shards.end(),
+                     [](const ShardOutcome& s) { return s.completed; });
+}
+
+std::vector<int> SupervisorResult::missing() const {
+  std::vector<int> out;
+  for (const ShardOutcome& s : shards) {
+    if (!s.completed) out.push_back(s.shard);
+  }
+  return out;
+}
+
+int SupervisorResult::resumed_from_checkpoint() const {
+  int n = 0;
+  for (const ShardOutcome& s : shards) n += s.from_checkpoint ? 1 : 0;
+  return n;
+}
+
+ShardSupervisor::ShardSupervisor(ShardSupervisorOptions opts) : opts_(opts) {}
+
+ShardSupervisor::~ShardSupervisor() { terminate_all(); }
+
+/// Records a failed attempt for `shard`: schedules a backoff retry while
+/// attempts remain, otherwise marks the shard exhausted. The failure
+/// description always lands in the outcome so the operator sees the *last*
+/// error even when a later retry succeeds or would have been allowed.
+void ShardSupervisor::fail_attempt(int shard, const std::string& why,
+                                   SupervisorResult& result) {
+  Task& task = tasks_[static_cast<size_t>(shard)];
+  ShardOutcome& outcome = result.shards[static_cast<size_t>(shard)];
+  outcome.error = why;
+  task.pid = -1;
+  if (task.attempts <= opts_.retries) {
+    // Capped exponential backoff: 1st retry after backoff_ms, then x2.
+    int64_t delay = opts_.backoff_ms;
+    for (int i = 1; i < task.attempts && delay < opts_.max_backoff_ms; ++i) delay *= 2;
+    delay = std::min<int64_t>(delay, opts_.max_backoff_ms);
+    task.state = State::kReady;
+    task.ready_at_ms = now_ms() + delay;
+    if (opts_.verbose) {
+      std::fprintf(stderr, "supervisor: shard %d attempt %d/%d failed (%s); retrying in %lldms\n",
+                   shard, task.attempts, opts_.retries + 1, why.c_str(),
+                   static_cast<long long>(delay));
+    }
+  } else {
+    task.state = State::kExhausted;
+    if (opts_.verbose) {
+      std::fprintf(stderr, "supervisor: shard %d failed after %d attempt(s): %s\n", shard,
+                   task.attempts, why.c_str());
+    }
+  }
+}
+
+SupervisorResult ShardSupervisor::run(int shard_count, const Spawn& spawn,
+                                      const Validate& validate) {
+  SupervisorResult result;
+  result.shards.resize(static_cast<size_t>(shard_count));
+  tasks_.assign(static_cast<size_t>(shard_count), Task{});
+
+  const int64_t timeout_ms =
+      opts_.shard_timeout_s > 0 ? static_cast<int64_t>(opts_.shard_timeout_s * 1000.0) : 0;
+
+  int open = 0;
+  for (int i = 0; i < shard_count; ++i) {
+    ShardOutcome& outcome = result.shards[static_cast<size_t>(i)];
+    outcome.shard = i;
+    // Checkpoint probe: output that already validates means the shard is
+    // done before any worker runs — crash/resume for long sweeps.
+    std::string err;
+    if (validate && validate(i, err)) {
+      outcome.completed = true;
+      outcome.from_checkpoint = true;
+      tasks_[static_cast<size_t>(i)].state = State::kDone;
+      if (opts_.verbose) {
+        std::fprintf(stderr, "supervisor: shard %d resumed from checkpoint\n", i);
+      }
+      continue;
+    }
+    tasks_[static_cast<size_t>(i)].ready_at_ms = now_ms();
+    ++open;
+  }
+
+  // A reaped child's status becomes a completed shard (clean exit with
+  // valid output) or a failed attempt (non-zero exit, signal, timeout,
+  // torn output) — one classification for both the polling and the
+  // blocking wait below.
+  const auto handle_exit = [&](int shard, int status) {
+    Task& task = tasks_[static_cast<size_t>(shard)];
+    std::string why;
+    if (task.timed_out) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "timed out after %gs", opts_.shard_timeout_s);
+      why = buf;
+    } else if (WIFSIGNALED(status)) {
+      why = "killed by signal " + std::to_string(WTERMSIG(status));
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      why = "exited with status " + std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    } else {
+      // Clean exit: believe it only if the output validates — a truncated
+      // or corrupt shard JSON must count as a failed attempt, not a win.
+      std::string verr;
+      if (!validate || validate(shard, verr)) {
+        task.state = State::kDone;
+        task.pid = -1;
+        ShardOutcome& outcome = result.shards[static_cast<size_t>(shard)];
+        outcome.completed = true;
+        outcome.error.clear();
+        --open;
+        if (opts_.verbose && task.attempts > 1) {
+          std::fprintf(stderr, "supervisor: shard %d succeeded on attempt %d\n", shard,
+                       task.attempts);
+        }
+        return;
+      }
+      why = verr.empty() ? "invalid output" : "invalid output: " + verr;
+    }
+    fail_attempt(shard, why, result);
+    if (task.state == State::kExhausted) --open;
+  };
+
+  while (open > 0) {
+    const int64_t now = now_ms();
+    bool progressed = false;
+
+    // Launch every shard whose backoff gate has opened.
+    for (int i = 0; i < shard_count; ++i) {
+      Task& task = tasks_[static_cast<size_t>(i)];
+      if (task.state != State::kReady || task.ready_at_ms > now) continue;
+      ++task.attempts;
+      result.shards[static_cast<size_t>(i)].attempts = task.attempts;
+      task.timed_out = false;
+      task.term_sent = false;
+      const pid_t pid = spawn(i, task.attempts - 1);
+      progressed = true;
+      if (pid < 0) {
+        // The fork itself failed (EAGAIN under memory pressure is exactly
+        // the transient this layer exists for): a failed attempt, retried
+        // with backoff like any worker death.
+        fail_attempt(i, "fork failed", result);
+        if (tasks_[static_cast<size_t>(i)].state == State::kExhausted) --open;
+        continue;
+      }
+      task.state = State::kRunning;
+      task.pid = pid;
+      task.deadline_ms = timeout_ms > 0 ? now + timeout_ms : 0;
+    }
+
+    // Reap finished children and enforce timeouts.
+    for (int i = 0; i < shard_count; ++i) {
+      Task& task = tasks_[static_cast<size_t>(i)];
+      if (task.state != State::kRunning) continue;
+      int status = 0;
+      if (waitpid(task.pid, &status, WNOHANG) == task.pid) {
+        progressed = true;
+        handle_exit(i, status);
+        continue;
+      }
+      // Still running: check the wall-clock budget. SIGTERM first so the
+      // worker can die cleanly; workers that ignore it (or are wedged)
+      // get SIGKILL after the grace window — re-armed, so even a kill
+      // that races a stop/cont cycle lands eventually.
+      if (task.deadline_ms > 0 && now >= task.deadline_ms && !task.term_sent) {
+        task.timed_out = true;
+        task.term_sent = true;
+        task.kill_at_ms = now + opts_.term_grace_ms;
+        kill(task.pid, SIGTERM);
+        progressed = true;
+      } else if (task.term_sent && now >= task.kill_at_ms) {
+        kill(task.pid, SIGKILL);
+        task.kill_at_ms = now + opts_.term_grace_ms;
+        progressed = true;
+      }
+    }
+
+    if (open == 0 || progressed) continue;
+
+    // Idle: wait for the next event. With no timer pending (no backoff
+    // gate, no timeout deadline) the only possible event is a child exit,
+    // so block in waitpid for zero-latency reaping — polling here would
+    // tax exactly the cores the workers are using, which matters to the
+    // bench_perf speedup measurement riding this supervisor.
+    int64_t next_event = std::numeric_limits<int64_t>::max();
+    bool any_running = false;
+    for (const Task& task : tasks_) {
+      if (task.state == State::kReady) {
+        next_event = std::min(next_event, task.ready_at_ms);
+      } else if (task.state == State::kRunning) {
+        any_running = true;
+        if (task.term_sent) {
+          next_event = std::min(next_event, task.kill_at_ms);
+        } else if (task.deadline_ms > 0) {
+          next_event = std::min(next_event, task.deadline_ms);
+        }
+      }
+    }
+    if (any_running && next_event == std::numeric_limits<int64_t>::max()) {
+      int status = 0;
+      const pid_t pid = waitpid(-1, &status, 0);
+      if (pid > 0) {
+        for (int i = 0; i < shard_count; ++i) {
+          if (tasks_[static_cast<size_t>(i)].state == State::kRunning &&
+              tasks_[static_cast<size_t>(i)].pid == pid) {
+            handle_exit(i, status);
+            break;
+          }
+          // A pid we did not spawn (some other child of the embedding
+          // process): nothing to do — its status is consumed, which is
+          // the unavoidable cost of the blocking -1 wait.
+        }
+      }
+    } else {
+      sleep_ms(std::clamp<int64_t>(next_event - now, 1, 5));
+    }
+  }
+
+  tasks_.clear();  // nothing left for the destructor to clean up
+  return result;
+}
+
+/// Kills and reaps every still-running child: SIGTERM, a grace window,
+/// then SIGKILL and a blocking wait. Called from the destructor so no exit
+/// path — including an exception unwinding through run() — can leak a
+/// worker process or a zombie.
+void ShardSupervisor::terminate_all() {
+  bool any = false;
+  for (Task& task : tasks_) {
+    if (task.state == State::kRunning && task.pid > 0) {
+      kill(task.pid, SIGTERM);
+      any = true;
+    }
+  }
+  if (!any) {
+    tasks_.clear();
+    return;
+  }
+  const int64_t deadline = now_ms() + opts_.term_grace_ms;
+  while (now_ms() < deadline) {
+    bool live = false;
+    for (Task& task : tasks_) {
+      if (task.state != State::kRunning || task.pid <= 0) continue;
+      int status = 0;
+      if (waitpid(task.pid, &status, WNOHANG) == task.pid) {
+        task.pid = -1;
+        task.state = State::kExhausted;
+      } else {
+        live = true;
+      }
+    }
+    if (!live) break;
+    sleep_ms(5);
+  }
+  for (Task& task : tasks_) {
+    if (task.state != State::kRunning || task.pid <= 0) continue;
+    kill(task.pid, SIGKILL);
+    int status = 0;
+    waitpid(task.pid, &status, 0);
+    task.pid = -1;
+  }
+  tasks_.clear();
+}
+
+}  // namespace pofl

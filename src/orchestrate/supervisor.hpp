@@ -1,0 +1,114 @@
+#pragma once
+
+// Fault-tolerant shard-worker supervision: the resilience layer under
+// `pofl_cli sweep --procs N` and `bench_perf --procs`.
+//
+// The PR-5 fork/exec driver assumed a perfect world: one crashed or hung
+// shard worker errored the whole run out, surviving children leaked as
+// zombies, and an 11M-scenario sweep that died at 95% restarted from zero.
+// ShardSupervisor owns the whole child lifecycle instead:
+//
+//   - launches one worker per shard via a caller-supplied Spawn callback
+//     (fork/exec for the CLI, fork+in-process function for bench_perf);
+//   - monitors every child with a per-shard wall-clock timeout — on expiry
+//     it SIGTERMs, waits `term_grace_ms`, then SIGKILLs workers that
+//     ignore the polite signal;
+//   - treats non-zero exits, death-by-signal, timeouts, fork failures and
+//     invalid output (a caller-supplied Validate callback — the CLI parses
+//     the shard JSON and checks its provenance marker) uniformly as failed
+//     attempts, and retries them with capped exponential backoff
+//     (`retries`, `backoff_ms`, doubling up to `max_backoff_ms`);
+//   - skips shards whose output already validates before the first spawn
+//     (`from_checkpoint`) — because shard JSONs are bit-exact and
+//     content-complete, a completed shard file doubles as a checkpoint and
+//     a killed sweep resumes where it died;
+//   - reaps every child on every exit path: run() never returns with a
+//     live or unreaped worker, and the destructor SIGTERM-then-SIGKILLs
+//     anything still running if run() unwinds through an exception.
+//
+// On retry exhaustion the surviving shards still run to completion (their
+// outputs checkpoint), and the result reports exactly which shards are
+// missing after how many attempts — the caller decides whether that is
+// fatal or a degraded partial merge (`--allow-partial`).
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pofl {
+
+struct ShardSupervisorOptions {
+  int retries = 0;            // extra attempts after the first (0 = fail on first error)
+  int backoff_ms = 200;       // delay before the first retry; doubles per failure
+  int max_backoff_ms = 5000;  // cap for the exponential backoff
+  double shard_timeout_s = 0.0;  // wall-clock budget per attempt; 0 = unlimited
+  int term_grace_ms = 500;       // SIGTERM -> SIGKILL escalation window
+  bool verbose = false;          // per-event progress lines on stderr
+};
+
+/// Final state of one shard after supervision.
+struct ShardOutcome {
+  int shard = 0;
+  int attempts = 0;              // spawns actually made (0 for checkpoint skips)
+  bool completed = false;
+  bool from_checkpoint = false;  // valid output existed before the first spawn
+  std::string error;             // last failure description; empty on success
+};
+
+struct SupervisorResult {
+  std::vector<ShardOutcome> shards;  // indexed by shard
+
+  [[nodiscard]] bool all_completed() const;
+  /// Shard indices that never completed, ascending.
+  [[nodiscard]] std::vector<int> missing() const;
+  /// How many shards were satisfied by pre-existing checkpoint output.
+  [[nodiscard]] int resumed_from_checkpoint() const;
+};
+
+class ShardSupervisor {
+ public:
+  /// Launches one worker process for `shard` (attempt numbers start at 0)
+  /// and returns its pid, or -1 when the fork itself failed (counted as a
+  /// failed attempt and retried like any other).
+  using Spawn = std::function<pid_t(int shard, int attempt)>;
+  /// Checks the shard's output (parse the JSON, verify provenance). Called
+  /// once before the first spawn — success means the shard is already done
+  /// (checkpoint resume) — and after every clean exit. On failure, fill
+  /// `error` with a description worth showing the operator.
+  using Validate = std::function<bool(int shard, std::string& error)>;
+
+  explicit ShardSupervisor(ShardSupervisorOptions opts = {});
+  ~ShardSupervisor();  // SIGTERM-then-SIGKILLs and reaps anything still running
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Supervises `shard_count` workers to completion or retry exhaustion.
+  /// All shards run concurrently; failed ones relaunch after their backoff
+  /// while the others keep running. Returns only after every child has
+  /// been reaped.
+  SupervisorResult run(int shard_count, const Spawn& spawn, const Validate& validate = {});
+
+ private:
+  enum class State { kReady, kRunning, kDone, kExhausted };
+
+  struct Task {
+    State state = State::kReady;
+    pid_t pid = -1;
+    int attempts = 0;
+    bool timed_out = false;   // this attempt hit the wall-clock budget
+    bool term_sent = false;   // SIGTERM already delivered for the timeout
+    int64_t ready_at_ms = 0;  // backoff gate for the next launch
+    int64_t deadline_ms = 0;  // timeout for the running attempt (0 = none)
+    int64_t kill_at_ms = 0;   // SIGKILL escalation time after SIGTERM
+  };
+
+  void fail_attempt(int shard, const std::string& why, SupervisorResult& result);
+  void terminate_all();
+
+  ShardSupervisorOptions opts_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace pofl

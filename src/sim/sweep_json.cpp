@@ -279,6 +279,25 @@ std::string to_json_shard(const SweepReport& report, int shard_index, int shard_
   return "{" + w.str().substr(1) + "," + body.substr(1);
 }
 
+std::string to_json_partial(const SweepReport& report, const IncompleteInfo& incomplete) {
+  // Same splice as to_json_shard: the plain report plus one leading
+  // provenance block, so parse -> serialize round-trips byte for byte and
+  // everything downstream of the "incomplete" key is the ordinary schema.
+  JsonWriter w;
+  w.begin_object();
+  w.key("incomplete").begin_object();
+  w.key("shard_count").value(incomplete.shard_count);
+  w.key("missing_shards").begin_array();
+  for (const int shard : incomplete.missing_shards) w.value(shard);
+  w.end_array();
+  w.key("attempts").begin_array();
+  for (const int attempts : incomplete.attempts) w.value(attempts);
+  w.end_array();
+  w.end_object();
+  const std::string body = to_json(report);
+  return "{" + w.str().substr(1) + "," + body.substr(1);
+}
+
 // ---- parser ----------------------------------------------------------------
 // A minimal recursive-descent JSON reader, just enough for the shard/merge
 // round-trip: objects, arrays, strings, numbers (kept as raw spellings so
@@ -312,6 +331,10 @@ class JsonParser {
     skip_ws();
     return pos_ == s_.size();
   }
+
+  /// Byte offset where parsing stopped — on failure, the first byte the
+  /// parser could not make sense of (a truncated file stops at its end).
+  [[nodiscard]] size_t stop_offset() const { return pos_; }
 
  private:
   void skip_ws() {
@@ -504,32 +527,79 @@ bool read_double(const JsonValue& obj, const std::string& key, double& out) {
   return end != v->text.c_str() && *end == '\0';
 }
 
+/// Sets *error (when requested) and always returns false — the one-line
+/// spelling of every semantic parse failure below.
+bool fail_parse(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
 /// Reads the exact (non-derived) SweepStats fields. Derived rates are
 /// recomputed by the accessors, so this is all a byte-exact re-serialization
 /// needs: a 12-significant-digit decimal re-parses to a double that prints
-/// back to the same 12 digits, and everything else is integral.
-bool stats_from_json(const JsonValue& obj, SweepStats& out) {
-  if (obj.kind != JsonValue::Kind::kObject) return false;
-  return read_int(obj, "total", out.total) &&
-         read_int(obj, "promise_broken", out.promise_broken) &&
-         read_int(obj, "delivered", out.delivered) && read_int(obj, "looped", out.looped) &&
-         read_int(obj, "dropped", out.dropped) && read_int(obj, "invalid", out.invalid) &&
-         read_int(obj, "failures_seen", out.failures_seen) &&
-         read_int(obj, "hops_delivered", out.hops_delivered) &&
-         read_int(obj, "stretch_samples", out.stretch_samples) &&
-         read_int(obj, "stretch_sum_q32", out.stretch_sum_q32) &&
-         read_double(obj, "max_stretch", out.max_stretch) &&
-         read_int(obj, "oracle_hits", out.oracle_hits) &&
-         read_int(obj, "oracle_misses", out.oracle_misses) &&
-         read_int(obj, "oracle_evictions", out.oracle_evictions);
+/// back to the same 12 digits, and everything else is integral. On failure
+/// the error names the first missing/invalid counter.
+bool stats_from_json(const JsonValue& obj, SweepStats& out, std::string* error) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    return fail_parse(error, "stats value is not an object");
+  }
+  const auto counter = [&](const char* key, int64_t& v) {
+    return read_int(obj, key, v) ||
+           fail_parse(error, std::string("missing or invalid counter '") + key + "'");
+  };
+  return counter("total", out.total) && counter("promise_broken", out.promise_broken) &&
+         counter("delivered", out.delivered) && counter("looped", out.looped) &&
+         counter("dropped", out.dropped) && counter("invalid", out.invalid) &&
+         counter("failures_seen", out.failures_seen) &&
+         counter("hops_delivered", out.hops_delivered) &&
+         counter("stretch_samples", out.stretch_samples) &&
+         counter("stretch_sum_q32", out.stretch_sum_q32) &&
+         (read_double(obj, "max_stretch", out.max_stretch) ||
+          fail_parse(error, "missing or invalid 'max_stretch'")) &&
+         counter("oracle_hits", out.oracle_hits) && counter("oracle_misses", out.oracle_misses) &&
+         counter("oracle_evictions", out.oracle_evictions);
+}
+
+/// Reads an array of small non-negative ints (the incomplete-block lists).
+bool read_int_array(const JsonValue& value, std::vector<int>& out) {
+  if (value.kind != JsonValue::Kind::kArray) return false;
+  out.clear();
+  for (const JsonValue& item : value.items) {
+    if (item.kind != JsonValue::Kind::kNumber) return false;
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(item.text.c_str(), &end, 10);
+    if (end == item.text.c_str() || *end != '\0' || errno == ERANGE || v < 0 ||
+        v > 1'000'000) {
+      return false;
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  return true;
 }
 
 }  // namespace
 
-std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* shard) {
+std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* shard,
+                                            std::string* error, IncompleteInfo* incomplete) {
   if (shard != nullptr) *shard = ShardInfo{};
+  if (incomplete != nullptr) *incomplete = IncompleteInfo{};
+  if (text.empty()) {
+    fail_parse(error, "empty file (0 bytes)");
+    return std::nullopt;
+  }
   JsonValue root;
-  if (!JsonParser(text).parse(root) || root.kind != JsonValue::Kind::kObject) {
+  JsonParser parser(text);
+  if (!parser.parse(root)) {
+    // The stop offset is the diagnosis: a truncated/torn shard file stops
+    // at its last byte, garbage stops where the garbage starts.
+    fail_parse(error, "JSON syntax error at byte offset " +
+                          std::to_string(parser.stop_offset()) + " of " +
+                          std::to_string(text.size()));
+    return std::nullopt;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    fail_parse(error, "top-level value is not an object");
     return std::nullopt;
   }
   if (const JsonValue* spec = root.find("shard"); spec != nullptr && shard != nullptr) {
@@ -537,35 +607,86 @@ std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* 
     int64_t count = 0;
     if (spec->kind != JsonValue::Kind::kObject || !read_int(*spec, "index", index) ||
         !read_int(*spec, "count", count) || count < 1 || index < 0 || index >= count) {
+      fail_parse(error, "malformed 'shard' provenance block");
       return std::nullopt;
     }
     shard->index = static_cast<int>(index);
     shard->count = static_cast<int>(count);
     shard->present = true;
   }
+  if (const JsonValue* inc = root.find("incomplete"); inc != nullptr && incomplete != nullptr) {
+    int64_t count = 0;
+    std::vector<int> missing;
+    std::vector<int> attempts;
+    bool valid = inc->kind == JsonValue::Kind::kObject &&
+                 read_int(*inc, "shard_count", count) && count >= 1 && count <= 1'000'000;
+    const JsonValue* missing_value = valid ? inc->find("missing_shards") : nullptr;
+    const JsonValue* attempts_value = valid ? inc->find("attempts") : nullptr;
+    valid = valid && missing_value != nullptr && read_int_array(*missing_value, missing) &&
+            attempts_value != nullptr && read_int_array(*attempts_value, attempts) &&
+            !missing.empty() && missing.size() == attempts.size();
+    for (size_t i = 0; valid && i < missing.size(); ++i) {
+      // Ascending and in range: the canonical spelling the writer emits,
+      // so parse -> serialize stays byte-exact.
+      valid = missing[i] < count && (i == 0 || missing[i] > missing[i - 1]);
+    }
+    if (!valid) {
+      fail_parse(error, "malformed 'incomplete' provenance block");
+      return std::nullopt;
+    }
+    incomplete->present = true;
+    incomplete->shard_count = static_cast<int>(count);
+    incomplete->missing_shards = std::move(missing);
+    incomplete->attempts = std::move(attempts);
+  }
   SweepReport report;
   const JsonValue* totals = root.find("totals");
-  if (totals == nullptr || !stats_from_json(*totals, report.totals)) return std::nullopt;
+  if (totals == nullptr) {
+    fail_parse(error, "missing 'totals'");
+    return std::nullopt;
+  }
+  if (!stats_from_json(*totals, report.totals, error)) return std::nullopt;
   const JsonValue* rows = root.find("per_pair");
-  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) return std::nullopt;
+  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
+    fail_parse(error, "missing or invalid 'per_pair'");
+    return std::nullopt;
+  }
   report.per_pair.reserve(rows->items.size());
   for (const JsonValue& row : rows->items) {
-    if (row.kind != JsonValue::Kind::kObject) return std::nullopt;
+    const std::string where = " in per_pair row " + std::to_string(report.per_pair.size());
+    if (row.kind != JsonValue::Kind::kObject) {
+      fail_parse(error, "non-object" + where);
+      return std::nullopt;
+    }
     PairStats pair;
     int64_t source = 0;
-    if (!read_int(row, "source", source)) return std::nullopt;
+    if (!read_int(row, "source", source)) {
+      fail_parse(error, "missing or invalid 'source'" + where);
+      return std::nullopt;
+    }
     pair.source = static_cast<VertexId>(source);
     const JsonValue* destination = row.find("destination");
-    if (destination == nullptr) return std::nullopt;
+    if (destination == nullptr) {
+      fail_parse(error, "missing 'destination'" + where);
+      return std::nullopt;
+    }
     if (destination->kind == JsonValue::Kind::kNull) {
       pair.destination = kNoVertex;
     } else {
       int64_t value = 0;
-      if (!read_int(row, "destination", value)) return std::nullopt;
+      if (!read_int(row, "destination", value)) {
+        fail_parse(error, "invalid 'destination'" + where);
+        return std::nullopt;
+      }
       pair.destination = static_cast<VertexId>(value);
     }
     const JsonValue* stats = row.find("stats");
-    if (stats == nullptr || !stats_from_json(*stats, pair.stats)) return std::nullopt;
+    std::string stats_error;
+    if (stats == nullptr || !stats_from_json(*stats, pair.stats, &stats_error)) {
+      fail_parse(error,
+                 (stats == nullptr ? std::string("missing 'stats'") : stats_error) + where);
+      return std::nullopt;
+    }
     report.per_pair.push_back(std::move(pair));
   }
   return report;

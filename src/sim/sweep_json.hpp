@@ -108,6 +108,21 @@ void append_json(JsonWriter& w, const SweepReport& report);
 [[nodiscard]] std::string to_json_shard(const SweepReport& report, int shard_index,
                                         int shard_count);
 
+/// Serializes a degraded partial merge: the report object with a leading
+/// "incomplete":{"shard_count":n,"missing_shards":[..],"attempts":[..]}
+/// provenance block naming exactly which shards never completed (and after
+/// how many supervisor attempts, aligned with missing_shards). Written by
+/// `sweep --procs --allow-partial` when retries are exhausted; `merge`
+/// refuses to --check a result that still carries it.
+struct IncompleteInfo {
+  bool present = false;
+  int shard_count = 0;
+  std::vector<int> missing_shards;  // ascending, non-empty when present
+  std::vector<int> attempts;        // attempts[i] made on missing_shards[i]
+};
+[[nodiscard]] std::string to_json_partial(const SweepReport& report,
+                                          const IncompleteInfo& incomplete);
+
 /// Shard provenance read back from a report file; (0, 1) with present ==
 /// false for a plain (unsharded or already-merged) report.
 struct ShardInfo {
@@ -116,13 +131,19 @@ struct ShardInfo {
   bool present = false;
 };
 
-/// Parses a SweepReport previously written by to_json / to_json_shard.
-/// Reads the exact fields only (integer counters, max_stretch) and ignores
-/// derived rates, so serializing the result reproduces the input byte for
-/// byte. Returns nullopt on malformed input; fills *shard when the report
-/// carries shard provenance.
+/// Parses a SweepReport previously written by to_json / to_json_shard /
+/// to_json_partial. Reads the exact fields only (integer counters,
+/// max_stretch) and ignores derived rates, so serializing the result
+/// reproduces the input byte for byte. Returns nullopt on malformed input;
+/// fills *shard / *incomplete when the report carries that provenance.
+/// On failure, *error (when non-null) gets a diagnosis worth relaying to
+/// the operator — "empty file (0 bytes)", "JSON syntax error at byte
+/// offset N", or the missing/invalid field — instead of a generic parse
+/// error: a truncated shard file must name where it broke.
 [[nodiscard]] std::optional<SweepReport> report_from_json(const std::string& text,
-                                                          ShardInfo* shard = nullptr);
+                                                          ShardInfo* shard = nullptr,
+                                                          std::string* error = nullptr,
+                                                          IncompleteInfo* incomplete = nullptr);
 
 /// Writes `body` to `path`; returns false (and prints to stderr) on failure.
 bool write_json_file(const std::string& path, const std::string& body);

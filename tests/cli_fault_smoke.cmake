@@ -1,0 +1,160 @@
+# End-to-end smoke of the fault-tolerant --procs supervisor, run by ctest.
+# POFL_FAULT (see src/orchestrate/fault_inject.hpp) injects deterministic
+# worker failures; the supervised sweep must still merge bit-for-bit to the
+# checked-in unsharded baseline (tests/baselines/cli_zoo_procs.json):
+#
+#   1. recovery matrix — one shard SIGKILLed / hung past --shard-timeout /
+#      writing corrupt JSON / exiting non-zero on its first attempt, each
+#      retried to a byte-identical merge;
+#   2. retry exhaustion — a shard that always dies fails the run, and
+#      --allow-partial instead emits the "incomplete" provenance block,
+#      which `merge --check` refuses but a later merge with the missing
+#      shard's report completes back to the golden bytes;
+#   3. checkpoint/resume — a killed sweep leaves valid shard files in
+#      --checkpoint-dir; the rerun resumes them (skipping the re-run) and
+#      produces byte-identical output, while a rerun with different sweep
+#      parameters is rejected by the checkpoint.meta guard;
+#   4. diagnostics and flag validation — merge names the file, shard, and
+#      byte offset of a truncated input; supervision flags without --procs
+#      and malformed POFL_FAULT specs are hard errors.
+#
+# Usage: cmake -DPOFL_CLI=<exe> -DBASELINE=<json> -DWORK_DIR=<dir>
+#              -P cli_fault_smoke.cmake
+
+if(NOT POFL_CLI OR NOT BASELINE OR NOT WORK_DIR)
+  message(FATAL_ERROR "need -DPOFL_CLI=..., -DBASELINE=... and -DWORK_DIR=...")
+endif()
+
+set(GRAPH "${WORK_DIR}/zoo/synth-hubring-40-214.graphml")
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(READ "${BASELINE}" golden)
+
+# Runs the CLI with POFL_FAULT=<fault> ("-" = no injection), asserts the
+# exit code, and leaves stdout/stderr in cli_out/cli_err for the caller.
+function(run_cli expect_success fault)
+  if(fault STREQUAL "-")
+    set(cmd ${POFL_CLI})
+  else()
+    set(cmd ${CMAKE_COMMAND} -E env "POFL_FAULT=${fault}" ${POFL_CLI})
+  endif()
+  execute_process(COMMAND ${cmd} ${ARGN}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(expect_success AND NOT rc EQUAL 0)
+    message(FATAL_ERROR "POFL_FAULT=${fault} pofl_cli ${ARGN} failed (rc=${rc}): ${err}")
+  endif()
+  if(NOT expect_success AND rc EQUAL 0)
+    message(FATAL_ERROR "POFL_FAULT=${fault} pofl_cli ${ARGN} succeeded but must fail")
+  endif()
+  set(cli_out "${out}" PARENT_SCOPE)
+  set(cli_err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_golden file what)
+  file(READ "${file}" bytes)
+  if(NOT bytes STREQUAL golden)
+    message(FATAL_ERROR "${what}: ${file} differs from the unsharded baseline bytes")
+  endif()
+endfunction()
+
+function(expect_contains text needle what)
+  string(FIND "${text}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${what}: expected '${needle}' in: ${text}")
+  endif()
+endfunction()
+
+run_cli(TRUE - export-zoo "${WORK_DIR}/zoo")
+if(NOT EXISTS "${GRAPH}")
+  message(FATAL_ERROR "export-zoo did not produce ${GRAPH}")
+endif()
+
+set(SWEEP sweep "${GRAPH}" 0.05 20 --procs 4)
+
+# 1. Recovery matrix: every injected first-attempt failure is retried to a
+# merge byte-identical to the unsharded golden baseline.
+run_cli(TRUE crash:1:0 ${SWEEP} --retries 2 --json "${WORK_DIR}/crash.json")
+expect_golden("${WORK_DIR}/crash.json" "SIGKILL recovery")
+expect_contains("${cli_err}" "killed by signal 9" "SIGKILL recovery")
+
+run_cli(TRUE hang:2:0 ${SWEEP} --retries 2 --shard-timeout 5
+        --json "${WORK_DIR}/hang.json")
+expect_golden("${WORK_DIR}/hang.json" "hang recovery")
+expect_contains("${cli_err}" "timed out after 5s" "hang recovery")
+
+run_cli(TRUE corrupt:0:0 ${SWEEP} --retries 2 --json "${WORK_DIR}/corrupt.json")
+expect_golden("${WORK_DIR}/corrupt.json" "corrupt-JSON recovery")
+expect_contains("${cli_err}" "invalid output" "corrupt-JSON recovery")
+
+run_cli(TRUE exit:3:0:17 ${SWEEP} --retries 1 --json "${WORK_DIR}/exit.json")
+expect_golden("${WORK_DIR}/exit.json" "non-zero-exit recovery")
+expect_contains("${cli_err}" "exited with status 17" "non-zero-exit recovery")
+
+# 2a. Retry exhaustion fails the run (shard 1 dies on every attempt).
+run_cli(FALSE crash:1:* ${SWEEP} --retries 1 --json "${WORK_DIR}/exhausted.json")
+expect_contains("${cli_err}" "failed after 2 attempt(s)" "retry exhaustion")
+
+# 2b. --allow-partial turns the same exhaustion into a degraded merge that
+# carries the incomplete provenance block...
+run_cli(TRUE crash:1:* ${SWEEP} --retries 1 --allow-partial
+        --json "${WORK_DIR}/partial.json")
+file(READ "${WORK_DIR}/partial.json" partial_bytes)
+expect_contains("${partial_bytes}"
+                "\"incomplete\":{\"shard_count\":4,\"missing_shards\":[1],\"attempts\":[2]}"
+                "--allow-partial provenance")
+# ...which merge refuses to --check...
+run_cli(FALSE - merge "${WORK_DIR}/partial.json" --check "${BASELINE}")
+expect_contains("${cli_err}" "incomplete" "merge --check of a partial result")
+# ...but completes back to the golden bytes once the missing shard arrives.
+run_cli(TRUE - sweep "${GRAPH}" 0.05 20 --shard 1/4 --json "${WORK_DIR}/s1.json")
+run_cli(TRUE - merge "${WORK_DIR}/partial.json" "${WORK_DIR}/s1.json"
+        --json "${WORK_DIR}/recovered.json" --check "${BASELINE}")
+expect_golden("${WORK_DIR}/recovered.json" "partial + missing shard merge")
+
+# 3. Checkpoint/resume: kill shard 3 with no retries; the other shards'
+# outputs persist in the checkpoint dir and the rerun resumes from them,
+# byte-identical to an uninterrupted run.
+set(CKPT "${WORK_DIR}/ckpt")
+run_cli(FALSE crash:3:* ${SWEEP} --retries 0 --checkpoint-dir "${CKPT}"
+        --json "${WORK_DIR}/resumed.json")
+foreach(i 0 1 2)
+  if(NOT EXISTS "${CKPT}/shard_${i}_of_4.json")
+    message(FATAL_ERROR "checkpoint dir lost shard ${i} after the crashed run")
+  endif()
+endforeach()
+run_cli(TRUE - ${SWEEP} --retries 0 --checkpoint-dir "${CKPT}"
+        --json "${WORK_DIR}/resumed.json")
+expect_contains("${cli_out}" "resumed 3 of 4 shards" "checkpoint resume")
+expect_golden("${WORK_DIR}/resumed.json" "checkpoint resume")
+# A rerun with different parameters must be rejected by checkpoint.meta.
+run_cli(FALSE - sweep "${GRAPH}" 0.05 10 --procs 4 --checkpoint-dir "${CKPT}")
+expect_contains("${cli_err}" "different sweep" "checkpoint.meta guard")
+
+# 4a. Merge diagnostics: a truncated input is named with its byte offset;
+# an empty one as empty.
+file(READ "${WORK_DIR}/s1.json" s1_bytes)
+string(SUBSTRING "${s1_bytes}" 0 200 s1_head)
+file(WRITE "${WORK_DIR}/truncated.json" "${s1_head}")
+run_cli(FALSE - merge "${WORK_DIR}/truncated.json")
+expect_contains("${cli_err}" "truncated.json" "truncated-input diagnostic")
+expect_contains("${cli_err}" "byte offset 200" "truncated-input diagnostic")
+file(WRITE "${WORK_DIR}/empty.json" "")
+run_cli(FALSE - merge "${WORK_DIR}/empty.json")
+expect_contains("${cli_err}" "empty file (0 bytes)" "empty-input diagnostic")
+
+# 4b. Flag validation: supervision flags require --procs; malformed
+# POFL_FAULT specs are hard worker errors, not silent no-ops.
+run_cli(FALSE - sweep "${GRAPH}" 0.05 20 --retries 2)
+run_cli(FALSE - sweep "${GRAPH}" 0.05 20 --allow-partial)
+run_cli(FALSE - sweep "${GRAPH}" 0.05 20 --shard 0/2 --shard-timeout 5)
+run_cli(FALSE - ${SWEEP} --retries -1)
+run_cli(FALSE - ${SWEEP} --retries junk)
+run_cli(FALSE - ${SWEEP} --backoff-ms -5)
+run_cli(FALSE - ${SWEEP} --shard-timeout 0)
+run_cli(FALSE - ${SWEEP} --shard-timeout 1e9)
+run_cli(FALSE explode:1:0 sweep "${GRAPH}" 0.05 20 --shard 0/4
+        --json "${WORK_DIR}/badspec.json")
+expect_contains("${cli_err}" "malformed POFL_FAULT" "bad fault spec")
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "cli fault smoke OK")
