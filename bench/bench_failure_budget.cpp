@@ -24,7 +24,7 @@ int main() {
       const auto constructive = attack_k7(k7, *pattern, s, t);
       const auto exact = find_minimum_defeat(k7, *pattern, s, t, 15);
       const int cb = constructive ? constructive->defeat.failures.count() : -1;
-      const int eb = exact ? exact->failures.count() : -1;
+      const int eb = exact.defeated() ? exact.failures.count() : -1;
       worst_exact = std::max(worst_exact, eb);
       std::printf("%-28s %12d %12d\n", pattern->name().c_str(), cb, eb);
     }
@@ -42,7 +42,7 @@ int main() {
       const auto constructive = attack_k44(k44, *pattern, s, t);
       const auto exact = find_minimum_defeat(k44, *pattern, s, t, 11);
       const int cb = constructive ? constructive->defeat.failures.count() : -1;
-      const int eb = exact ? exact->failures.count() : -1;
+      const int eb = exact.defeated() ? exact.failures.count() : -1;
       worst_exact = std::max(worst_exact, eb);
       std::printf("%-28s %12d %12d\n", pattern->name().c_str(), cb, eb);
     }

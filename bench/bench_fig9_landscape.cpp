@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
       if (!owns_cell()) continue;
       const auto cell = defeat_cell(
           g, RoutingModel::kTouring,
-          [&](const ForwardingPattern& p) { return attack_touring(g, p).has_value(); }, log,
+          [&](const ForwardingPattern& p) { return attack_touring(g, p).defeated(); }, log,
           "touring", name);
       std::printf("  %-35s %s\n", name, cell.c_str());
     }
@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
           graph, RoutingModel::kDestinationOnly,
           [&](const ForwardingPattern& p) {
             return find_minimum_defeat_any_pair(graph, p, graph.num_edges(), &oracle)
-                .has_value();
+                .defeated();
           },
           log, "destination", name);
       std::printf("  %-35s %s\n", name, cell.c_str());
@@ -198,7 +198,7 @@ int main(int argc, char** argv) {
       const auto cell = defeat_cell(
           k7, RoutingModel::kSourceDestination,
           [&](const ForwardingPattern& p) {
-            return find_minimum_defeat(k7, p, 0, 6, 15, &oracle).has_value();
+            return find_minimum_defeat(k7, p, 0, 6, 15, &oracle).defeated();
           },
           log, "source-destination", "K7");
       std::printf("  %-35s %s\n", "K7 (<=15 failures, Cor. 3)", cell.c_str());
@@ -209,7 +209,7 @@ int main(int argc, char** argv) {
       const auto cell = defeat_cell(
           k44, RoutingModel::kSourceDestination,
           [&](const ForwardingPattern& p) {
-            return find_minimum_defeat(k44, p, 0, 7, 11, &oracle).has_value();
+            return find_minimum_defeat(k44, p, 0, 7, 11, &oracle).defeated();
           },
           log, "source-destination", "K4,4");
       std::printf("  %-35s %s\n", "K4,4 (<=11 failures, Cor. 4)", cell.c_str());

@@ -50,6 +50,7 @@
 #include "graph/planarity.hpp"
 #include "resilience/algorithm1_k5.hpp"
 #include "routing/simulator.hpp"
+#include "search/min_defeat.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_json.hpp"
@@ -511,6 +512,73 @@ int main(int argc, char** argv) {
     json.end_object();
   }
 
+  // -- minimum-defeat search: branch-and-bound vs stratified enumeration -----
+  //
+  // The exact question both arms answer, on the fat-tree k=6 pairs below:
+  // smallest failure set that defeats the shortest-path failover pattern, and
+  // the canonically first such set as the witness. The arms are the two
+  // strategies of the same min_defeat_search entry point, so the witness
+  // comparison is a semantic pin, not a formality: branch-and-bound must
+  // reproduce the enumerator's witness bit for bit while skipping almost all
+  // of its ~117M leaf tests (the cardinality-6 pair dominates; its strata
+  // |F| <= 5 alone are ~114M masks the bounds let the search never visit).
+
+  {
+    const auto md_pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, ft);
+    const std::pair<VertexId, VertexId> md_pairs[] = {{0, 9}, {0, 3}};
+
+    double enum_seconds = 0.0;
+    double bnb_seconds = 0.0;
+    int max_cardinality = 0;
+    bool witnesses_identical = true;
+    std::printf("\n=== Minimum-defeat search (fat-tree k=6, shortest-path pattern) ===\n");
+    std::printf("%-8s %6s | %12s %12s %10s\n", "pair", "min|F|", "enum (s)", "b&b (s)", "same");
+    for (const auto& [s, t] : md_pairs) {
+      // Branch-and-bound is milliseconds: best of three. Enumeration is the
+      // expensive arm (tens of seconds on the hard pair): measured once.
+      double bnb_best = -1.0;
+      MinDefeatResult bnb;
+      for (int round = 0; round < 3; ++round) {
+        const auto start = Clock::now();
+        MinDefeatResult r = min_defeat_search(ft, *md_pattern, s, t, ft.num_edges());
+        const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+        if (bnb_best < 0.0 || elapsed < bnb_best) {
+          bnb_best = elapsed;
+          bnb = std::move(r);
+        }
+      }
+      SearchOptions enum_opts;
+      enum_opts.strategy = SearchStrategy::kEnumerate;
+      const auto start = Clock::now();
+      const MinDefeatResult en = min_defeat_search(ft, *md_pattern, s, t, ft.num_edges(),
+                                                   enum_opts);
+      const double enum_elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+
+      const bool identical = bnb.status == en.status && bnb.failures == en.failures;
+      witnesses_identical = witnesses_identical && identical;
+      const int cardinality = bnb.defeated() ? bnb.failures.count() : -1;
+      max_cardinality = std::max(max_cardinality, cardinality);
+      enum_seconds += enum_elapsed;
+      bnb_seconds += bnb_best;
+      std::printf("%d,%-6d %6d | %12.3f %12.3f %10s\n", s, t, cardinality, enum_elapsed,
+                  bnb_best, identical ? "yes" : "WITNESS MISMATCH");
+      all_identical = all_identical && identical;
+    }
+    const double md_speedup = bnb_seconds > 0.0 ? enum_seconds / bnb_seconds : 0.0;
+    std::printf("total: enum %.3f s, b&b %.3f s  ->  %.0fx\n", enum_seconds, bnb_seconds,
+                md_speedup);
+
+    json.key("min_defeat_fattree").begin_object();
+    json.key("graph").value("fat-tree-k6");
+    json.key("pattern").value("shortest-path");
+    json.key("enum_seconds").value(enum_seconds);
+    json.key("bnb_seconds").value(bnb_seconds);
+    json.key("speedup").value(md_speedup);
+    json.key("max_cardinality").value(max_cardinality);
+    json.key("witnesses_identical").value(witnesses_identical);
+    json.end_object();
+  }
+
   // -- micro rows (primitive costs the reproduction leans on) ---------------
 
   std::printf("\n=== Microbenchmarks ===\n");
@@ -563,7 +631,9 @@ int main(int argc, char** argv) {
 
   if (!args.json_path.empty() && !write_json_file(args.json_path, json.str())) return 1;
   if (!all_identical) {
-    std::fprintf(stderr, "error: fast-path SweepStats diverged from the baseline\n");
+    std::fprintf(stderr,
+                 "error: an arm diverged (fast-path SweepStats vs baseline, or "
+                 "branch-and-bound witness vs enumeration)\n");
     return 1;
   }
   return 0;

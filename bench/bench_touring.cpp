@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     if (!outer) {
       for (const auto& p : make_pattern_corpus(RoutingModel::kTouring, g, 2, trial)) {
         ++corpus_size;
-        if (attack_touring(g, *p).has_value()) ++defeated;
+        if (attack_touring(g, *p).defeated()) ++defeated;
       }
     }
     const bool consistent = outer ? rh_ok : (defeated == corpus_size);

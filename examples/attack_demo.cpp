@@ -44,9 +44,9 @@ int main() {
   std::printf("Ground truth for one pattern: minimum defeating failure set by\n"
               "exhaustive search (Corollary 3 bounds it by 15)...\n");
   const auto exact = find_minimum_defeat(k7, *corpus[0], s, t, 15);
-  if (exact.has_value()) {
+  if (exact.defeated()) {
     std::printf("minimum defeat for %s: %d failures\n", corpus[0]->name().c_str(),
-                exact->failures.count());
+                exact.failures.count());
   }
   return 0;
 }

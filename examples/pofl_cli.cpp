@@ -80,6 +80,7 @@
 #include "attacks/pattern_corpus.hpp"
 #include "classify/classifier.hpp"
 #include "classify/zoo.hpp"
+#include "graph/bitmask.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/connectivity_oracle.hpp"
 #include "graph/graphml.hpp"
@@ -101,6 +102,10 @@ int usage() {
                "usage: pofl_cli classify <file.graphml>\n"
                "       pofl_cli destinations <file.graphml>\n"
                "       pofl_cli attack <file.graphml> <s> <t>\n"
+               "       pofl_cli min-defeat <file.graphml> <pattern> <s,t> [--budget <k>] "
+               "[--enumerate] [--json <path>] [--check <baseline.json>]\n"
+               "                (pattern: shortest-path | id-cyclic | bounce-shy | "
+               "random-cyclic:<seed> | random-stateless:<seed>)\n"
                "       pofl_cli export-zoo <directory>\n"
                "       pofl_cli sweep <file.graphml> <p> <trials> [--json <path>] "
                "[--per-pair] [--check <baseline.json>] [--threads <n>] "
@@ -178,17 +183,17 @@ int cmd_attack(const std::string& path, VertexId s, VertexId t) {
               net->name.c_str(), s, t);
   if (g.num_edges() <= 22) {
     const auto defeat = find_minimum_defeat(g, *pattern, s, t, g.num_edges());
-    if (!defeat.has_value()) {
+    if (!defeat.defeated()) {
       std::printf("no defeating failure set exists for this pair: the pattern is "
                   "perfectly resilient here.\n");
       return 0;
     }
-    std::printf("minimum defeating failure set (%d links):\n", defeat->failures.count());
-    for (int e : defeat->failures.to_vector()) {
+    std::printf("minimum defeating failure set (%d links):\n", defeat.failures.count());
+    for (int e : defeat.failures.to_vector()) {
       std::printf("  (%d,%d)\n", g.edge(e).u, g.edge(e).v);
     }
-    std::printf("packet outcome: %s; walk:", to_string(defeat->routing.outcome));
-    for (VertexId v : defeat->routing.walk) std::printf(" %d", v);
+    std::printf("packet outcome: %s; walk:", to_string(defeat.routing.outcome));
+    for (VertexId v : defeat.routing.walk) std::printf(" %d", v);
     std::printf("\n");
     return 0;
   }
@@ -204,6 +209,118 @@ int cmd_attack(const std::string& path, VertexId s, VertexId t) {
   std::printf("defeating failure set with %d links found by sampling; outcome: %s\n",
               violation->failures.count(), to_string(violation->routing.outcome));
   return 0;
+}
+
+// ---- min-defeat ------------------------------------------------------------
+
+int emit_and_check(const std::string& serialized, const std::string& json_path,
+                   const std::string& check_path);  // defined with the sweep machinery below
+
+/// Builds the named forwarding pattern for the min-defeat command. Specs match
+/// the corpus families: bare names for the deterministic patterns, a
+/// ":<seed>" suffix for the randomized ones.
+std::unique_ptr<ForwardingPattern> make_named_pattern(const std::string& spec, const Graph& g) {
+  constexpr RoutingModel kModel = RoutingModel::kSourceDestination;
+  if (spec == "shortest-path") return make_shortest_path_pattern(kModel, g);
+  if (spec == "id-cyclic") return make_id_cyclic_pattern(kModel);
+  if (spec == "bounce-shy") return make_bounce_shy_pattern(kModel, g);
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    long seed = 0;
+    if (!parse_long(spec.c_str() + colon + 1, seed) || seed < 0) {
+      std::fprintf(stderr, "error: pattern seed must be a non-negative integer in '%s'\n",
+                   spec.c_str());
+      return nullptr;
+    }
+    const std::string family = spec.substr(0, colon);
+    if (family == "random-cyclic") {
+      return make_random_cyclic_pattern(kModel, g, static_cast<uint64_t>(seed));
+    }
+    if (family == "random-stateless") {
+      return make_random_stateless_pattern(kModel, static_cast<uint64_t>(seed));
+    }
+  }
+  std::fprintf(stderr,
+               "error: unknown pattern '%s' (want shortest-path, id-cyclic, bounce-shy, "
+               "random-cyclic:<seed> or random-stateless:<seed>)\n",
+               spec.c_str());
+  return nullptr;
+}
+
+struct MinDefeatConfig {
+  std::string graph_path;
+  std::string pattern_spec;
+  VertexId source = kNoVertex;
+  VertexId destination = kNoVertex;
+  int budget = -1;  // -1 = full edge budget of the loaded graph
+  bool enumerate = false;
+  std::string json_path;
+  std::string check_path;
+};
+
+int cmd_min_defeat(const MinDefeatConfig& cfg) {
+  const auto net = load(cfg.graph_path);
+  if (!net.has_value()) return 1;
+  const Graph& g = net->graph;
+  if (cfg.source < 0 || cfg.destination < 0 || cfg.source >= g.num_vertices() ||
+      cfg.destination >= g.num_vertices() || cfg.source == cfg.destination) {
+    std::fprintf(stderr, "error: invalid pair %d,%d for a %d-vertex graph\n", cfg.source,
+                 cfg.destination, g.num_vertices());
+    return 1;
+  }
+  if (g.num_edges() > EdgeMask::kMaxBits) {
+    std::fprintf(stderr, "error: %s has %d links, above the exact-search limit of %d\n",
+                 net->name.c_str(), g.num_edges(), EdgeMask::kMaxBits);
+    return 1;
+  }
+  const auto pattern = make_named_pattern(cfg.pattern_spec, g);
+  if (pattern == nullptr) return 2;
+
+  SearchOptions opts;
+  if (cfg.enumerate) opts.strategy = SearchStrategy::kEnumerate;
+  const int budget = cfg.budget >= 0 ? cfg.budget : g.num_edges();
+  const auto result = min_defeat_search(g, *pattern, cfg.source, cfg.destination, budget, opts);
+
+  std::printf("min-defeat on %s, pattern %s, %d -> %d (budget %d, %s):\n", net->name.c_str(),
+              cfg.pattern_spec.c_str(), cfg.source, cfg.destination, budget,
+              result.telemetry.strategy.c_str());
+  switch (result.status) {
+    case MinDefeatStatus::kDefeated: {
+      std::printf("  minimum defeating failure set: %d links\n", result.failures.count());
+      for (int e : result.failures.to_vector()) {
+        std::printf("    link %d = (%d,%d)\n", e, g.edge(e).u, g.edge(e).v);
+      }
+      std::printf("  packet outcome: %s after %d hops\n", to_string(result.routing.outcome),
+                  result.routing.hops);
+      break;
+    }
+    case MinDefeatStatus::kPerfectlyResilient:
+      std::printf("  no defeating failure set exists: the pair is perfectly resilient.\n");
+      break;
+    case MinDefeatStatus::kNoDefeatWithinBudget:
+      std::printf("  no defeating failure set with at most %d links (larger ones may exist).\n",
+                  budget);
+      break;
+  }
+  std::printf("  search: %lld expanded, %lld leaves verified, %lld bound prunes, min cut %d\n",
+              static_cast<long long>(result.telemetry.nodes_expanded),
+              static_cast<long long>(result.telemetry.leaves_verified),
+              static_cast<long long>(result.telemetry.pruned_bound),
+              result.telemetry.root_min_cut);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("min_defeat");
+  w.begin_object();
+  w.key("graph");
+  w.value(net->name);
+  w.key("pattern");
+  w.value(cfg.pattern_spec);
+  w.key("result");
+  append_json(w, result, g);
+  w.end_object();
+  w.end_object();
+  return emit_and_check(w.str(), cfg.json_path, cfg.check_path);
 }
 
 // ---- sweep -----------------------------------------------------------------
@@ -783,6 +900,43 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_attack(argv[2], static_cast<VertexId>(s), static_cast<VertexId>(t));
+  }
+  if (cmd == "min-defeat" && argc >= 5) {
+    MinDefeatConfig cfg;
+    cfg.graph_path = argv[2];
+    cfg.pattern_spec = argv[3];
+    long s = 0;
+    long t = 0;
+    const std::string pair = argv[4];
+    const auto comma = pair.find(',');
+    if (comma == std::string::npos || !parse_long(pair.substr(0, comma).c_str(), s) ||
+        !parse_long(pair.substr(comma + 1).c_str(), t)) {
+      std::fprintf(stderr, "error: pair must be '<s>,<t>' with integer ids, got '%s'\n",
+                   argv[4]);
+      return 2;
+    }
+    cfg.source = static_cast<VertexId>(s);
+    cfg.destination = static_cast<VertexId>(t);
+    for (int i = 5; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+        long budget = 0;
+        if (!parse_long(argv[++i], budget) || budget < 0 || budget > 512) {
+          std::fprintf(stderr, "error: --budget needs an integer in [0, 512], got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        cfg.budget = static_cast<int>(budget);
+      } else if (std::strcmp(argv[i], "--enumerate") == 0) {
+        cfg.enumerate = true;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        cfg.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+        cfg.check_path = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_min_defeat(cfg);
   }
   if (cmd == "export-zoo") return cmd_export_zoo(argv[2]);
   if (cmd == "sweep" && argc >= 5) {

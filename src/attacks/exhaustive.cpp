@@ -1,112 +1,26 @@
 #include "attacks/exhaustive.hpp"
 
-#include <optional>
-
-#include "graph/bitmask.hpp"
-#include "graph/incremental_connectivity.hpp"
-
 namespace pofl {
 
-std::optional<Defeat> find_minimum_defeat(const Graph& g, const ForwardingPattern& pattern,
-                                          VertexId source, VertexId destination, int max_budget,
-                                          ConnectivityOracle* oracle) {
-  // Always-on capacity gate (the old `assert(<= 30)` compiled out of
-  // Release builds); the enumeration itself is width-generic up to
-  // EdgeMask::kMaxBits edges.
-  EdgeMask::check_capacity(g.num_edges(), "find_minimum_defeat");
-  std::optional<Defeat> found;
-  const SimContext ctx(g);
-  RoutingWorkspace ws;
-  // Without a shared oracle, connectivity rides the rollback union-find:
-  // consecutive Gosper masks differ in a low-id suffix, so each step
-  // replays O(1) edge levels instead of a fresh BFS per failure set.
-  std::optional<IncrementalConnectivity> inc;
-  if (oracle == nullptr) inc.emplace(g);
-  for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
-    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
-      const IdSet failures = edge_mask_to_set(g, mask);
-      bool alive;
-      if (oracle != nullptr) {
-        alive = oracle->connected(source, destination, failures);
-      } else {
-        inc->move_to(failures);
-        alive = inc->connected(source, destination);
-      }
-      if (!alive) return false;
-      const Header header{source, destination};
-      if (route_packet_fast(ctx, pattern, failures, source, header, ws).outcome ==
-          RoutingOutcome::kDelivered) {
-        return false;
-      }
-      // Defeated: re-simulate just this packet to record the witness walk.
-      found = Defeat{failures, source, destination,
-                     route_packet(ctx, pattern, failures, source, header, ws)};
-      return true;
-    });
-  }
-  return found;
+MinDefeatResult find_minimum_defeat(const Graph& g, const ForwardingPattern& pattern,
+                                    VertexId source, VertexId destination, int max_budget,
+                                    ConnectivityOracle* oracle, const SearchOptions& options) {
+  SearchOptions opts = options;
+  if (oracle != nullptr) opts.oracle = oracle;
+  return min_defeat_search(g, pattern, source, destination, max_budget, opts);
 }
 
-std::optional<Defeat> find_minimum_defeat_any_pair(const Graph& g,
-                                                   const ForwardingPattern& pattern,
-                                                   int max_budget, ConnectivityOracle* oracle) {
-  EdgeMask::check_capacity(g.num_edges(), "find_minimum_defeat_any_pair");
-  std::optional<Defeat> found;
-  const SimContext ctx(g);
-  RoutingWorkspace ws;
-  std::optional<IncrementalConnectivity> inc;
-  if (oracle == nullptr) inc.emplace(g);
-  for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
-    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
-      const IdSet failures = edge_mask_to_set(g, mask);
-      std::shared_ptr<const std::vector<int>> cached;
-      if (oracle != nullptr) {
-        cached = oracle->components_of(failures);
-      } else {
-        inc->move_to(failures);
-      }
-      const auto same_component = [&](VertexId s, VertexId t) {
-        return cached != nullptr
-                   ? (*cached)[static_cast<size_t>(s)] == (*cached)[static_cast<size_t>(t)]
-                   : inc->connected(s, t);
-      };
-      for (VertexId s = 0; s < g.num_vertices(); ++s) {
-        for (VertexId t = 0; t < g.num_vertices(); ++t) {
-          if (s == t || !same_component(s, t)) continue;
-          if (route_packet_fast(ctx, pattern, failures, s, Header{s, t}, ws).outcome !=
-              RoutingOutcome::kDelivered) {
-            found = Defeat{failures, s, t,
-                           route_packet(ctx, pattern, failures, s, Header{s, t}, ws)};
-            return true;
-          }
-        }
-      }
-      return false;
-    });
-  }
-  return found;
+MinDefeatResult find_minimum_defeat_any_pair(const Graph& g, const ForwardingPattern& pattern,
+                                             int max_budget, ConnectivityOracle* oracle,
+                                             const SearchOptions& options) {
+  SearchOptions opts = options;
+  if (oracle != nullptr) opts.oracle = oracle;
+  return min_defeat_search_any_pair(g, pattern, max_budget, opts);
 }
 
-std::optional<Defeat> find_minimum_touring_defeat(const Graph& g,
-                                                  const ForwardingPattern& pattern,
-                                                  int max_budget) {
-  EdgeMask::check_capacity(g.num_edges(), "find_minimum_touring_defeat");
-  std::optional<Defeat> found;
-  const SimContext ctx(g);
-  RoutingWorkspace ws;
-  for (int k = 0; k <= max_budget && !found.has_value(); ++k) {
-    for_each_k_subset(g.num_edges(), k, [&](const EdgeMask& mask) {
-      const IdSet failures = edge_mask_to_set(g, mask);
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        if (!tour_packet_fast(ctx, pattern, failures, v, ws).success) {
-          found = Defeat{failures, v, kNoVertex, {}};
-          return true;
-        }
-      }
-      return false;
-    });
-  }
-  return found;
+MinDefeatResult find_minimum_touring_defeat(const Graph& g, const ForwardingPattern& pattern,
+                                            int max_budget, const SearchOptions& options) {
+  return min_touring_defeat_search(g, pattern, max_budget, options);
 }
 
 }  // namespace pofl

@@ -16,7 +16,6 @@
 //    Lemmas 3 and 4 modulo Lemma 1.
 
 #include <cstdint>
-#include <optional>
 
 #include "attacks/exhaustive.hpp"
 #include "graph/graph.hpp"
@@ -25,9 +24,9 @@
 namespace pofl {
 
 /// Constructive touring defeat (tries the proof's failure sets over all role
-/// labelings, verified; falls back to the exhaustive adversary).
-[[nodiscard]] std::optional<Defeat> attack_touring(const Graph& g,
-                                                   const ForwardingPattern& pattern);
+/// labelings, verified; falls back to the exhaustive adversary). Typed:
+/// .defeated() is the old has_value().
+[[nodiscard]] MinDefeatResult attack_touring(const Graph& g, const ForwardingPattern& pattern);
 
 struct TouringProverResult {
   long long patterns_enumerated = 0;

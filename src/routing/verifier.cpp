@@ -66,18 +66,48 @@ constexpr size_t kLocalOracleEntries = size_t{1} << 16;
                    finding->scenario.destination, finding->routing, finding->tour};
 }
 
+/// Whether the min-defeat search can answer this exhaustive-regime question:
+/// the full increasing-|F| stream from stratum 0 (no min_failures window)
+/// with the default strategy. The search's witness is bit-identical to the
+/// engine's, so callers cannot tell the difference — except in speed.
+[[nodiscard]] bool use_search(const Graph& g, const VerifyOptions& opts) {
+  return use_exhaustive(g, opts) && !opts.min_failures.has_value() &&
+         opts.search != SearchStrategy::kEnumerate;
+}
+
+[[nodiscard]] std::optional<Violation> violation_from(MinDefeatResult&& r) {
+  if (!r.defeated()) return std::nullopt;
+  return Violation{std::move(r.failures), r.source, r.destination, std::move(r.routing), {}};
+}
+
+[[nodiscard]] SearchOptions search_options_from(const VerifyOptions& opts) {
+  SearchOptions search_opts;
+  search_opts.strategy = opts.search;
+  search_opts.oracle = opts.oracle;
+  return search_opts;
+}
+
 }  // namespace
 
 std::optional<Violation> find_resilience_violation_for_pair(const Graph& g,
                                                             const ForwardingPattern& pattern,
                                                             VertexId source, VertexId destination,
                                                             const VerifyOptions& opts) {
+  if (use_search(g, opts)) {
+    return violation_from(min_defeat_search(g, pattern, source, destination,
+                                            opts.max_failures.value_or(g.num_edges()),
+                                            search_options_from(opts)));
+  }
   return run_find(g, pattern, opts, {{source, destination}}, nullptr, /*want_oracle=*/true);
 }
 
 std::optional<Violation> find_resilience_violation(const Graph& g,
                                                    const ForwardingPattern& pattern,
                                                    const VerifyOptions& opts) {
+  if (use_search(g, opts)) {
+    return violation_from(min_defeat_search_any_pair(
+        g, pattern, opts.max_failures.value_or(g.num_edges()), search_options_from(opts)));
+  }
   return run_find(g, pattern, opts, all_ordered_pairs(g), nullptr, /*want_oracle=*/true);
 }
 
@@ -85,6 +115,16 @@ std::optional<Violation> find_r_tolerance_violation(const Graph& g,
                                                     const ForwardingPattern& pattern,
                                                     VertexId source, VertexId destination, int r,
                                                     const VerifyOptions& opts) {
+  // r < 1 would be a vacuous promise, which the search spells differently
+  // (its r <= 1 means plain connectivity) — leave that corner to the engine.
+  if (use_search(g, opts) && r >= 1) {
+    SearchOptions search_opts = search_options_from(opts);
+    search_opts.promise_r = r;
+    search_opts.oracle = nullptr;  // the component cache answers r = 1 only
+    return violation_from(min_defeat_search(g, pattern, source, destination,
+                                            opts.max_failures.value_or(g.num_edges()),
+                                            search_opts));
+  }
   PromiseCheck promise = [r](const Graph& graph, const Scenario& sc) {
     return edge_connectivity(graph, sc.source, sc.destination, sc.failures) >= r;
   };

@@ -25,6 +25,7 @@
 #include "graph/graph.hpp"
 #include "routing/forwarding.hpp"
 #include "routing/simulator.hpp"
+#include "search/min_defeat.hpp"
 
 namespace pofl {
 
@@ -46,6 +47,13 @@ struct VerifyOptions {
   /// create a private one per call (pairs under the same failure set share
   /// its component BFS); pass one in to also share it across calls.
   ConnectivityOracle* oracle = nullptr;
+  /// How exhaustive-regime questions are answered: kAuto/kBranchAndBound
+  /// route the pair, all-pairs and r-tolerance finders through
+  /// search/min_defeat (same canonical witness, usually far fewer leaf
+  /// tests); kEnumerate keeps the legacy engine sweep. Finders the search
+  /// cannot express (sampling, min_failures windows, custom promises,
+  /// touring) always use the engine.
+  SearchStrategy search = SearchStrategy::kAuto;
 };
 
 struct Violation {

@@ -1,0 +1,762 @@
+#include "search/min_defeat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "attacks/pattern_corpus.hpp"
+#include "graph/bitmask.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/incremental_connectivity.hpp"
+#include "sim/sweep_json.hpp"
+
+namespace pofl {
+
+const char* to_string(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kAuto:
+      return "auto";
+    case SearchStrategy::kBranchAndBound:
+      return "branch-and-bound";
+    case SearchStrategy::kEnumerate:
+      return "enumerate";
+  }
+  return "?";
+}
+
+const char* to_string(MinDefeatStatus s) {
+  switch (s) {
+    case MinDefeatStatus::kDefeated:
+      return "defeated";
+    case MinDefeatStatus::kNoDefeatWithinBudget:
+      return "no-defeat-within-budget";
+    case MinDefeatStatus::kPerfectlyResilient:
+      return "perfectly-resilient";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max();
+
+/// Lowest id in the set, -1 when empty (word-level ctz scan).
+int lowest_id(const IdSet& s) {
+  for (uint32_t w = 0; w < s.num_words(); ++w) {
+    if (s.word(w) != 0) return static_cast<int>(w) * 64 + __builtin_ctzll(s.word(w));
+  }
+  return -1;
+}
+
+/// Mutable state shared by one search call: simulation context/workspace,
+/// the promise evaluator (custom predicate > r-tolerance min-cut > shared
+/// oracle > rollback union-find, mirroring the legacy finders) and the
+/// telemetry counters.
+struct SearchCtx {
+  const Graph& g;
+  const ForwardingPattern& pattern;
+  const SearchOptions& opts;
+  int budget;
+  SimContext sim;
+  RoutingWorkspace ws;
+  std::optional<IncrementalConnectivity> inc;
+  SearchTelemetry tel;
+  /// Set when a bound prune discarded sets above the budget while no
+  /// incumbent existed: "no defeat within budget" then cannot be upgraded
+  /// to a perfect-resilience proof.
+  bool budget_limited = false;
+
+  SearchCtx(const Graph& graph, const ForwardingPattern& p, const SearchOptions& o, int b)
+      : g(graph), pattern(p), opts(o), budget(b), sim(graph) {
+    if (!opts.promise && opts.promise_r <= 1 && opts.oracle == nullptr) inc.emplace(graph);
+  }
+
+  bool promise_holds(VertexId s, VertexId t, const IdSet& f) {
+    if (opts.promise) return opts.promise(g, s, t, f);
+    if (opts.promise_r > 1) return edge_connectivity(g, s, t, f) >= opts.promise_r;
+    if (opts.oracle != nullptr) return opts.oracle->connected(s, t, f);
+    inc->move_to(f);
+    return inc->connected(s, t);
+  }
+
+  /// The exact leaf predicate of the legacy enumerator: promise intact,
+  /// delivery broken.
+  bool defeats(VertexId s, VertexId t, const IdSet& f) {
+    ++tel.leaves_verified;
+    if (!promise_holds(s, t, f)) return false;
+    return route_packet_fast(sim, pattern, f, s, Header{s, t}, ws).outcome !=
+           RoutingOutcome::kDelivered;
+  }
+
+  bool tour_fails(VertexId start, const IdSet& f) {
+    ++tel.leaves_verified;
+    return !tour_packet_fast(sim, pattern, f, start, ws).success;
+  }
+};
+
+struct Incumbent {
+  int size = kInfinity;
+  IdSet failures;
+};
+
+/// Adopts `f` (already verified to defeat) when it beats the incumbent.
+void adopt_incumbent(SearchCtx& c, Incumbent& best, const IdSet& f) {
+  const int k = f.count();
+  if (k > c.budget || k >= best.size) return;
+  best.size = k;
+  best.failures = f;
+  c.tel.incumbent_trajectory.push_back(k);
+}
+
+// ---- incumbent seeding (upper bounds) --------------------------------------
+
+/// Greedy upper-bound probe: repeatedly fail one edge of the current
+/// delivered walk — keeping the promise alive — until routing breaks or the
+/// budget runs out. `from_back` cuts the walk edge nearest the destination
+/// first; the two directions reach different local minima.
+void greedy_walk_cut(SearchCtx& c, VertexId s, VertexId t, bool from_back, Incumbent& best) {
+  IdSet f = c.g.empty_edge_set();
+  for (;;) {
+    if (!c.promise_holds(s, t, f)) return;
+    const RoutingResult r = route_packet(c.sim, c.pattern, f, s, Header{s, t}, c.ws);
+    if (r.outcome != RoutingOutcome::kDelivered) {
+      adopt_incumbent(c, best, f);
+      return;
+    }
+    if (f.count() >= c.budget) return;
+    const int hops = static_cast<int>(r.walk.size()) - 1;
+    bool cut = false;
+    for (int i = 0; i < hops && !cut; ++i) {
+      const int wi = from_back ? hops - 1 - i : i;
+      const std::optional<EdgeId> e = c.g.edge_between(r.walk[wi], r.walk[wi + 1]);
+      if (!e.has_value() || f.contains(*e)) continue;
+      f.insert(*e);
+      if (c.promise_holds(s, t, f)) {
+        cut = true;
+      } else {
+        f.erase(*e);
+      }
+    }
+    if (!cut) return;
+  }
+}
+
+void seed_pair_incumbents(SearchCtx& c, VertexId s, VertexId t, Incumbent& best) {
+  if (c.opts.upper_bound_candidates != nullptr) {
+    for (const IdSet& f : *c.opts.upper_bound_candidates) {
+      if (f.universe_size() != c.g.num_edges()) continue;
+      if (f.count() > c.budget || f.count() >= best.size) continue;
+      if (c.defeats(s, t, f)) adopt_incumbent(c, best, f);
+    }
+  }
+  if (!c.opts.seed_incumbents) return;
+  greedy_walk_cut(c, s, t, false, best);
+  greedy_walk_cut(c, s, t, true, best);
+  // Corpus-mined incumbents pay off where enumeration is binomial in m; on
+  // small graphs the search closes faster than the corpus warms up.
+  if (c.g.num_edges() > 24 && !c.opts.promise) {
+    for (const IdSet& f : corpus_upper_bound_candidates(c.g, c.pattern.model(), s, t, c.budget)) {
+      if (f.count() >= best.size) continue;
+      if (c.defeats(s, t, f)) adopt_incumbent(c, best, f);
+    }
+  }
+}
+
+// ---- branch and bound (phase A: prove the optimum cardinality) -------------
+
+/// One open node: every failure set of its subtree contains all of
+/// `include` and none of `exclude`.
+struct BnbNode {
+  IdSet include;
+  IdSet exclude;
+  int lb = 0;      // proven lower bound on any defeating set in the subtree
+  int64_t seq = 0; // insertion order: deterministic FIFO tie-break
+};
+
+struct NodeWorse {
+  bool operator()(const BnbNode& a, const BnbNode& b) const {
+    if (a.lb != b.lb) return a.lb > b.lb;
+    return a.seq > b.seq;
+  }
+};
+
+using OpenQueue = std::priority_queue<BnbNode, std::vector<BnbNode>, NodeWorse>;
+
+/// Best-first branch and bound for one (s, t) pair. On return (true),
+/// `best` holds the minimum defeating cardinality within budget (or stays
+/// at infinity when none exists — with c.budget_limited telling whether
+/// that proves perfect resilience). Returns false when the expansion cap
+/// was hit; the caller falls back to enumeration.
+bool bnb_pair_bound(SearchCtx& c, VertexId s, VertexId t, Incumbent& best) {
+  OpenQueue open;
+  int64_t seq = 0;
+  open.push(BnbNode{c.g.empty_edge_set(), c.g.empty_edge_set(), 0, seq++});
+  IdSet cover = c.g.empty_edge_set();
+  IdSet probe = c.g.empty_edge_set();
+  IdSet kept = c.g.empty_edge_set();
+  while (!open.empty()) {
+    const BnbNode node = open.top();
+    open.pop();
+    const int limit = std::min(best.size, c.budget + 1);
+    if (node.lb >= limit) {
+      // Best-first order: every other open node is at least as deep — the
+      // optimality (or emptiness) proof is complete. Bounds above m prove
+      // the subtree empty, so only bounds within the edge universe make the
+      // no-defeat verdict budget-limited.
+      if (best.size == kInfinity && node.lb > c.budget && node.lb <= c.g.num_edges()) {
+        c.budget_limited = true;
+      }
+      ++c.tel.pruned_bound;
+      break;
+    }
+    if (!c.promise_holds(s, t, node.include)) {
+      // Promises are anti-monotone in F: every superset is also broken.
+      ++c.tel.pruned_promise;
+      continue;
+    }
+    const RoutingResult walk = route_packet(c.sim, c.pattern, node.include, s, Header{s, t}, c.ws);
+    if (walk.outcome != RoutingOutcome::kDelivered) {
+      // The include set itself defeats; every other set in the subtree is a
+      // strict superset, so this is the subtree's minimum.
+      adopt_incumbent(c, best, node.include);
+      continue;
+    }
+    // Delivered: routing is local, so a failure set agreeing with `include`
+    // on every edge incident to the walk routes identically. Any defeating
+    // superset must therefore hit the free walk-visible cover.
+    cover.clear();
+    for (const VertexId v : walk.walk) cover |= c.sim.incident_mask(v);
+    cover -= node.include;
+    cover -= node.exclude;
+    if (cover.empty()) {
+      ++c.tel.pruned_cover;
+      continue;
+    }
+    ++c.tel.nodes_expanded;
+    if (c.opts.node_cap > 0 && c.tel.nodes_expanded > c.opts.node_cap) return false;
+    const int depth = node.include.count();
+    const std::vector<int> cover_ids = cover.to_vector();
+    // One-step lookahead over the cover: include + {e} either breaks the
+    // promise (e joins no defeating superset — anti-monotonicity — so its
+    // child dies), defeats outright (incumbent at depth + 1, child closed),
+    // or stays delivered — then the child must hit a cover of its own, a
+    // packing-style lower bound of depth + 2.
+    kept.clear();
+    for (const int e : cover_ids) {
+      probe = node.include;
+      probe.insert(e);
+      if (!c.promise_holds(s, t, probe)) {
+        ++c.tel.lookahead_excluded;
+        continue;
+      }
+      if (route_packet_fast(c.sim, c.pattern, probe, s, Header{s, t}, c.ws).outcome !=
+          RoutingOutcome::kDelivered) {
+        adopt_incumbent(c, best, probe);
+        continue;
+      }
+      kept.insert(e);
+    }
+    // Covering branching: child i includes cover edge e_i and excludes all
+    // earlier cover edges — a partition of the subtree's remaining sets.
+    IdSet child_exclude = node.exclude;
+    for (const int e : cover_ids) {
+      if (kept.contains(e)) {
+        const int child_lb = depth + 2;
+        if (child_lb >= std::min(best.size, c.budget + 1)) {
+          if (best.size == kInfinity && child_lb > c.budget && child_lb <= c.g.num_edges()) {
+            c.budget_limited = true;
+          }
+          ++c.tel.pruned_bound;
+        } else {
+          BnbNode child;
+          child.include = node.include;
+          child.include.insert(e);
+          child.exclude = child_exclude;
+          child.lb = child_lb;
+          child.seq = seq++;
+          open.push(std::move(child));
+        }
+      }
+      child_exclude.insert(e);
+    }
+  }
+  return true;
+}
+
+// ---- canonical reconstruction (phase B) ------------------------------------
+
+/// Reconstructs the numerically smallest defeating mask of exactly
+/// `remaining` + |include| edges — the witness the increasing-|F| Gosper
+/// walk reports first. Positions of the next (highest) failed edge are
+/// tried in ascending order, recursing below: that is exactly ascending
+/// numeric order over fixed-popcount masks. Prunes only ever discard
+/// non-defeating completions, so the first accepted leaf is canonical.
+bool canonical_pair_dfs(SearchCtx& c, VertexId s, VertexId t, int remaining, int max_bit,
+                        IdSet& include) {
+  ++c.tel.canonical_nodes;
+  if (remaining == 0) return c.defeats(s, t, include);
+  if (!c.promise_holds(s, t, include)) {
+    ++c.tel.pruned_promise;
+    return false;
+  }
+  int cover_min = -1;
+  const RoutingResult walk = route_packet(c.sim, c.pattern, include, s, Header{s, t}, c.ws);
+  if (walk.outcome == RoutingOutcome::kDelivered) {
+    // A defeating completion must fail a free walk-visible edge, and all of
+    // its new edges lie at or below the next chosen position p — so p must
+    // reach at least the lowest cover id.
+    IdSet cover = c.g.empty_edge_set();
+    for (const VertexId v : walk.walk) cover |= c.sim.incident_mask(v);
+    cover -= include;
+    cover_min = lowest_id(cover);
+    if (cover_min < 0) {
+      ++c.tel.pruned_cover;
+      return false;
+    }
+  }
+  const int start = std::max(remaining - 1, cover_min);
+  for (int p = start; p <= max_bit; ++p) {
+    include.insert(p);
+    if (canonical_pair_dfs(c, s, t, remaining - 1, p - 1, include)) return true;
+    include.erase(p);
+  }
+  return false;
+}
+
+IdSet canonical_pair_witness(SearchCtx& c, VertexId s, VertexId t, int kstar) {
+  IdSet include = c.g.empty_edge_set();
+  if (!canonical_pair_dfs(c, s, t, kstar, c.g.num_edges() - 1, include)) {
+    // Phase A proved a defeat of size kstar exists; not finding one here
+    // would mean an unsound prune.
+    throw std::logic_error("min_defeat_search: canonical reconstruction failed");
+  }
+  return include;
+}
+
+// ---- legacy enumeration (typed) --------------------------------------------
+
+/// The legacy increasing-|F| Gosper loop for one pair, with the typed
+/// result. Identical test order to attacks/exhaustive, hence the identical
+/// first witness. `cap` may sit below the budget when a fallback search
+/// already holds a verified incumbent of that size.
+void enumerate_pair_into(SearchCtx& c, VertexId s, VertexId t, int cap, MinDefeatResult& out) {
+  for (int k = 0; k <= cap && !out.defeated(); ++k) {
+    for_each_k_subset(c.g.num_edges(), k, [&](const EdgeMask& mask) {
+      const IdSet failures = edge_mask_to_set(c.g, mask);
+      if (!c.defeats(s, t, failures)) return false;
+      out.status = MinDefeatStatus::kDefeated;
+      out.failures = failures;
+      out.routing = route_packet(c.sim, c.pattern, failures, s, Header{s, t}, c.ws);
+      return true;
+    });
+  }
+}
+
+/// Legacy any-pair stratum scan at one cardinality: first mask (Gosper
+/// order) defeating any ordered pair, pairs scanned s-major / t-minor with
+/// the oracle's component labels when available — the exact legacy loop.
+bool any_pair_stratum_scan(SearchCtx& c, int k, MinDefeatResult& out) {
+  return for_each_k_subset(c.g.num_edges(), k, [&](const EdgeMask& mask) {
+    const IdSet failures = edge_mask_to_set(c.g, mask);
+    ++c.tel.leaves_verified;
+    std::shared_ptr<const std::vector<int>> cached;
+    if (c.opts.oracle != nullptr) {
+      cached = c.opts.oracle->components_of(failures);
+    } else {
+      c.inc->move_to(failures);
+    }
+    const auto same_component = [&](VertexId s, VertexId t) {
+      return cached != nullptr
+                 ? (*cached)[static_cast<size_t>(s)] == (*cached)[static_cast<size_t>(t)]
+                 : c.inc->connected(s, t);
+    };
+    for (VertexId s = 0; s < c.g.num_vertices(); ++s) {
+      for (VertexId t = 0; t < c.g.num_vertices(); ++t) {
+        if (s == t || !same_component(s, t)) continue;
+        if (route_packet_fast(c.sim, c.pattern, failures, s, Header{s, t}, c.ws).outcome !=
+            RoutingOutcome::kDelivered) {
+          out.status = MinDefeatStatus::kDefeated;
+          out.failures = failures;
+          out.source = s;
+          out.destination = t;
+          out.routing = route_packet(c.sim, c.pattern, failures, s, Header{s, t}, c.ws);
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+}
+
+/// Legacy touring stratum scan at one cardinality: first mask with some
+/// start whose surviving component is not toured, starts in ascending order.
+bool touring_stratum_scan(SearchCtx& c, int k, MinDefeatResult& out) {
+  return for_each_k_subset(c.g.num_edges(), k, [&](const EdgeMask& mask) {
+    const IdSet failures = edge_mask_to_set(c.g, mask);
+    ++c.tel.leaves_verified;
+    for (VertexId v = 0; v < c.g.num_vertices(); ++v) {
+      if (!tour_packet_fast(c.sim, c.pattern, failures, v, c.ws).success) {
+        out.status = MinDefeatStatus::kDefeated;
+        out.failures = failures;
+        out.source = v;
+        out.destination = kNoVertex;
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+// ---- touring branch and bound ----------------------------------------------
+
+/// Touring phase A for one start. Same skeleton as the pair search; the
+/// cover is every free edge incident to the start's surviving component
+/// (component and tour are invariant under failure sets that agree on all
+/// edges the component can see), and there is no promise term.
+bool bnb_touring_bound(SearchCtx& c, VertexId start, Incumbent& best) {
+  OpenQueue open;
+  int64_t seq = 0;
+  open.push(BnbNode{c.g.empty_edge_set(), c.g.empty_edge_set(), 0, seq++});
+  IdSet cover = c.g.empty_edge_set();
+  IdSet probe = c.g.empty_edge_set();
+  IdSet kept = c.g.empty_edge_set();
+  while (!open.empty()) {
+    const BnbNode node = open.top();
+    open.pop();
+    const int limit = std::min(best.size, c.budget + 1);
+    if (node.lb >= limit) {
+      if (best.size == kInfinity && node.lb > c.budget && node.lb <= c.g.num_edges()) {
+        c.budget_limited = true;
+      }
+      ++c.tel.pruned_bound;
+      break;
+    }
+    const TourResult tour = tour_packet(c.sim, c.pattern, node.include, start, c.ws);
+    if (!tour.success) {
+      adopt_incumbent(c, best, node.include);
+      continue;
+    }
+    cover.clear();
+    for (const VertexId v : tour.walk) cover |= c.sim.incident_mask(v);
+    for (const VertexId v : tour.missed) cover |= c.sim.incident_mask(v);
+    cover -= node.include;
+    cover -= node.exclude;
+    if (cover.empty()) {
+      ++c.tel.pruned_cover;
+      continue;
+    }
+    ++c.tel.nodes_expanded;
+    if (c.opts.node_cap > 0 && c.tel.nodes_expanded > c.opts.node_cap) return false;
+    const int depth = node.include.count();
+    const std::vector<int> cover_ids = cover.to_vector();
+    kept.clear();
+    for (const int e : cover_ids) {
+      probe = node.include;
+      probe.insert(e);
+      if (!tour_packet_fast(c.sim, c.pattern, probe, start, c.ws).success) {
+        adopt_incumbent(c, best, probe);
+        continue;
+      }
+      kept.insert(e);
+    }
+    IdSet child_exclude = node.exclude;
+    for (const int e : cover_ids) {
+      if (kept.contains(e)) {
+        const int child_lb = depth + 2;
+        if (child_lb >= std::min(best.size, c.budget + 1)) {
+          if (best.size == kInfinity && child_lb > c.budget && child_lb <= c.g.num_edges()) {
+            c.budget_limited = true;
+          }
+          ++c.tel.pruned_bound;
+        } else {
+          BnbNode child;
+          child.include = node.include;
+          child.include.insert(e);
+          child.exclude = child_exclude;
+          child.lb = child_lb;
+          child.seq = seq++;
+          open.push(std::move(child));
+        }
+      }
+      child_exclude.insert(e);
+    }
+  }
+  return true;
+}
+
+// ---- drivers ---------------------------------------------------------------
+
+void finish_no_defeat(SearchCtx& c, MinDefeatResult& out, bool proven_resilient) {
+  out.status = proven_resilient ? MinDefeatStatus::kPerfectlyResilient
+                                : MinDefeatStatus::kNoDefeatWithinBudget;
+  c.tel.proved_bound = proven_resilient ? c.g.num_edges() + 1 : c.budget + 1;
+}
+
+MinDefeatResult take_result(SearchCtx& c, MinDefeatResult&& out) {
+  if (out.defeated()) c.tel.proved_bound = out.failures.count();
+  out.telemetry = std::move(c.tel);
+  return std::move(out);
+}
+
+/// Whether branch and bound applies: not explicitly disabled, and the
+/// promise is one the search understands (custom predicates are not
+/// guaranteed anti-monotone — automatic enumerate fallback).
+bool want_bnb(const SearchCtx& c) {
+  return c.opts.strategy != SearchStrategy::kEnumerate && !c.opts.promise;
+}
+
+MinDefeatResult run_pair(SearchCtx& c, VertexId s, VertexId t) {
+  MinDefeatResult out;
+  out.source = s;
+  out.destination = t;
+  out.budget = c.budget;
+  c.tel.root_min_cut = edge_connectivity(c.g, s, t, c.g.empty_edge_set());
+  if (!want_bnb(c)) {
+    c.tel.strategy =
+        c.opts.strategy == SearchStrategy::kEnumerate ? "enumerate" : "enumerate-fallback";
+    enumerate_pair_into(c, s, t, c.budget, out);
+    if (!out.defeated()) finish_no_defeat(c, out, c.budget >= c.g.num_edges());
+    return take_result(c, std::move(out));
+  }
+  Incumbent best;
+  seed_pair_incumbents(c, s, t, best);
+  if (!bnb_pair_bound(c, s, t, best)) {
+    // Node cap hit: the cover branching is degenerating (dense graph, large
+    // minimum). Enumeration bounded by the incumbent is exact and cheaper.
+    c.tel.strategy = "enumerate-fallback";
+    const int cap = best.size == kInfinity ? c.budget : best.size;
+    enumerate_pair_into(c, s, t, cap, out);
+    if (!out.defeated()) finish_no_defeat(c, out, c.budget >= c.g.num_edges());
+    return take_result(c, std::move(out));
+  }
+  c.tel.strategy = "branch-and-bound";
+  if (best.size == kInfinity) {
+    finish_no_defeat(c, out, !c.budget_limited);
+    return take_result(c, std::move(out));
+  }
+  out.status = MinDefeatStatus::kDefeated;
+  out.failures = canonical_pair_witness(c, s, t, best.size);
+  out.routing = route_packet(c.sim, c.pattern, out.failures, s, Header{s, t}, c.ws);
+  return take_result(c, std::move(out));
+}
+
+MinDefeatResult run_any_pair(SearchCtx& c) {
+  MinDefeatResult out;
+  out.budget = c.budget;
+  if (!want_bnb(c)) {
+    c.tel.strategy =
+        c.opts.strategy == SearchStrategy::kEnumerate ? "enumerate" : "enumerate-fallback";
+    for (int k = 0; k <= c.budget && !out.defeated(); ++k) any_pair_stratum_scan(c, k, out);
+    if (!out.defeated()) finish_no_defeat(c, out, c.budget >= c.g.num_edges());
+    return take_result(c, std::move(out));
+  }
+  Incumbent best;
+  if (c.opts.upper_bound_candidates != nullptr) {
+    for (const IdSet& f : *c.opts.upper_bound_candidates) {
+      if (f.universe_size() != c.g.num_edges()) continue;
+      if (f.count() > c.budget || f.count() >= best.size) continue;
+      for (VertexId s = 0; s < c.g.num_vertices(); ++s) {
+        for (VertexId t = 0; t < c.g.num_vertices(); ++t) {
+          if (s != t && c.defeats(s, t, f)) {
+            adopt_incumbent(c, best, f);
+            s = c.g.num_vertices();
+            break;
+          }
+        }
+      }
+    }
+  }
+  bool complete = true;
+  for (VertexId s = 0; s < c.g.num_vertices() && complete; ++s) {
+    for (VertexId t = 0; t < c.g.num_vertices() && complete; ++t) {
+      if (s == t) continue;
+      if (c.opts.seed_incumbents) {
+        greedy_walk_cut(c, s, t, false, best);
+        greedy_walk_cut(c, s, t, true, best);
+      }
+      complete = bnb_pair_bound(c, s, t, best);
+    }
+  }
+  if (!complete) {
+    c.tel.strategy = "enumerate-fallback";
+    const int cap = best.size == kInfinity ? c.budget : best.size;
+    for (int k = 0; k <= cap && !out.defeated(); ++k) any_pair_stratum_scan(c, k, out);
+    if (!out.defeated()) finish_no_defeat(c, out, c.budget >= c.g.num_edges());
+    return take_result(c, std::move(out));
+  }
+  c.tel.strategy = "branch-and-bound";
+  if (best.size == kInfinity) {
+    finish_no_defeat(c, out, !c.budget_limited);
+    return take_result(c, std::move(out));
+  }
+  // Canonical witness: the legacy scan restricted to the proven optimum
+  // stratum — canonical by construction, and bounded by one stratum.
+  if (!any_pair_stratum_scan(c, best.size, out)) {
+    throw std::logic_error("min_defeat_search_any_pair: canonical reconstruction failed");
+  }
+  return take_result(c, std::move(out));
+}
+
+MinDefeatResult run_touring(SearchCtx& c) {
+  MinDefeatResult out;
+  out.budget = c.budget;
+  const bool bnb = c.opts.strategy != SearchStrategy::kEnumerate;
+  if (!bnb) {
+    c.tel.strategy = "enumerate";
+    for (int k = 0; k <= c.budget && !out.defeated(); ++k) touring_stratum_scan(c, k, out);
+    if (!out.defeated()) finish_no_defeat(c, out, c.budget >= c.g.num_edges());
+    return take_result(c, std::move(out));
+  }
+  Incumbent best;
+  bool complete = true;
+  for (VertexId v = 0; v < c.g.num_vertices() && complete; ++v) {
+    complete = bnb_touring_bound(c, v, best);
+  }
+  if (!complete) {
+    c.tel.strategy = "enumerate-fallback";
+    const int cap = best.size == kInfinity ? c.budget : best.size;
+    for (int k = 0; k <= cap && !out.defeated(); ++k) touring_stratum_scan(c, k, out);
+    if (!out.defeated()) finish_no_defeat(c, out, c.budget >= c.g.num_edges());
+    return take_result(c, std::move(out));
+  }
+  c.tel.strategy = "branch-and-bound";
+  if (best.size == kInfinity) {
+    finish_no_defeat(c, out, !c.budget_limited);
+    return take_result(c, std::move(out));
+  }
+  if (!touring_stratum_scan(c, best.size, out)) {
+    throw std::logic_error("min_touring_defeat_search: canonical reconstruction failed");
+  }
+  return take_result(c, std::move(out));
+}
+
+}  // namespace
+
+MinDefeatResult min_defeat_search(const Graph& g, const ForwardingPattern& pattern,
+                                  VertexId source, VertexId destination, int max_budget,
+                                  const SearchOptions& options) {
+  EdgeMask::check_capacity(g.num_edges(), "min_defeat_search");
+  const int budget = std::min(max_budget, g.num_edges());
+  if (budget < 0) {
+    MinDefeatResult out;
+    out.source = source;
+    out.destination = destination;
+    out.budget = max_budget;
+    out.telemetry.strategy = "none";
+    return out;
+  }
+  SearchCtx c(g, pattern, options, budget);
+  return run_pair(c, source, destination);
+}
+
+MinDefeatResult min_defeat_search_any_pair(const Graph& g, const ForwardingPattern& pattern,
+                                           int max_budget, const SearchOptions& options) {
+  EdgeMask::check_capacity(g.num_edges(), "min_defeat_search_any_pair");
+  const int budget = std::min(max_budget, g.num_edges());
+  if (budget < 0) {
+    MinDefeatResult out;
+    out.budget = max_budget;
+    out.telemetry.strategy = "none";
+    return out;
+  }
+  // The any-pair defeat notion is the legacy one: same surviving component,
+  // delivery broken. Custom promises / r-tolerance apply to the pair search
+  // only.
+  SearchOptions normalized = options;
+  normalized.promise = nullptr;
+  normalized.promise_r = 1;
+  SearchCtx c(g, pattern, normalized, budget);
+  return run_any_pair(c);
+}
+
+MinDefeatResult min_touring_defeat_search(const Graph& g, const ForwardingPattern& pattern,
+                                          int max_budget, const SearchOptions& options) {
+  EdgeMask::check_capacity(g.num_edges(), "min_touring_defeat_search");
+  const int budget = std::min(max_budget, g.num_edges());
+  if (budget < 0) {
+    MinDefeatResult out;
+    out.budget = max_budget;
+    out.telemetry.strategy = "none";
+    return out;
+  }
+  // Touring defeat has no promise term at all.
+  SearchOptions normalized = options;
+  normalized.promise = nullptr;
+  normalized.promise_r = 1;
+  SearchCtx c(g, pattern, normalized, budget);
+  return run_touring(c);
+}
+
+std::vector<IdSet> corpus_upper_bound_candidates(const Graph& g, RoutingModel model,
+                                                 VertexId source, VertexId destination,
+                                                 int max_budget) {
+  std::vector<IdSet> out;
+  const int budget = std::min(max_budget, g.num_edges());
+  if (budget < 0 || source == destination) return out;
+  const SearchOptions probe_options;
+  const std::vector<std::unique_ptr<ForwardingPattern>> corpus = make_pattern_corpus(model, g);
+  for (const std::unique_ptr<ForwardingPattern>& p : corpus) {
+    SearchCtx c(g, *p, probe_options, budget);
+    Incumbent best;
+    greedy_walk_cut(c, source, destination, false, best);
+    greedy_walk_cut(c, source, destination, true, best);
+    if (best.size == kInfinity) continue;
+    bool duplicate = false;
+    for (const IdSet& f : out) duplicate = duplicate || f == best.failures;
+    if (!duplicate) out.push_back(best.failures);
+  }
+  return out;
+}
+
+void append_json(JsonWriter& w, const MinDefeatResult& r, const Graph& g) {
+  w.begin_object();
+  w.key("status").value(to_string(r.status));
+  w.key("budget").value(r.budget);
+  w.key("cardinality").value(r.defeated() ? r.failures.count() : -1);
+  w.key("source").value(r.source);
+  w.key("destination").value(r.destination);
+  w.key("failures").begin_array();
+  if (r.defeated()) {
+    for (const int e : r.failures.to_vector()) w.value(e);
+  }
+  w.end_array();
+  w.key("failed_links").begin_array();
+  if (r.defeated()) {
+    for (const int e : r.failures.to_vector()) {
+      const Edge& edge = g.edge(e);
+      w.begin_array().value(edge.u).value(edge.v).end_array();
+    }
+  }
+  w.end_array();
+  if (r.defeated() && r.destination != kNoVertex) {
+    w.key("outcome").value(to_string(r.routing.outcome));
+    w.key("hops").value(r.routing.hops);
+  } else {
+    w.key("outcome").null();
+    w.key("hops").null();
+  }
+  const SearchTelemetry& t = r.telemetry;
+  w.key("telemetry").begin_object();
+  w.key("strategy").value(t.strategy);
+  w.key("nodes_expanded").value(t.nodes_expanded);
+  w.key("leaves_verified").value(t.leaves_verified);
+  w.key("pruned_bound").value(t.pruned_bound);
+  w.key("pruned_promise").value(t.pruned_promise);
+  w.key("pruned_cover").value(t.pruned_cover);
+  w.key("lookahead_excluded").value(t.lookahead_excluded);
+  w.key("canonical_nodes").value(t.canonical_nodes);
+  w.key("incumbent_trajectory").begin_array();
+  for (const int k : t.incumbent_trajectory) w.value(k);
+  w.end_array();
+  w.key("proved_bound").value(t.proved_bound);
+  w.key("root_min_cut").value(t.root_min_cut);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace pofl

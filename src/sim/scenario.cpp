@@ -425,8 +425,8 @@ void AdversarialCorpusSource::mine() {
   ConnectivityOracle oracle(*g_);
   for (const auto& pattern : make_pattern_corpus(model_, *g_, random_variants_, seed_)) {
     const auto defeat = find_minimum_defeat_any_pair(*g_, *pattern, max_budget_, &oracle);
-    if (!defeat.has_value()) continue;
-    scenarios_.push_back(Scenario{defeat->failures, defeat->source, defeat->destination});
+    if (!defeat.defeated()) continue;
+    scenarios_.push_back(Scenario{defeat.failures, defeat.source, defeat.destination});
     defeated_.push_back(pattern->name());
   }
   group_starts_ = compute_group_starts(scenarios_);

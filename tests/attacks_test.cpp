@@ -59,8 +59,8 @@ TEST(K7Attack, ExhaustiveGroundTruthAgrees) {
   ASSERT_TRUE(constructive.has_value());
   const auto exhaustive =
       find_minimum_defeat(k7, *pattern, 0, 6, constructive->defeat.failures.count());
-  ASSERT_TRUE(exhaustive.has_value());
-  EXPECT_LE(exhaustive->failures.count(), constructive->defeat.failures.count());
+  ASSERT_TRUE(exhaustive.defeated());
+  EXPECT_LE(exhaustive.failures.count(), constructive->defeat.failures.count());
 }
 
 // ---- Theorem 7 / Corollary 4: K4,4 ----------------------------------------
@@ -203,8 +203,8 @@ TEST(TouringAttack, DefeatsCorpusOnK4WithTwoFailures) {
   const auto corpus = make_pattern_corpus(RoutingModel::kTouring, k4, 3, 23);
   for (const auto& pattern : corpus) {
     const auto defeat = attack_touring(k4, *pattern);
-    ASSERT_TRUE(defeat.has_value()) << pattern->name();
-    EXPECT_LE(defeat->failures.count(), 2) << pattern->name();
+    ASSERT_TRUE(defeat.defeated()) << pattern->name();
+    EXPECT_LE(defeat.failures.count(), 2) << pattern->name();
   }
 }
 
@@ -213,8 +213,8 @@ TEST(TouringAttack, DefeatsCorpusOnK23) {
   const auto corpus = make_pattern_corpus(RoutingModel::kTouring, k23, 3, 29);
   for (const auto& pattern : corpus) {
     const auto defeat = attack_touring(k23, *pattern);
-    ASSERT_TRUE(defeat.has_value()) << pattern->name();
-    EXPECT_LE(defeat->failures.count(), 2) << pattern->name();
+    ASSERT_TRUE(defeat.defeated()) << pattern->name();
+    EXPECT_LE(defeat.failures.count(), 2) << pattern->name();
   }
 }
 
@@ -224,7 +224,7 @@ TEST(TouringAttack, OuterplanarPatternsSurvive) {
   const Graph g = make_random_maximal_outerplanar(6, 1);
   const auto pattern = make_outerplanar_touring(g);
   ASSERT_NE(pattern, nullptr);
-  EXPECT_FALSE(attack_touring(g, *pattern).has_value());
+  EXPECT_FALSE(attack_touring(g, *pattern).defeated());
 }
 
 TEST(TouringProver, K23ImpossibilityEstablished) {

@@ -52,7 +52,7 @@ int main() {
   expect_throws(
       [&] {
         const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, big);
-        find_minimum_defeat(big, *pattern, 0, 1, 1);
+        (void)find_minimum_defeat(big, *pattern, 0, 1, 1);
       },
       "find_minimum_defeat must throw with NDEBUG");
   expect_throws(
