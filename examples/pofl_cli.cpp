@@ -62,8 +62,11 @@
 // deterministic worker faults so every one of these paths is testable.
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,9 +88,12 @@
 #include "graph/connectivity_oracle.hpp"
 #include "graph/graphml.hpp"
 #include "orchestrate/fault_inject.hpp"
+#include "orchestrate/posix_io.hpp"
 #include "orchestrate/supervisor.hpp"
 #include "resilience/dest_via_touring.hpp"
 #include "routing/verifier.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_json.hpp"
@@ -114,7 +120,15 @@ int usage() {
                "[--allow-partial] [--checkpoint-dir <dir>]   (with --procs)\n"
                "       pofl_cli sweep <file.graphml> exhaustive <k> [same flags]\n"
                "       pofl_cli merge <report.json...> [--json <path>] "
-               "[--check <baseline.json>]\n");
+               "[--check <baseline.json>]\n"
+               "       pofl_cli serve <file.graphml...> [--port <n>] [--bind <addr>] "
+               "[--cache <n>]\n"
+               "                resident sweep daemon: line-delimited JSON over TCP, "
+               "content-addressed result cache\n"
+               "       pofl_cli submit <host:port> <request-json> [--json <path>] "
+               "[--check <baseline.json>]\n"
+               "                send one request to a serve daemon; --json/--check apply "
+               "to the extracted report bytes\n");
   return 2;
 }
 
@@ -347,6 +361,14 @@ struct SweepConfig {
   double shard_timeout = 0.0;  // per-attempt wall clock in seconds; 0 = off
   bool allow_partial = false;  // degraded merge instead of failure
   std::string checkpoint_dir;  // persistent shard-output dir for resume
+  // Multi-host fan-out (with --procs): round-robin the shard workers over
+  // these transports (src/serve/transport) instead of plain local fork/exec.
+  std::vector<HostSpec> hosts;
+  std::string ssh_cmd = "ssh";    // --ssh-cmd: the transport binary
+  std::string remote_exe;         // --remote-exe: pofl_cli path on ssh hosts
+
+  /// Shard workers under a transport stream their JSON to stdout.
+  [[nodiscard]] bool stream_stdout() const { return json_path == "-"; }
 };
 
 /// Serializes the report the way this run records it: shard runs carry
@@ -481,10 +503,27 @@ int run_procs(const SweepConfig& cfg) {
                           std::to_string(cfg.procs) + ".json");
   }
 
+  // Two spawn shapes behind one supervisor contract. With --hosts, workers
+  // run `--json -` and stream their shard JSON back over stdout, which the
+  // transport redirects into the local shard file — identical plumbing for
+  // local and ssh workers, so validate/retry/checkpoint/merge below never
+  // know which transport ran. Without --hosts, the original local fork/exec
+  // writes the shard file directly.
   const auto spawn = [&](int shard, int attempt) -> pid_t {
     const std::string shard_spec = std::to_string(shard) + "/" + std::to_string(cfg.procs);
     const std::string threads = std::to_string(cfg.threads_set ? cfg.num_threads : 1);
     const std::string attempt_str = std::to_string(attempt);
+    if (!cfg.hosts.empty()) {
+      TransportOptions transport;
+      transport.hosts = cfg.hosts;
+      transport.ssh_command = cfg.ssh_cmd;
+      transport.remote_exe = cfg.remote_exe;
+      const std::vector<std::string> worker_args = {
+          "sweep",  cfg.graph_path, cfg.p_arg,   cfg.trials_arg, "--shard", shard_spec,
+          "--json", "-",            "--threads", threads};
+      return spawn_shard_worker(transport, shard, attempt, exe_path, worker_args,
+                                shard_files[static_cast<size_t>(shard)]);
+    }
     const char* argv[] = {exe_path, "sweep",  cfg.graph_path.c_str(),
                           cfg.p_arg, cfg.trials_arg, "--shard", shard_spec.c_str(),
                           "--json", shard_files[static_cast<size_t>(shard)].c_str(),
@@ -627,9 +666,15 @@ int cmd_sweep(const SweepConfig& cfg) {
   const auto pattern = make_shortest_path_pattern(RoutingModel::kSourceDestination, g);
   const auto pairs = all_ordered_pairs(g);
 
-  std::printf("network:          %s (n=%d m=%d)\n", net->name.c_str(), g.num_vertices(),
-              g.num_edges());
-  std::printf("pattern:          %s\n", pattern->name().c_str());
+  // `--json -` workers own stdout for their report stream: every human line
+  // is suppressed (errors keep stderr), and a broken pipe on the far end
+  // must surface as a failed write, not a SIGPIPE kill.
+  const bool stream = cfg.stream_stdout();
+  if (!stream) {
+    std::printf("network:          %s (n=%d m=%d)\n", net->name.c_str(), g.num_vertices(),
+                g.num_edges());
+    std::printf("pattern:          %s\n", pattern->name().c_str());
+  }
 
   // Both modes produce a ScenarioSource; everything downstream (sharding,
   // merging, baselines) is mode-agnostic. The exhaustive constructor
@@ -711,6 +756,32 @@ int cmd_sweep(const SweepConfig& cfg) {
     report.totals = engine.run(g, *pattern, *source);
   }
 
+  if (stream) {
+    // Stream mode: the report (exactly the bytes --json would record, plus
+    // the trailing newline) goes to stdout, nothing else does. Corrupt-mode
+    // fault injection still needs a file to tear, so the bytes take a
+    // round-trip through a temp file the injector can truncate.
+    std::string body = serialize_report(report, cfg) + "\n";
+    if (cfg.shard_set) {
+      std::string tmpl =
+          (std::filesystem::temp_directory_path() / "pofl_stream_XXXXXX").string();
+      const int tfd = mkstemp(tmpl.data());
+      if (tfd >= 0) {
+        close(tfd);
+        if (write_json_file(tmpl, body.substr(0, body.size() - 1))) {
+          fault.after_write(tmpl);
+          body = read_file(tmpl);
+        }
+        std::error_code ec;
+        std::filesystem::remove(tmpl, ec);
+      }
+    }
+    if (!write_all(STDOUT_FILENO, body.data(), body.size())) {
+      std::fprintf(stderr, "error: cannot write report to stdout\n");
+      return 1;
+    }
+    return 0;
+  }
   if (cfg.shard_set) {
     std::printf("shard:            %d/%d (%lld of %lld scenarios)\n", cfg.shard_index,
                 cfg.shard_count, static_cast<long long>(report.totals.total),
@@ -885,9 +956,145 @@ int cmd_merge(const std::vector<std::string>& paths, const std::string& json_pat
   return emit_and_check(to_json(merged), json_path, check_path);
 }
 
+// ---- serve / submit --------------------------------------------------------
+
+SweepServer* g_server = nullptr;
+
+/// SIGINT/SIGTERM -> graceful daemon shutdown. stop() only stores an atomic
+/// flag, so this is signal-safe; the accept loop notices within its poll
+/// interval, drains the live connections, and run() returns.
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+int cmd_serve(const std::vector<std::string>& graphml_paths, const ServeOptions& opts) {
+  SweepServer server(opts);
+  std::string error;
+  for (const std::string& path : graphml_paths) {
+    if (!server.register_graphml(path, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!server.start(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::printf("pofl_serve: %zu graph(s) registered, cache capacity %d\n", graphml_paths.size(),
+              opts.cache_capacity);
+  // Scripts scrape this line for the bound port (essential with --port 0).
+  std::printf("listening on %s:%d\n", opts.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  server.run();
+  g_server = nullptr;
+  std::printf("pofl_serve: shutdown complete\n");
+  return 0;
+}
+
+int connect_to(const std::string& spec, std::string& error) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    error = "target must be <host:port>, got '" + spec + "'";
+    return -1;
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    error = std::string("cannot resolve ") + spec + ": " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) error = "cannot connect to " + spec;
+  return fd;
+}
+
+/// One request line in, one response line out. The response is printed
+/// verbatim; --json/--check operate on the report/result/witness body
+/// extracted from the envelope and re-serialized byte-exactly (raw number
+/// spellings survive the parse), so a cached daemon answer diffs clean
+/// against a golden `sweep --json` recording.
+int cmd_submit(const std::string& target, const std::string& request,
+               const std::string& json_path, const std::string& check_path) {
+  std::string error;
+  const int fd = connect_to(target, error);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string out = request + "\n";
+  if (!write_all(fd, out.data(), out.size())) {
+    std::fprintf(stderr, "error: cannot send request to %s\n", target.c_str());
+    close(fd);
+    return 1;
+  }
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = read_eintr(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  const auto newline = response.find('\n');
+  if (newline == std::string::npos) {
+    std::fprintf(stderr, "error: connection closed before a full response line\n");
+    return 1;
+  }
+  response.resize(newline);
+  std::printf("%s\n", response.c_str());
+
+  JsonValue value;
+  size_t stop_offset = 0;
+  if (!parse_json(response, value, &stop_offset) || value.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "error: response is not a JSON object (stuck at byte %zu)\n",
+                 stop_offset);
+    return 1;
+  }
+  const JsonValue* ok = value.find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool || !ok->boolean) {
+    const JsonValue* err = value.find("error");
+    std::fprintf(stderr, "error: daemon refused the request: %s\n",
+                 err != nullptr && err->kind == JsonValue::Kind::kString ? err->text.c_str()
+                                                                         : "(no error text)");
+    return 1;
+  }
+  if (json_path.empty() && check_path.empty()) return 0;
+  const JsonValue* body = value.find("report");
+  if (body == nullptr) body = value.find("result");
+  if (body == nullptr) body = value.find("witness");
+  if (body == nullptr) {
+    std::fprintf(stderr,
+                 "error: response carries no report/result/witness body for --json/--check\n");
+    return 1;
+  }
+  JsonWriter w;
+  append_json(w, *body);
+  return emit_and_check(w.str(), json_path, check_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Every socket/pipe output path in the tool (serve, submit, --json -
+  // workers, --procs plumbing) must see a failed write, never a SIGPIPE
+  // kill — a client hanging up is an ordinary event, not a crash.
+  ignore_sigpipe();
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   if (cmd == "classify") return cmd_classify(argv[2]);
@@ -1033,6 +1240,21 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
         cfg.checkpoint_dir = argv[++i];
         supervision_flag = "--checkpoint-dir";
+      } else if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
+        if (!parse_host_list(argv[++i], cfg.hosts)) {
+          std::fprintf(stderr,
+                       "error: --hosts needs a comma-separated list of 'local' and "
+                       "'ssh:<host>' entries, got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        supervision_flag = "--hosts";
+      } else if (std::strcmp(argv[i], "--ssh-cmd") == 0 && i + 1 < argc) {
+        cfg.ssh_cmd = argv[++i];
+        supervision_flag = "--ssh-cmd";
+      } else if (std::strcmp(argv[i], "--remote-exe") == 0 && i + 1 < argc) {
+        cfg.remote_exe = argv[++i];
+        supervision_flag = "--remote-exe";
       } else {
         return usage();
       }
@@ -1045,6 +1267,12 @@ int main(int argc, char** argv) {
       // Supervision knobs on a run with no supervisor would silently do
       // nothing — the same trap as an ignored --threads.
       std::fprintf(stderr, "error: %s only applies to --procs runs\n", supervision_flag);
+      return 2;
+    }
+    if (cfg.stream_stdout() && (cfg.procs > 0 || !cfg.check_path.empty())) {
+      std::fprintf(stderr,
+                   "error: --json - streams one report to stdout and cannot combine with "
+                   "--procs or --check\n");
       return 2;
     }
     return cmd_sweep(cfg);
@@ -1066,6 +1294,51 @@ int main(int argc, char** argv) {
     }
     if (paths.empty()) return usage();
     return cmd_merge(paths, json_path, check_path);
+  }
+  if (cmd == "serve") {
+    ServeOptions opts;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+        long port = 0;
+        if (!parse_long(argv[++i], port) || port < 0 || port > 65535) {
+          std::fprintf(stderr, "error: --port needs an integer in [0, 65535], got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        opts.port = static_cast<int>(port);
+      } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+        opts.bind_address = argv[++i];
+      } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+        long cache = 0;
+        if (!parse_long(argv[++i], cache) || cache < 0 || cache > 1'000'000) {
+          std::fprintf(stderr, "error: --cache needs an integer in [0, 1e6], got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        opts.cache_capacity = static_cast<int>(cache);
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        return usage();
+      } else {
+        paths.emplace_back(argv[i]);
+      }
+    }
+    if (paths.empty()) return usage();
+    return cmd_serve(paths, opts);
+  }
+  if (cmd == "submit" && argc >= 4) {
+    std::string json_path;
+    std::string check_path;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+        check_path = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_submit(argv[2], argv[3], json_path, check_path);
   }
   return usage();
 }

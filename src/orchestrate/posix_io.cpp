@@ -1,0 +1,58 @@
+#include "orchestrate/posix_io.hpp"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace pofl {
+
+pid_t waitpid_eintr(pid_t pid, int* status, int options) {
+  for (;;) {
+    const pid_t r = waitpid(pid, status, options);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+ssize_t read_eintr(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t r = read(fd, buf, len);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+bool write_all(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t r = write(fd, p, len);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    len -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void sleep_ms_eintr(long ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1'000'000;
+  // nanosleep reports the un-slept remainder on EINTR: resume from there
+  // so a signal storm cannot turn a 5ms backoff nap into a busy spin or an
+  // early wake.
+  while (nanosleep(&ts, &ts) < 0 && errno == EINTR) {
+  }
+}
+
+void ignore_sigpipe() {
+  struct sigaction sa;
+  sa.sa_handler = SIG_IGN;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGPIPE, &sa, nullptr);
+}
+
+}  // namespace pofl

@@ -1,0 +1,53 @@
+#pragma once
+
+// EINTR- and SIGPIPE-hardened wrappers for the handful of raw syscalls the
+// orchestration and serving layers make. The one-shot CLI never noticed,
+// but a resident daemon (pofl_serve) takes signals as a matter of course —
+// SIGCHLD from its own shard workers, SIGTERM from an operator, timer and
+// job-control signals from the shell — and every one of them can interrupt
+// a blocking syscall with EINTR:
+//
+//   - a waitpid() that spuriously returns -1 makes the ShardSupervisor
+//     misclassify a healthy child as unreapable;
+//   - a read() that returns -1 mid-request tears a client connection that
+//     was fine;
+//   - a write() can come up short (socket buffers, pipes) or fail with
+//     EPIPE when the peer vanished — and without SIG_IGN the kernel
+//     delivers SIGPIPE first, which kills the whole daemon by default.
+//
+// Every syscall below retries on EINTR; write_all() additionally loops
+// through short writes until the buffer is fully flushed or a real error
+// (including EPIPE, which callers see as a normal failure instead of a
+// process death once ignore_sigpipe() has run).
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace pofl {
+
+/// waitpid() retried through EINTR: returns only a real pid, 0 (WNOHANG,
+/// nothing exited), or -1 with errno != EINTR.
+pid_t waitpid_eintr(pid_t pid, int* status, int options);
+
+/// read() retried through EINTR. Returns the byte count (0 = EOF) or -1
+/// with errno != EINTR.
+ssize_t read_eintr(int fd, void* buf, size_t len);
+
+/// Writes the whole buffer, retrying through EINTR and short writes.
+/// Returns true when every byte landed; false on a real error (errno set —
+/// EPIPE for a vanished peer). Never raises SIGPIPE once ignore_sigpipe()
+/// has run.
+bool write_all(int fd, const void* buf, size_t len);
+
+/// Sleeps the full duration, resuming through EINTR-interrupted naps.
+void sleep_ms_eintr(long ms);
+
+/// Sets SIGPIPE to SIG_IGN (idempotent). Any process that writes to
+/// sockets or pipes whose peer may disconnect mid-write — the daemon, its
+/// shard workers streaming JSON to a collector — must call this once at
+/// startup: the default disposition kills the process before write() ever
+/// reports EPIPE.
+void ignore_sigpipe();
+
+}  // namespace pofl

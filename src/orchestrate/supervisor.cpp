@@ -2,13 +2,14 @@
 
 #include <signal.h>
 #include <sys/wait.h>
-#include <time.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <limits>
 #include <string>
+
+#include "orchestrate/posix_io.hpp"
 
 namespace pofl {
 
@@ -18,13 +19,6 @@ int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-void sleep_ms(int64_t ms) {
-  struct timespec ts;
-  ts.tv_sec = ms / 1000;
-  ts.tv_nsec = (ms % 1000) * 1'000'000;
-  nanosleep(&ts, nullptr);
 }
 
 }  // namespace
@@ -182,7 +176,9 @@ SupervisorResult ShardSupervisor::run(int shard_count, const Spawn& spawn,
       Task& task = tasks_[static_cast<size_t>(i)];
       if (task.state != State::kRunning) continue;
       int status = 0;
-      if (waitpid(task.pid, &status, WNOHANG) == task.pid) {
+      // EINTR-retried: a signal delivered to the (now resident) driver must
+      // not make a healthy child look unreapable for one poll round.
+      if (waitpid_eintr(task.pid, &status, WNOHANG) == task.pid) {
         progressed = true;
         handle_exit(i, status);
         continue;
@@ -227,7 +223,10 @@ SupervisorResult ShardSupervisor::run(int shard_count, const Spawn& spawn,
     }
     if (any_running && next_event == std::numeric_limits<int64_t>::max()) {
       int status = 0;
-      const pid_t pid = waitpid(-1, &status, 0);
+      // The blocking -1 wait is the syscall a daemon's signals interrupt
+      // most often; without the EINTR retry, one stray SIGTERM-turned-
+      // handled signal used to bounce this loop into a spurious idle pass.
+      const pid_t pid = waitpid_eintr(-1, &status, 0);
       if (pid > 0) {
         for (int i = 0; i < shard_count; ++i) {
           if (tasks_[static_cast<size_t>(i)].state == State::kRunning &&
@@ -241,7 +240,7 @@ SupervisorResult ShardSupervisor::run(int shard_count, const Spawn& spawn,
         }
       }
     } else {
-      sleep_ms(std::clamp<int64_t>(next_event - now, 1, 5));
+      sleep_ms_eintr(std::clamp<int64_t>(next_event - now, 1, 5));
     }
   }
 
@@ -271,7 +270,7 @@ void ShardSupervisor::terminate_all() {
     for (Task& task : tasks_) {
       if (task.state != State::kRunning || task.pid <= 0) continue;
       int status = 0;
-      if (waitpid(task.pid, &status, WNOHANG) == task.pid) {
+      if (waitpid_eintr(task.pid, &status, WNOHANG) == task.pid) {
         task.pid = -1;
         task.state = State::kExhausted;
       } else {
@@ -279,13 +278,13 @@ void ShardSupervisor::terminate_all() {
       }
     }
     if (!live) break;
-    sleep_ms(5);
+    sleep_ms_eintr(5);
   }
   for (Task& task : tasks_) {
     if (task.state != State::kRunning || task.pid <= 0) continue;
     kill(task.pid, SIGKILL);
     int status = 0;
-    waitpid(task.pid, &status, 0);
+    waitpid_eintr(task.pid, &status, 0);
     task.pid = -1;
   }
   tasks_.clear();

@@ -1,0 +1,106 @@
+#include "serve/transport.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pofl {
+
+bool parse_host_list(const std::string& csv, std::vector<HostSpec>& out) {
+  out.clear();
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string token = csv.substr(start, comma - start);
+    if (token == "local") {
+      out.push_back(HostSpec{});
+    } else if (token.rfind("ssh:", 0) == 0 && token.size() > 4) {
+      out.push_back(HostSpec{true, token.substr(4)});
+    } else {
+      return false;  // empty token or unknown transport spelling
+    }
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+std::string to_string(const HostSpec& host) {
+  return host.ssh ? "ssh:" + host.host : "local";
+}
+
+std::string shell_quote(const std::string& token) {
+  std::string quoted = "'";
+  for (char c : token) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+pid_t spawn_shard_worker(const TransportOptions& opts, int shard, int attempt,
+                         const std::string& local_exe,
+                         const std::vector<std::string>& worker_args,
+                         const std::string& out_path) {
+  const HostSpec& host =
+      opts.hosts.empty() ? HostSpec{} : opts.hosts[static_cast<size_t>(shard) % opts.hosts.size()];
+
+  const pid_t pid = fork();
+  if (pid != 0) return pid;  // parent (or fork failure: -1)
+
+  // Child. Route the worker's stdout (its shard JSON stream) into the local
+  // shard file before exec; for ssh hosts the ssh process inherits this fd
+  // and relays the remote stdout into it.
+  const int fd = open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0 || dup2(fd, STDOUT_FILENO) < 0) {
+    std::perror("pofl transport: open shard output");
+    _exit(127);
+  }
+  if (fd != STDOUT_FILENO) close(fd);
+
+  if (!host.ssh) {
+    // Local transport: plain exec. POFL_FAULT is inherited; the attempt
+    // ordinal is per-spawn, so it is set here.
+    char attempt_buf[32];
+    std::snprintf(attempt_buf, sizeof(attempt_buf), "%d", attempt);
+    setenv("POFL_FAULT_ATTEMPT", attempt_buf, 1);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(local_exe.c_str()));
+    for (const std::string& a : worker_args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(local_exe.c_str(), argv.data());
+    std::perror("pofl transport: execv");
+    _exit(127);
+  }
+
+  // ssh transport: ssh hands its arguments to the remote shell as one
+  // string, so build the remote command with every token quoted and the
+  // fault-injection environment spliced in via `env` (ssh does not forward
+  // arbitrary local environment variables).
+  const std::string& exe = opts.remote_exe.empty() ? local_exe : opts.remote_exe;
+  std::string cmd = "exec env POFL_FAULT_ATTEMPT=" + std::to_string(attempt);
+  if (const char* fault = std::getenv("POFL_FAULT"); fault != nullptr && fault[0] != '\0') {
+    cmd += " POFL_FAULT=" + shell_quote(fault);
+  }
+  cmd += " " + shell_quote(exe);
+  for (const std::string& a : worker_args) cmd += " " + shell_quote(a);
+
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(opts.ssh_command.c_str()));
+  argv.push_back(const_cast<char*>(host.host.c_str()));
+  argv.push_back(const_cast<char*>(cmd.c_str()));
+  argv.push_back(nullptr);
+  execvp(opts.ssh_command.c_str(), argv.data());
+  std::perror("pofl transport: execvp ssh");
+  _exit(127);
+}
+
+}  // namespace pofl

@@ -1,0 +1,74 @@
+#pragma once
+
+// Pluggable shard-worker transports for multi-host sweep fan-out.
+//
+// PR 5's `--procs` driver and PR 8's ShardSupervisor already contain the
+// whole distributed story except the launch itself: shard partitions are
+// bit-exact, shard JSON doubles as a checkpoint, and the supervisor's
+// Spawn/Validate callbacks are transport-agnostic. This layer supplies the
+// missing Spawn: it launches `pofl_cli sweep ... --shard i/N --json -`
+// workers that stream their shard report over stdout, with the parent
+// redirecting that stream into a local per-shard file — so "where the
+// worker runs" collapses into how the child command is spelled:
+//
+//   local        fork/exec of the local executable (stdout -> shard file);
+//   ssh:<host>   fork/exec of `ssh <host> env ... <remote-exe> ...` — the
+//                ssh process relays the remote worker's stdout, so the
+//                shard JSON streams back over the same pipe and lands in
+//                the same local file, and everything downstream (validate,
+//                retry, checkpoint, merge) is transport-blind.
+//
+// Shards round-robin over the host list (shard i runs on hosts[i % H]).
+// The ssh binary is a knob (`ssh_command`) so tests can substitute a stub
+// that executes the remote command locally; the remote executable path is
+// a knob because the binary need not live at the same path on every host.
+// POFL_FAULT / POFL_FAULT_ATTEMPT are forwarded to remote workers via an
+// `env` prefix on the remote command line — the fault-injection harness
+// works identically through every transport, which is what lets CI prove
+// the killed-shard recovery path over ssh plumbing.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace pofl {
+
+struct HostSpec {
+  bool ssh = false;
+  std::string host;  // empty for local
+};
+
+/// Parses a comma-separated host list ("local,ssh:a@b,local"); false on an
+/// empty list or an unknown transport spelling.
+[[nodiscard]] bool parse_host_list(const std::string& csv, std::vector<HostSpec>& out);
+
+/// One host's display spelling ("local" / "ssh:<host>"), for diagnostics.
+[[nodiscard]] std::string to_string(const HostSpec& host);
+
+struct TransportOptions {
+  std::vector<HostSpec> hosts;       // round-robin assignment target
+  std::string ssh_command = "ssh";   // the transport binary for ssh: hosts
+  std::string remote_exe;            // pofl_cli path on remote hosts;
+                                     // empty = same path as the local exe
+};
+
+/// Shell-quotes one token for the remote command line (single quotes with
+/// the '\'' dance): ssh concatenates its arguments into one shell string,
+/// so unquoted paths with spaces or metacharacters would be re-split.
+[[nodiscard]] std::string shell_quote(const std::string& token);
+
+/// Spawns the shard worker for `shard` on its round-robin host, with the
+/// worker's stdout redirected into `out_path` (creating/truncating it).
+/// `worker_args` is the argv tail after the executable (e.g. "sweep",
+/// <graph>, <p>, <trials>, "--shard", "i/N", "--threads", "1", "--json",
+/// "-"). Returns the child pid, or -1 when the fork failed — exactly the
+/// contract ShardSupervisor::Spawn expects, so retries/backoff/timeouts
+/// come for free. `attempt` is exported as POFL_FAULT_ATTEMPT (and the
+/// local POFL_FAULT spec is forwarded) on whatever host the worker lands.
+[[nodiscard]] pid_t spawn_shard_worker(const TransportOptions& opts, int shard, int attempt,
+                                       const std::string& local_exe,
+                                       const std::vector<std::string>& worker_args,
+                                       const std::string& out_path);
+
+}  // namespace pofl

@@ -172,6 +172,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_number(const std::string& spelling) {
+  comma();
+  out_ += spelling;
+  return *this;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -304,22 +310,6 @@ std::string to_json_partial(const SweepReport& report, const IncompleteInfo& inc
 // integers parse exactly), true/false/null. No dependency, no surprises.
 
 namespace {
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string text;  // raw number spelling, or decoded string
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
 
 class JsonParser {
  public:
@@ -507,26 +497,6 @@ class JsonParser {
   size_t pos_ = 0;
 };
 
-bool read_int(const JsonValue& obj, const std::string& key, int64_t& out) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
-  char* end = nullptr;
-  errno = 0;
-  out = std::strtoll(v->text.c_str(), &end, 10);
-  // ERANGE clamps to INT64_MAX/MIN silently; a counter that overflows
-  // int64 cannot round-trip, so reject the report instead of corrupting
-  // the merge.
-  return end != v->text.c_str() && *end == '\0' && errno != ERANGE;
-}
-
-bool read_double(const JsonValue& obj, const std::string& key, double& out) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
-  char* end = nullptr;
-  out = std::strtod(v->text.c_str(), &end);
-  return end != v->text.c_str() && *end == '\0';
-}
-
 /// Sets *error (when requested) and always returns false — the one-line
 /// spelling of every semantic parse failure below.
 bool fail_parse(std::string* error, const std::string& message) {
@@ -544,7 +514,7 @@ bool stats_from_json(const JsonValue& obj, SweepStats& out, std::string* error) 
     return fail_parse(error, "stats value is not an object");
   }
   const auto counter = [&](const char* key, int64_t& v) {
-    return read_int(obj, key, v) ||
+    return json_read_int(obj, key, v) ||
            fail_parse(error, std::string("missing or invalid counter '") + key + "'");
   };
   return counter("total", out.total) && counter("promise_broken", out.promise_broken) &&
@@ -554,7 +524,7 @@ bool stats_from_json(const JsonValue& obj, SweepStats& out, std::string* error) 
          counter("hops_delivered", out.hops_delivered) &&
          counter("stretch_samples", out.stretch_samples) &&
          counter("stretch_sum_q32", out.stretch_sum_q32) &&
-         (read_double(obj, "max_stretch", out.max_stretch) ||
+         (json_read_double(obj, "max_stretch", out.max_stretch) ||
           fail_parse(error, "missing or invalid 'max_stretch'")) &&
          counter("oracle_hits", out.oracle_hits) && counter("oracle_misses", out.oracle_misses) &&
          counter("oracle_evictions", out.oracle_evictions);
@@ -579,6 +549,68 @@ bool read_int_array(const JsonValue& value, std::vector<int>& out) {
 }
 
 }  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, size_t* stop_offset) {
+  JsonParser parser(text);
+  const bool ok = parser.parse(out);
+  if (!ok && stop_offset != nullptr) *stop_offset = parser.stop_offset();
+  return ok;
+}
+
+void append_json(JsonWriter& w, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(value.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      w.raw_number(value.text);
+      break;
+    case JsonValue::Kind::kString:
+      w.value(value.text);
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : value.items) append_json(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, v] : value.fields) {
+        w.key(k);
+        append_json(w, v);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+bool json_read_int(const JsonValue& obj, const std::string& key, int64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoll(v->text.c_str(), &end, 10);
+  // ERANGE clamps to INT64_MAX/MIN silently; a counter that overflows
+  // int64 cannot round-trip, so reject the report instead of corrupting
+  // the merge.
+  return end != v->text.c_str() && *end == '\0' && errno != ERANGE;
+}
+
+bool json_read_double(const JsonValue& obj, const std::string& key, double& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(v->text.c_str(), &end);
+  // Same errno discipline as json_read_int: strtod signals overflow
+  // (1e999 -> HUGE_VAL) and fatal underflow only through ERANGE, so the
+  // bare check used to parse an unrepresentable max_stretch "successfully"
+  // and corrupt the merge downstream instead of rejecting the report.
+  return end != v->text.c_str() && *end == '\0' && errno != ERANGE;
+}
 
 std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* shard,
                                             std::string* error, IncompleteInfo* incomplete) {
@@ -605,8 +637,8 @@ std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* 
   if (const JsonValue* spec = root.find("shard"); spec != nullptr && shard != nullptr) {
     int64_t index = 0;
     int64_t count = 0;
-    if (spec->kind != JsonValue::Kind::kObject || !read_int(*spec, "index", index) ||
-        !read_int(*spec, "count", count) || count < 1 || index < 0 || index >= count) {
+    if (spec->kind != JsonValue::Kind::kObject || !json_read_int(*spec, "index", index) ||
+        !json_read_int(*spec, "count", count) || count < 1 || index < 0 || index >= count) {
       fail_parse(error, "malformed 'shard' provenance block");
       return std::nullopt;
     }
@@ -619,7 +651,7 @@ std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* 
     std::vector<int> missing;
     std::vector<int> attempts;
     bool valid = inc->kind == JsonValue::Kind::kObject &&
-                 read_int(*inc, "shard_count", count) && count >= 1 && count <= 1'000'000;
+                 json_read_int(*inc, "shard_count", count) && count >= 1 && count <= 1'000'000;
     const JsonValue* missing_value = valid ? inc->find("missing_shards") : nullptr;
     const JsonValue* attempts_value = valid ? inc->find("attempts") : nullptr;
     valid = valid && missing_value != nullptr && read_int_array(*missing_value, missing) &&
@@ -660,7 +692,7 @@ std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* 
     }
     PairStats pair;
     int64_t source = 0;
-    if (!read_int(row, "source", source)) {
+    if (!json_read_int(row, "source", source)) {
       fail_parse(error, "missing or invalid 'source'" + where);
       return std::nullopt;
     }
@@ -674,7 +706,7 @@ std::optional<SweepReport> report_from_json(const std::string& text, ShardInfo* 
       pair.destination = kNoVertex;
     } else {
       int64_t value = 0;
-      if (!read_int(row, "destination", value)) {
+      if (!json_read_int(row, "destination", value)) {
         fail_parse(error, "invalid 'destination'" + where);
         return std::nullopt;
       }

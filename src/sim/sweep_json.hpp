@@ -18,9 +18,11 @@
 // and recomputes every derived rate, so parse -> serialize reproduces the
 // input byte for byte.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/sweep.hpp"
@@ -79,6 +81,10 @@ class JsonWriter {
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v) { return value(std::string(v)); }
   JsonWriter& null();
+  /// Emits a number by its raw spelling, verbatim. How append_json(JsonValue)
+  /// round-trips numbers byte-exactly; the caller vouches the text is a
+  /// valid JSON number (the parser only produces such spellings).
+  JsonWriter& raw_number(const std::string& spelling);
 
   [[nodiscard]] const std::string& str() const { return out_; }
 
@@ -92,6 +98,52 @@ class JsonWriter {
 };
 
 [[nodiscard]] std::string json_escape(const std::string& s);
+
+/// A parsed JSON value: the tree the recursive-descent reader produces.
+/// Numbers keep their raw spelling (`text`), so integers survive exactly and
+/// re-serializing a tree via append_json reproduces the input bytes — the
+/// property the shard/merge round-trip and the serve protocol's report
+/// extraction both lean on. Object field order is preserved for the same
+/// reason.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  // raw number spelling, or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses one complete JSON document (no trailing bytes allowed). On
+/// failure returns false and sets *stop_offset (when non-null) to the first
+/// byte the parser could not make sense of — a truncated input stops at its
+/// end. The same reader behind report_from_json, exposed for the serve
+/// protocol's request/response parsing.
+[[nodiscard]] bool parse_json(const std::string& text, JsonValue& out,
+                              size_t* stop_offset = nullptr);
+
+/// Re-serializes a parsed tree verbatim: raw number spellings, preserved
+/// field order. parse_json followed by append_json reproduces the input
+/// byte for byte (modulo insignificant whitespace, which the house writer
+/// never emits) — how `pofl_cli submit` lifts the exact report bytes out of
+/// a response envelope without re-deriving them.
+void append_json(JsonWriter& w, const JsonValue& value);
+
+/// Reads an integer field, rejecting non-numbers, trailing garbage and
+/// ERANGE clamping (a counter that overflows int64 cannot round-trip).
+[[nodiscard]] bool json_read_int(const JsonValue& obj, const std::string& key, int64_t& out);
+
+/// Reads a double field with the same errno/ERANGE discipline: 1e999 clamps
+/// to HUGE_VAL with only errno to show for it, and a value that cannot
+/// round-trip must reject the document instead of corrupting a merge.
+[[nodiscard]] bool json_read_double(const JsonValue& obj, const std::string& key, double& out);
 
 /// Serializes the stats as one JSON object (counters plus derived rates).
 void append_json(JsonWriter& w, const SweepStats& stats);
